@@ -1,0 +1,135 @@
+// Command vsdbench regenerates the paper's evaluation as printed tables
+// (see EXPERIMENTS.md for the mapping to the paper's claims).
+//
+// Usage:
+//
+//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3 [-maxlen N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vsd/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, or all")
+	maxLen := flag.Uint64("maxlen", 48, "maximum packet length for the symbolic packet")
+	flag.Parse()
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if run("e1") {
+		fmt.Println("== E1: crash freedom of IP-router pipelines ==")
+		fmt.Println("paper: \"any pipeline that consists of these elements will not crash for any input\"")
+		rows, err := experiments.E1CrashFreedom(*maxLen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-22s %-9s %9s %9s %11s %12s\n",
+			"pipeline", "verdict", "suspects", "composed", "infeasible", "time")
+		for _, r := range rows {
+			verdict := "VERIFIED"
+			if !r.Verified {
+				verdict = "FAILED"
+			}
+			fmt.Printf("%-22s %-9s %9d %9d %11d %12v\n",
+				r.Pipeline, verdict, r.Suspects, r.Composed, r.Infeasib, r.Duration.Round(1e6))
+		}
+		fmt.Println()
+	}
+
+	if run("e2") {
+		fmt.Println("== E2: per-packet instruction bound of the full router ==")
+		fmt.Println("paper: \"executes up to about 3600 instructions per packet, and we also identified the packet\"")
+		res, err := experiments.E2InstructionBound(*maxLen)
+		if err != nil {
+			fatal(err)
+		}
+		kind := "upper bound (loop merging active)"
+		if res.Exact {
+			kind = "exact maximum"
+		}
+		fmt.Printf("bound: %d IR statements per packet (%s)\n", res.MaxSteps, kind)
+		fmt.Printf("static worst case of the inlined pipeline: %d\n", res.StaticBound)
+		fmt.Printf("witness packet: %d bytes, concretely executes %d statements\n", res.WitnessLen, res.WitnessSteps)
+		fmt.Printf("computed in %v\n\n", res.Duration.Round(1e6))
+	}
+
+	if run("e3") {
+		fmt.Println("== E3: compositional vs monolithic verification ==")
+		fmt.Println("paper: \"verification time was about 18 minutes; [monolithic] did not complete within 12 hours\"")
+		rows, err := experiments.E3ComposedVsMonolithic(4, 6, 1<<14)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%3s %14s %14s %12s %10s\n", "k", "composed", "monolithic", "mono-paths", "speedup")
+		for _, r := range rows {
+			done := ""
+			if !r.MonoDone {
+				done = " (budget!)"
+			}
+			fmt.Printf("%3d %14v %14v %12d %9.1fx%s\n",
+				r.Elements, r.ComposedTime.Round(1e5), r.MonoTime.Round(1e5), r.MonoPaths, r.Speedup, done)
+		}
+		fmt.Println()
+	}
+
+	if run("a1") {
+		fmt.Println("== A1: path scaling (paper §3: k·2^n composed vs 2^(k·n) monolithic) ==")
+		rows, err := experiments.A1PathScaling(3, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%3s %6s %15s %15s %12s\n", "k", "n", "composed-segs", "composed-paths", "mono-paths")
+		for _, r := range rows {
+			fmt.Printf("%3d %6d %15d %15d %12d\n",
+				r.Elements, r.Branches, r.ComposedSegs, r.ComposedPaths, r.MonoPaths)
+		}
+		fmt.Println()
+	}
+
+	if run("a2") {
+		fmt.Println("== A2: loop decomposition on the IP options element ==")
+		fmt.Println("paper: unrolled \"millions of segments ... months\"; decomposed: minutes")
+		rows, err := experiments.A2LoopDecomposition([]uint64{40, *maxLen}, 1<<9)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %8s %10s %12s %10s %12s %s\n",
+			"mode", "maxlen", "segments", "sym-stmts", "checks", "time", "")
+		for _, r := range rows {
+			note := ""
+			if r.Aborted {
+				note = "ABORTED (budget)"
+			}
+			fmt.Printf("%-8s %8d %10d %12d %10d %12v %s\n",
+				r.Mode, r.MaxLen, r.Segments, r.Steps, r.Checks, r.Duration.Round(1e6), note)
+		}
+		fmt.Println()
+	}
+
+	if run("a3") {
+		fmt.Println("== A3: stateful elements through the data-structure model ==")
+		rows, err := experiments.A3StatefulElements(*maxLen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-20s %-9s %11s %12s\n", "pipeline", "verdict", "discharged", "time")
+		for _, r := range rows {
+			verdict := "VERIFIED"
+			if !r.Verified {
+				verdict = "REJECTED"
+			}
+			fmt.Printf("%-20s %-9s %11d %12v\n", r.Pipeline, verdict, r.Discharged, r.Duration.Round(1e6))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsdbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command vsdrun executes a Click configuration over a synthetic packet
+// trace and prints per-element counters — the concrete half of the
+// verify-then-run story: the IR vsdverify proves properties about is
+// the IR vsdrun forwards packets with.
+//
+// Usage:
+//
+//	vsdrun [flags] config.click
+//
+//	-n N        number of packets to generate (default 1000)
+//	-seed S     trace generator seed
+//	-workload   mix|ipv4|random|adversarial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vsd/internal/click"
+	"vsd/internal/dataplane"
+	"vsd/internal/elements"
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of packets")
+	seed := flag.Int64("seed", 1, "trace seed")
+	workload := flag.String("workload", "mix", "workload: mix, ipv4, random, or adversarial")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vsdrun [flags] config.click")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	pipeline, err := click.Parse(elements.Default(), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	g := trace.New(trace.Spec{Seed: *seed})
+	var pkts []*packet.Buffer
+	switch *workload {
+	case "mix":
+		pkts = g.Mix(*n)
+	case "ipv4":
+		for i := 0; i < *n; i++ {
+			pkts = append(pkts, g.IPv4())
+		}
+	case "random":
+		for i := 0; i < *n; i++ {
+			pkts = append(pkts, g.Random(256))
+		}
+	case "adversarial":
+		for i := 0; i < *n; i++ {
+			pkts = append(pkts, g.Adversarial())
+		}
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	runner := dataplane.NewRunner(pipeline)
+	sum := runner.RunTrace(pkts)
+	fmt.Printf("processed %d packets: %d forwarded, %d dropped, %d crashed\n",
+		sum.Packets, sum.Emitted, sum.Dropped, sum.Crashed)
+	for egress, count := range sum.PerEgress {
+		fmt.Printf("  egress %-20s %d\n", pipeline.EgressName(egress), count)
+	}
+	fmt.Println()
+	fmt.Print(runner.FormatCounters())
+	if sum.FirstCrash != nil {
+		fmt.Printf("\nFIRST CRASH at element %s: %v\n", sum.FirstCrash.CrashAt, sum.FirstCrash.Crash)
+		fmt.Println("run vsdverify on this configuration to obtain a minimal witness")
+	}
+	if sum.Crashed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsdrun:", err)
+	os.Exit(1)
+}

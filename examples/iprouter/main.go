@@ -1,0 +1,103 @@
+// IP router: the pipeline of the paper's "Preliminary Results" — the
+// default Click IP-router elements (Classifier, Strip/EtherEncap,
+// CheckIPHeader, LookupIPRoute, DecIPTTL, IPOptions) assembled from a
+// Click configuration.
+//
+// The example first verifies the pipeline (crash freedom and the
+// instruction bound, reproducing experiments E1 and E2 of this
+// repository's EXPERIMENTS.md), then forwards a synthetic traffic mix
+// through the very same IR the proofs were computed over.
+//
+// Run with: go run ./examples/iprouter
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vsd/internal/click"
+	"vsd/internal/dataplane"
+	"vsd/internal/elements"
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+	"vsd/internal/verify"
+)
+
+const config = `
+	src :: InfiniteSource;
+	cls :: Classifier(12/0800, -);        // IPv4 vs everything else
+	strip :: Strip(14);
+	chk :: CheckIPHeader(NOCHECKSUM);
+	opt :: IPOptions;
+	rt :: LookupIPRoute(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+	ttl :: DecIPTTL;
+	encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+	bad :: Discard;
+
+	src -> cls;
+	cls [0] -> strip -> chk;
+	cls [1] -> Discard;
+	chk [0] -> opt;
+	chk [1] -> bad;
+	opt [0] -> rt;
+	opt [1] -> bad;
+	rt [0] -> ttl;
+	rt [1] -> ttl;
+	rt [2] -> ttl;
+	ttl [0] -> encap;
+	ttl [1] -> Discard;
+`
+
+func main() {
+	pipeline, err := click.Parse(elements.Default(), config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== IP router pipeline (%d elements) ==\n%s\n", len(pipeline.Elements), pipeline)
+
+	// Verification: any packet of 14..64 bytes. (Larger bounds admit
+	// longer option areas and scale verification time, not the verdict;
+	// the benchmark harness sweeps this.)
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
+	start := time.Now()
+	crash, err := v.CrashFreedom(pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !crash.Verified {
+		for _, w := range crash.Witnesses {
+			fmt.Print(verify.FormatWitness(w))
+		}
+		log.Fatal("router is not crash-free — this is a bug")
+	}
+	fmt.Printf("crash freedom proved in %v (suspects discharged compositionally)\n",
+		time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	bound, err := v.BoundedInstructions(pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instruction bound: <= %d IR statements per packet (computed in %v)\n",
+		bound.MaxSteps, time.Since(start).Round(time.Millisecond))
+	st := v.Stats()
+	fmt.Printf("verification work: %d element summaries (%d cache hits), %d segments, %d composed paths, %d solver queries\n\n",
+		st.ElementsSummarized, st.SummaryCacheHits, st.SegmentsTotal, st.ComposedPaths, st.SolverQueries)
+
+	// Forwarding: the same IR now carries traffic.
+	runner := dataplane.NewRunner(pipeline)
+	g := trace.New(trace.Spec{Seed: 20260612})
+	sum := runner.RunTrace(g.Mix(2000))
+	fmt.Printf("== forwarding a 2000-packet synthetic mix ==\n")
+	fmt.Printf("forwarded %d, dropped %d, crashed %d\n", sum.Emitted, sum.Dropped, sum.Crashed)
+	for egress, count := range sum.PerEgress {
+		fmt.Printf("  egress %-12s %5d packets\n", pipeline.EgressName(egress), count)
+	}
+	fmt.Println()
+	fmt.Print(runner.FormatCounters())
+	if sum.Crashed != 0 {
+		log.Fatal("the verified pipeline crashed — witness machinery would have caught this")
+	}
+	fmt.Println("\nno crashes, as proved.")
+}

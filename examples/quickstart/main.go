@@ -1,0 +1,83 @@
+// Quickstart: the paper's Fig. 1 and Fig. 2 walkthrough, end to end.
+//
+// It builds the two-element toy pipeline from the paper (E1 clamps
+// negative inputs, E2 asserts non-negativity), shows that E2 has a
+// suspect crashing segment in isolation, proves the composed pipeline
+// crash-free, and then demonstrates the failing case: verifying E2
+// without E1 yields a concrete witness packet that provably — and, as
+// the replay shows, actually — crashes the dataplane.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsd/internal/click"
+	"vsd/internal/dataplane"
+	"vsd/internal/elements"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+	"vsd/internal/verify"
+)
+
+func main() {
+	reg := elements.Default()
+
+	fmt.Println("== Step 1: the composed pipeline of the paper's Fig. 2 ==")
+	good, err := click.Parse(reg, `
+		src :: InfiniteSource;
+		e1  :: ToyE1;    // if in < 0 { in = 0 }
+		e2  :: ToyE2;    // assert in >= 0; ...
+		sink :: Discard;
+		src -> e1 -> e2 -> sink;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := verify.New(verify.Options{MinLen: 1, MaxLen: 64})
+	rep, err := v.CrashFreedom(good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := v.Stats()
+	fmt.Printf("segments summarized: %d (suspects in isolation: %d)\n",
+		st.SegmentsTotal, st.Suspects)
+	fmt.Printf("stitched paths discharged as infeasible: %d\n", st.ComposedInfeasible)
+	if rep.Verified {
+		fmt.Println("verdict: CRASH-FREE — e3 is unreachable once E1 runs first (the paper's p1/p4)")
+	} else {
+		fmt.Println("verdict: NOT verified (unexpected!)")
+	}
+
+	fmt.Println()
+	fmt.Println("== Step 2: E2 without its guard ==")
+	bad, err := click.Parse(reg, `
+		src :: InfiniteSource;
+		e2  :: ToyE2;
+		sink :: Discard;
+		src -> e2 -> sink;
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := verify.New(verify.Options{MinLen: 1, MaxLen: 64}).CrashFreedom(bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep2.Verified {
+		log.Fatal("E2 alone verified — that would be a soundness bug")
+	}
+	w := rep2.Witnesses[0]
+	fmt.Printf("verdict: NOT crash-free; witness found:\n%s", verify.FormatWitness(w))
+
+	fmt.Println("replaying the witness on the concrete dataplane:")
+	runner := dataplane.NewRunner(bad)
+	res := runner.Process(packet.NewBuffer(append([]byte{}, w.Packet...)))
+	if res.Disposition == ir.Crashed {
+		fmt.Printf("  runtime crashed at element %q: %v  — witness confirmed\n", res.CrashAt, res.Crash)
+	} else {
+		log.Fatalf("witness did not crash the runtime: %+v", res)
+	}
+}

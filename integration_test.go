@@ -1,0 +1,72 @@
+package vsd
+
+import (
+	"testing"
+
+	"vsd/internal/dataplane"
+	"vsd/internal/experiments"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+	"vsd/internal/verify"
+)
+
+// TestVerifiedRouterSurvivesAdversarialTraffic is the end-to-end claim
+// of the whole repository: prove the pipeline crash-free, then throw
+// adversarial traffic at the same code and observe zero crashes.
+func TestVerifiedRouterSurvivesAdversarialTraffic(t *testing.T) {
+	p := experiments.MustParse(experiments.IPRouterConfig(false))
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 40})
+	rep, err := v.CrashFreedom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Fatal("router did not verify")
+	}
+	runner := dataplane.NewRunner(p)
+	g := trace.New(trace.Spec{Seed: 1})
+	var n int
+	for i := 0; i < 3000; i++ {
+		var buf *packet.Buffer
+		switch i % 3 {
+		case 0:
+			buf = g.IPv4()
+		case 1:
+			buf = g.Adversarial()
+		default:
+			buf = g.Random(256)
+		}
+		res := runner.Process(buf)
+		if res.Disposition == ir.Crashed {
+			t.Fatalf("verified router crashed on packet %d at %s: %v", i, res.CrashAt, res.Crash)
+		}
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("processed %d packets", n)
+	}
+}
+
+// TestRejectedElementActuallyCrashes is the dual: when verification
+// refuses a pipeline, its witness is a real crash — no false alarms
+// survive Step 2.
+func TestRejectedElementActuallyCrashes(t *testing.T) {
+	p := experiments.MustParse(
+		"s :: InfiniteSource; s -> UnsafeReader(30) -> Discard;")
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
+	rep, err := v.CrashFreedom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified {
+		t.Fatal("unsafe element verified")
+	}
+	for _, w := range rep.Witnesses {
+		runner := dataplane.NewRunner(p)
+		res := runner.Process(packet.NewBuffer(append([]byte{}, w.Packet...)))
+		if res.Disposition != ir.Crashed {
+			t.Fatalf("witness did not crash: %+v", res)
+		}
+	}
+}

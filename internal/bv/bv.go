@@ -1,0 +1,249 @@
+// Package bv implements fixed-width bitvector arithmetic with widths from
+// 1 to 64 bits.
+//
+// Bitvectors are the value domain shared by every layer of the verifier:
+// the expression DAG (internal/expr) folds constants with these operations,
+// the IR interpreter (internal/ir) executes packet-processing code with
+// them, and the bit-blaster (internal/smt) must agree with them bit for
+// bit. All operations are total: division by zero yields the all-ones
+// value (the SMT-LIB convention for bvudiv) so that the semantics used by
+// constant folding, concrete interpretation, and bit-blasting coincide.
+// The IR separately guards division instructions with an explicit crash
+// check, mirroring how a real dataplane would fault.
+package bv
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Width is a bitvector width in bits. Valid widths are 1..64.
+type Width uint8
+
+// Common widths used by the packet-processing IR.
+const (
+	W1  Width = 1 // booleans / compare results
+	W8  Width = 8
+	W16 Width = 16
+	W32 Width = 32
+	W64 Width = 64
+)
+
+// MaxWidth is the largest supported bitvector width.
+const MaxWidth Width = 64
+
+// Valid reports whether w is a supported width.
+func (w Width) Valid() bool { return w >= 1 && w <= MaxWidth }
+
+func (w Width) String() string { return "u" + strconv.Itoa(int(w)) }
+
+// Mask returns the bitmask with the low w bits set.
+func (w Width) Mask() uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// V is a bitvector value: a width and the value truncated to that width.
+// The zero V is the 0-width invalid value; use New to construct values.
+type V struct {
+	W Width
+	U uint64 // always masked to W bits
+}
+
+// New returns the bitvector of width w holding u truncated to w bits.
+func New(w Width, u uint64) V {
+	if !w.Valid() {
+		panic(fmt.Sprintf("bv: invalid width %d", w))
+	}
+	return V{W: w, U: u & w.Mask()}
+}
+
+// Bool returns the 1-bit bitvector for b.
+func Bool(b bool) V {
+	if b {
+		return V{W: 1, U: 1}
+	}
+	return V{W: 1, U: 0}
+}
+
+// IsTrue reports whether v is the 1-bit value 1.
+func (v V) IsTrue() bool { return v.W == 1 && v.U == 1 }
+
+// IsZero reports whether all bits of v are zero.
+func (v V) IsZero() bool { return v.U == 0 }
+
+// Int returns the unsigned value as a uint64.
+func (v V) Int() uint64 { return v.U }
+
+// Signed returns the value interpreted as a two's-complement signed
+// integer of width v.W, sign-extended to 64 bits.
+func (v V) Signed() int64 {
+	if v.W == 64 {
+		return int64(v.U)
+	}
+	sign := uint64(1) << (v.W - 1)
+	if v.U&sign != 0 {
+		return int64(v.U | ^v.W.Mask())
+	}
+	return int64(v.U)
+}
+
+func (v V) String() string {
+	return fmt.Sprintf("%d%s", v.U, v.W)
+}
+
+// Bit returns bit i of v (0 = least significant).
+func (v V) Bit(i int) bool {
+	if i < 0 || i >= int(v.W) {
+		panic(fmt.Sprintf("bv: bit index %d out of range for width %d", i, v.W))
+	}
+	return v.U>>uint(i)&1 == 1
+}
+
+func checkSameWidth(op string, a, b V) {
+	if a.W != b.W {
+		panic(fmt.Sprintf("bv: %s width mismatch %s vs %s", op, a.W, b.W))
+	}
+}
+
+// Add returns a+b mod 2^w.
+func Add(a, b V) V { checkSameWidth("add", a, b); return New(a.W, a.U+b.U) }
+
+// Sub returns a-b mod 2^w.
+func Sub(a, b V) V { checkSameWidth("sub", a, b); return New(a.W, a.U-b.U) }
+
+// Mul returns a*b mod 2^w.
+func Mul(a, b V) V { checkSameWidth("mul", a, b); return New(a.W, a.U*b.U) }
+
+// UDiv returns the unsigned quotient a/b, or the all-ones value when b is
+// zero (SMT-LIB bvudiv semantics).
+func UDiv(a, b V) V {
+	checkSameWidth("udiv", a, b)
+	if b.U == 0 {
+		return New(a.W, a.W.Mask())
+	}
+	return New(a.W, a.U/b.U)
+}
+
+// URem returns the unsigned remainder a%b, or a when b is zero (SMT-LIB
+// bvurem semantics).
+func URem(a, b V) V {
+	checkSameWidth("urem", a, b)
+	if b.U == 0 {
+		return a
+	}
+	return New(a.W, a.U%b.U)
+}
+
+// And returns the bitwise conjunction.
+func And(a, b V) V { checkSameWidth("and", a, b); return New(a.W, a.U&b.U) }
+
+// Or returns the bitwise disjunction.
+func Or(a, b V) V { checkSameWidth("or", a, b); return New(a.W, a.U|b.U) }
+
+// Xor returns the bitwise exclusive or.
+func Xor(a, b V) V { checkSameWidth("xor", a, b); return New(a.W, a.U^b.U) }
+
+// Not returns the bitwise complement.
+func Not(a V) V { return New(a.W, ^a.U) }
+
+// Neg returns the two's-complement negation.
+func Neg(a V) V { return New(a.W, -a.U) }
+
+// Shl returns a shifted left by b bits; shifts >= w yield zero.
+func Shl(a, b V) V {
+	checkSameWidth("shl", a, b)
+	if b.U >= uint64(a.W) {
+		return New(a.W, 0)
+	}
+	return New(a.W, a.U<<b.U)
+}
+
+// LShr returns a logically shifted right by b bits; shifts >= w yield zero.
+func LShr(a, b V) V {
+	checkSameWidth("lshr", a, b)
+	if b.U >= uint64(a.W) {
+		return New(a.W, 0)
+	}
+	return New(a.W, a.U>>b.U)
+}
+
+// AShr returns a arithmetically shifted right by b bits; shifts >= w
+// yield 0 or all-ones depending on the sign bit.
+func AShr(a, b V) V {
+	checkSameWidth("ashr", a, b)
+	sign := a.Bit(int(a.W) - 1)
+	if b.U >= uint64(a.W) {
+		if sign {
+			return New(a.W, a.W.Mask())
+		}
+		return New(a.W, 0)
+	}
+	u := a.U >> b.U
+	if sign {
+		u |= a.W.Mask() &^ (a.W.Mask() >> b.U)
+	}
+	return New(a.W, u)
+}
+
+// Eq returns the 1-bit result of a == b.
+func Eq(a, b V) V { checkSameWidth("eq", a, b); return Bool(a.U == b.U) }
+
+// Ne returns the 1-bit result of a != b.
+func Ne(a, b V) V { checkSameWidth("ne", a, b); return Bool(a.U != b.U) }
+
+// Ult returns the 1-bit result of unsigned a < b.
+func Ult(a, b V) V { checkSameWidth("ult", a, b); return Bool(a.U < b.U) }
+
+// Ule returns the 1-bit result of unsigned a <= b.
+func Ule(a, b V) V { checkSameWidth("ule", a, b); return Bool(a.U <= b.U) }
+
+// Slt returns the 1-bit result of signed a < b.
+func Slt(a, b V) V { checkSameWidth("slt", a, b); return Bool(a.Signed() < b.Signed()) }
+
+// Sle returns the 1-bit result of signed a <= b.
+func Sle(a, b V) V { checkSameWidth("sle", a, b); return Bool(a.Signed() <= b.Signed()) }
+
+// ZExt zero-extends v to width w. It panics if w < v.W.
+func ZExt(v V, w Width) V {
+	if w < v.W {
+		panic(fmt.Sprintf("bv: zext to narrower width %s -> %s", v.W, w))
+	}
+	return New(w, v.U)
+}
+
+// SExt sign-extends v to width w. It panics if w < v.W.
+func SExt(v V, w Width) V {
+	if w < v.W {
+		panic(fmt.Sprintf("bv: sext to narrower width %s -> %s", v.W, w))
+	}
+	return New(w, uint64(v.Signed()))
+}
+
+// Trunc truncates v to width w. It panics if w > v.W.
+func Trunc(v V, w Width) V {
+	if w > v.W {
+		panic(fmt.Sprintf("bv: trunc to wider width %s -> %s", v.W, w))
+	}
+	return New(w, v.U)
+}
+
+// Extract returns bits [lo, lo+w) of v as a width-w value.
+func Extract(v V, lo int, w Width) V {
+	if lo < 0 || lo+int(w) > int(v.W) {
+		panic(fmt.Sprintf("bv: extract [%d,%d) out of range for width %d", lo, lo+int(w), v.W))
+	}
+	return New(w, v.U>>uint(lo))
+}
+
+// Concat returns the concatenation hi:lo, with hi in the high bits.
+// The combined width must not exceed 64.
+func Concat(hi, lo V) V {
+	w := Width(uint(hi.W) + uint(lo.W))
+	if uint(hi.W)+uint(lo.W) > uint(MaxWidth) {
+		panic(fmt.Sprintf("bv: concat width %d+%d exceeds %d", hi.W, lo.W, MaxWidth))
+	}
+	return New(w, hi.U<<uint(lo.W)|lo.U)
+}

@@ -1,0 +1,294 @@
+package bv
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMasks(t *testing.T) {
+	cases := []struct {
+		w    Width
+		in   uint64
+		want uint64
+	}{
+		{W8, 0x1ff, 0xff},
+		{W1, 2, 0},
+		{W1, 3, 1},
+		{W16, 0x12345, 0x2345},
+		{W32, 0x1_0000_0001, 1},
+		{W64, ^uint64(0), ^uint64(0)},
+		{Width(5), 0xff, 0x1f},
+	}
+	for _, c := range cases {
+		if got := New(c.w, c.in); got.U != c.want {
+			t.Errorf("New(%d, %#x) = %#x, want %#x", c.w, c.in, got.U, c.want)
+		}
+	}
+}
+
+func TestInvalidWidthPanics(t *testing.T) {
+	for _, w := range []Width{0, 65, 200} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, 0) did not panic", w)
+				}
+			}()
+			New(w, 0)
+		}()
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched widths did not panic")
+		}
+	}()
+	Add(New(W8, 1), New(W16, 1))
+}
+
+func TestSigned(t *testing.T) {
+	cases := []struct {
+		v    V
+		want int64
+	}{
+		{New(W8, 0x7f), 127},
+		{New(W8, 0x80), -128},
+		{New(W8, 0xff), -1},
+		{New(W1, 1), -1},
+		{New(W1, 0), 0},
+		{New(W64, ^uint64(0)), -1},
+		{New(W32, 0x8000_0000), -2147483648},
+		{New(Width(3), 4), -4},
+	}
+	for _, c := range cases {
+		if got := c.v.Signed(); got != c.want {
+			t.Errorf("%v.Signed() = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	a := New(W16, 1234)
+	z := New(W16, 0)
+	if got := UDiv(a, z); got.U != W16.Mask() {
+		t.Errorf("UDiv by zero = %v, want all-ones", got)
+	}
+	if got := URem(a, z); got != a {
+		t.Errorf("URem by zero = %v, want %v", got, a)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := New(W8, 0x81)
+	if got := Shl(a, New(W8, 1)); got.U != 0x02 {
+		t.Errorf("Shl = %#x, want 0x02", got.U)
+	}
+	if got := LShr(a, New(W8, 1)); got.U != 0x40 {
+		t.Errorf("LShr = %#x, want 0x40", got.U)
+	}
+	if got := AShr(a, New(W8, 1)); got.U != 0xc0 {
+		t.Errorf("AShr = %#x, want 0xc0", got.U)
+	}
+	// Oversized shift amounts.
+	if got := Shl(a, New(W8, 8)); got.U != 0 {
+		t.Errorf("Shl by width = %#x, want 0", got.U)
+	}
+	if got := LShr(a, New(W8, 200)); got.U != 0 {
+		t.Errorf("LShr by 200 = %#x, want 0", got.U)
+	}
+	if got := AShr(a, New(W8, 8)); got.U != 0xff {
+		t.Errorf("AShr negative by width = %#x, want 0xff", got.U)
+	}
+	if got := AShr(New(W8, 0x7f), New(W8, 8)); got.U != 0 {
+		t.Errorf("AShr positive by width = %#x, want 0", got.U)
+	}
+}
+
+func TestExtendTruncExtract(t *testing.T) {
+	v := New(W8, 0x8a)
+	if got := ZExt(v, W16); got.U != 0x8a || got.W != W16 {
+		t.Errorf("ZExt = %v", got)
+	}
+	if got := SExt(v, W16); got.U != 0xff8a {
+		t.Errorf("SExt = %#x, want 0xff8a", got.U)
+	}
+	if got := Trunc(New(W16, 0x1234), W8); got.U != 0x34 {
+		t.Errorf("Trunc = %#x, want 0x34", got.U)
+	}
+	if got := Extract(New(W16, 0x1234), 8, W8); got.U != 0x12 {
+		t.Errorf("Extract = %#x, want 0x12", got.U)
+	}
+	if got := Extract(New(W16, 0x1234), 4, W8); got.U != 0x23 {
+		t.Errorf("Extract mid = %#x, want 0x23", got.U)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	hi := New(W8, 0x12)
+	lo := New(W8, 0x34)
+	if got := Concat(hi, lo); got.W != W16 || got.U != 0x1234 {
+		t.Errorf("Concat = %v, want 0x1234:u16", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat beyond 64 bits did not panic")
+		}
+	}()
+	Concat(New(W64, 0), New(W1, 0))
+}
+
+func TestBit(t *testing.T) {
+	v := New(W8, 0b1010_0101)
+	want := []bool{true, false, true, false, false, true, false, true}
+	for i, w := range want {
+		if v.Bit(i) != w {
+			t.Errorf("Bit(%d) = %v, want %v", i, v.Bit(i), w)
+		}
+	}
+}
+
+// refBig computes the reference result of op using arbitrary-precision
+// arithmetic, reduced mod 2^w, mirroring SMT-LIB bitvector semantics.
+func refBig(op string, w Width, a, b uint64) uint64 {
+	mod := new(big.Int).Lsh(big.NewInt(1), uint(w))
+	x := new(big.Int).SetUint64(a)
+	y := new(big.Int).SetUint64(b)
+	r := new(big.Int)
+	switch op {
+	case "add":
+		r.Add(x, y)
+	case "sub":
+		r.Sub(x, y)
+		r.Add(r, mod) // avoid negative before Mod
+	case "mul":
+		r.Mul(x, y)
+	case "udiv":
+		if b == 0 {
+			return w.Mask()
+		}
+		r.Div(x, y)
+	case "urem":
+		if b == 0 {
+			return a
+		}
+		r.Mod(x, y)
+	case "and":
+		r.And(x, y)
+	case "or":
+		r.Or(x, y)
+	case "xor":
+		r.Xor(x, y)
+	default:
+		panic("unknown op " + op)
+	}
+	r.Mod(r, mod)
+	return r.Uint64()
+}
+
+func TestOpsAgainstBigIntReference(t *testing.T) {
+	ops := map[string]func(a, b V) V{
+		"add": Add, "sub": Sub, "mul": Mul,
+		"udiv": UDiv, "urem": URem,
+		"and": And, "or": Or, "xor": Xor,
+	}
+	widths := []Width{1, 3, 8, 13, 16, 31, 32, 33, 63, 64}
+	for name, fn := range ops {
+		for _, w := range widths {
+			f := func(a, b uint64) bool {
+				av, bvv := New(w, a), New(w, b)
+				return fn(av, bvv).U == refBig(name, w, av.U, bvv.U)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Errorf("%s at width %d: %v", name, w, err)
+			}
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	// ult is a strict total order consistent with eq; slt consistent with
+	// the Signed interpretation.
+	f := func(a, b uint64) bool {
+		for _, w := range []Width{1, 7, 8, 16, 32, 64} {
+			x, y := New(w, a), New(w, b)
+			if Ult(x, y).IsTrue() && Ult(y, x).IsTrue() {
+				return false
+			}
+			if Eq(x, y).IsTrue() != (x.U == y.U) {
+				return false
+			}
+			if Ule(x, y).IsTrue() != (Ult(x, y).IsTrue() || Eq(x, y).IsTrue()) {
+				return false
+			}
+			if Slt(x, y).IsTrue() != (x.Signed() < y.Signed()) {
+				return false
+			}
+			if Sle(x, y).IsTrue() != (x.Signed() <= y.Signed()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgebraicProperties(t *testing.T) {
+	// x - x == 0; x + neg(x) == 0; not(not(x)) == x; double-shift identity.
+	f := func(a uint64) bool {
+		for _, w := range []Width{1, 8, 16, 32, 64} {
+			x := New(w, a)
+			if !Sub(x, x).IsZero() {
+				return false
+			}
+			if !Add(x, Neg(x)).IsZero() {
+				return false
+			}
+			if Not(Not(x)) != x {
+				return false
+			}
+			if Xor(x, x).U != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractConcatRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		v := New(W32, a)
+		hi := Extract(v, 16, W16)
+		lo := Extract(v, 0, W16)
+		return Concat(hi, lo) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSExtZExtAgreeOnNonNegative(t *testing.T) {
+	f := func(a uint64) bool {
+		v := New(W8, a&0x7f) // clear sign bit
+		return SExt(v, W32) == ZExt(v, W32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(W8, 255).String(); got != "255u8" {
+		t.Errorf("String = %q", got)
+	}
+	if got := W16.String(); got != "u16" {
+		t.Errorf("Width.String = %q", got)
+	}
+}

@@ -1,0 +1,276 @@
+package click
+
+import (
+	"strings"
+	"testing"
+
+	"vsd/internal/bv"
+	"vsd/internal/ir"
+)
+
+// testRegistry builds a tiny registry with synthetic classes so the
+// click package tests do not depend on the real element library (which
+// lives above it).
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Register("Src", func(cfg string) (*ir.Program, error) {
+		b := ir.NewBuilder("Src", 0, 1)
+		b.Emit(0)
+		return b.Build()
+	})
+	reg.Register("Sink", func(cfg string) (*ir.Program, error) {
+		b := ir.NewBuilder("Sink", 1, 0)
+		b.Drop()
+		return b.Build()
+	})
+	// Fan(N): dispatch on pkt[0] % N.
+	reg.Register("Fan", func(cfg string) (*ir.Program, error) {
+		n := 2
+		if cfg == "3" {
+			n = 3
+		}
+		b := ir.NewBuilder("Fan", 1, n)
+		v := b.LoadPktC(0, 1)
+		m := b.BinC(ir.URem, v, uint64(n))
+		for i := 0; i < n; i++ {
+			b.If(b.BinC(ir.Eq, m, uint64(i)), func() { b.Emit(i) }, nil)
+		}
+		b.Drop()
+		return b.Build()
+	})
+	// Inc: increment pkt[1].
+	reg.Register("Inc", func(cfg string) (*ir.Program, error) {
+		b := ir.NewBuilder("Inc", 1, 1)
+		off := b.ConstU(32, 1)
+		v := b.LoadPkt(off, 1)
+		b.StorePkt(off, b.BinC(ir.Add, v, 1), 1)
+		b.Emit(0)
+		return b.Build()
+	})
+	return reg
+}
+
+func TestParseDeclarationsAndChains(t *testing.T) {
+	reg := testRegistry(t)
+	p, err := Parse(reg, `
+		// a pipeline with declarations, a chain, and port selectors
+		src :: Src;
+		f :: Fan(3);
+		sink :: Sink;
+		src -> f;
+		f [0] -> Inc -> sink;
+		f [1] -> Inc;   /* anonymous, leaves the pipeline */
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Elements) != 5 {
+		t.Fatalf("got %d elements, want 5: %s", len(p.Elements), p)
+	}
+	if p.Elements[p.Entry].Class() != "Src" {
+		t.Errorf("entry = %s, want the source", p.Elements[p.Entry].Name())
+	}
+	// f[2] and the second Inc's output are unconnected -> 2 egresses,
+	// plus none from sink (0 outputs).
+	if p.NumEgress() != 2 {
+		t.Errorf("NumEgress = %d, want 2: %s", p.NumEgress(), p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	reg := testRegistry(t)
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown class", "x :: Bogus;"},
+		{"unknown element", "Src -> nothere;"},
+		{"duplicate name", "a :: Src; a :: Sink;"},
+		{"double connect", "s :: Src; a :: Sink; b :: Sink; s -> a; s -> b;"},
+		{"bad port syntax", "s :: Src; s [x] -> Sink;"},
+		{"port out of range", "s :: Src; s [4] -> Sink;"},
+		{"unterminated comment", "/* oops"},
+		{"unbalanced parens", "x :: Fan(3;"},
+		{"stray character", "x :: Src; !"},
+		{"cycle", "a :: Inc; b :: Inc; a -> b; b -> a;"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(reg, c.src); err == nil {
+				t.Errorf("%s parsed without error", c.name)
+			}
+		})
+	}
+}
+
+func TestBuildRejectsMultipleEntries(t *testing.T) {
+	reg := testRegistry(t)
+	_, err := Parse(reg, "a :: Src; b :: Src; k :: Sink; a -> k;")
+	if err == nil || !strings.Contains(err.Error(), "multiple entry") {
+		t.Fatalf("err = %v, want multiple-entry complaint", err)
+	}
+}
+
+func TestPathsEnumeration(t *testing.T) {
+	reg := testRegistry(t)
+	p, err := Parse(reg, `
+		src :: Src;
+		f :: Fan(3);
+		src -> f;
+		f[0] -> i1 :: Inc;
+		f[1] -> i2 :: Inc;
+		// f[2], i1, i2 outputs are egresses
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := p.Paths(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	seen := map[int]bool{}
+	for _, path := range paths {
+		if path.Elems[0] != p.Entry {
+			t.Errorf("path does not start at entry: %v", path)
+		}
+		seen[path.Egress] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("paths reach %d distinct egresses, want 3", len(seen))
+	}
+	if _, err := p.Paths(2); err == nil {
+		t.Error("path limit not enforced")
+	}
+}
+
+func TestSummaryKeySharing(t *testing.T) {
+	reg := testRegistry(t)
+	a, _ := reg.Make("a", "Fan", "3")
+	b, _ := reg.Make("b", "Fan", "3")
+	c, _ := reg.Make("c", "Fan", "")
+	if a.SummaryKey() != b.SummaryKey() {
+		t.Error("same class+config must share a summary key")
+	}
+	if a.SummaryKey() == c.SummaryKey() {
+		t.Error("different configs must not share a summary key")
+	}
+}
+
+// TestInlineMatchesRunner is the inliner's correctness property: for
+// every packet, interpreting the inlined whole-pipeline program gives
+// the same disposition, egress, packet bytes, and statement count as
+// walking the pipeline element by element.
+func TestInlineMatchesRunner(t *testing.T) {
+	reg := testRegistry(t)
+	p, err := Parse(reg, `
+		src :: Src;
+		f :: Fan(3);
+		src -> f;
+		f[0] -> Inc -> Inc -> s1 :: Sink;
+		f[1] -> Inc;
+		// f[2] egress
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := Inline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b0 := 0; b0 < 6; b0++ {
+		pkt := []byte{byte(b0), 10, 0, 0}
+
+		// Element-by-element walk.
+		wantSteps := int64(0)
+		wantPkt := append([]byte{}, pkt...)
+		meta := map[string]bv.V{}
+		elem := p.Entry
+		var wantDisp ir.Disposition
+		wantEgress := -1
+		for {
+			env := &ir.ExecEnv{Pkt: wantPkt, Meta: meta, State: ir.NewState()}
+			out := ir.Exec(p.Elements[elem].Program(), env)
+			wantSteps += out.Steps
+			wantPkt = env.Pkt
+			if out.Disposition != ir.Emitted {
+				wantDisp = out.Disposition
+				break
+			}
+			edge := p.Edges[elem][out.Port]
+			if edge.To < 0 {
+				wantDisp = ir.Emitted
+				wantEgress = p.EgressID(elem, out.Port)
+				break
+			}
+			elem = edge.To
+		}
+
+		// Inlined execution.
+		env := &ir.ExecEnv{Pkt: append([]byte{}, pkt...), Meta: map[string]bv.V{}, State: ir.NewState()}
+		got := ir.Exec(inlined, env)
+		if got.Disposition != wantDisp {
+			t.Fatalf("pkt[0]=%d: inlined %v, walk %v", b0, got.Disposition, wantDisp)
+		}
+		if wantDisp == ir.Emitted && got.Port != wantEgress {
+			t.Fatalf("pkt[0]=%d: inlined egress %d, walk %d", b0, got.Port, wantEgress)
+		}
+		if got.Steps != wantSteps {
+			t.Fatalf("pkt[0]=%d: inlined steps %d, walk %d", b0, got.Steps, wantSteps)
+		}
+		for i := range pkt {
+			if env.Pkt[i] != wantPkt[i] {
+				t.Fatalf("pkt[0]=%d: byte %d differs: %d vs %d", b0, i, env.Pkt[i], wantPkt[i])
+			}
+		}
+	}
+}
+
+func TestInlineNamespacesState(t *testing.T) {
+	reg := testRegistry(t)
+	reg.Register("Count", func(cfg string) (*ir.Program, error) {
+		b := ir.NewBuilder("Count", 1, 1)
+		b.DeclareState(ir.StateDecl{Name: "n", KeyW: 8, ValW: 32})
+		k := b.ConstU(8, 0)
+		v := b.StateRead("n", k)
+		b.StateWrite("n", k, b.BinC(ir.Add, v, 1))
+		b.Emit(0)
+		return b.Build()
+	})
+	p, err := Parse(reg, "s :: Src; s -> c1 :: Count -> c2 :: Count;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlined, err := Inline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range inlined.States {
+		names[d.Name] = true
+	}
+	if !names["c1.n"] || !names["c2.n"] {
+		t.Errorf("state stores not namespaced: %v", names)
+	}
+	// Both counters tick independently.
+	env := &ir.ExecEnv{Pkt: make([]byte, 4), Meta: map[string]bv.V{}, State: ir.NewState()}
+	ir.Exec(inlined, env)
+	ir.Exec(inlined, env)
+	if env.State["c1.n"][0] != 2 || env.State["c2.n"][0] != 2 {
+		t.Errorf("counts = %v", env.State)
+	}
+}
+
+func TestPipelineString(t *testing.T) {
+	reg := testRegistry(t)
+	p, err := Parse(reg, "s :: Src; s -> k :: Sink;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.String()
+	if !strings.Contains(out, "s :: Src") || !strings.Contains(out, "k :: Sink") {
+		t.Errorf("String() = %q", out)
+	}
+}

@@ -1,0 +1,201 @@
+package click
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+	"vsd/internal/ir"
+)
+
+// Inline flattens the pipeline into a single ir.Program: each element's
+// body is spliced in place of the upstream Emit that reaches it, state
+// stores and static tables are namespaced per instance, and Emits on
+// unconnected ports become pipeline-level Emits on egress ids.
+//
+// This is the monolithic baseline of the paper's evaluation — "when we
+// fed the same code to the symbex engine (without using pipeline
+// decomposition or any of the other presented ideas)". An element
+// reachable along several paths is spliced once per path, so the inlined
+// program's path count is the product of the per-element counts
+// (~2^(k·n)), versus the sum (~k·2^n) the compositional verifier
+// explores.
+func Inline(p *Pipeline) (*ir.Program, error) {
+	in := &inliner{p: p}
+	// Allocate the merged register file: one contiguous block per
+	// element. Register values are path-local, so an element spliced at
+	// several points can reuse its block — duplication of code, not of
+	// registers, is what makes the baseline exponential.
+	var regW []bv.Width
+	in.regBase = make([]ir.Reg, len(p.Elements))
+	for i, e := range p.Elements {
+		in.regBase[i] = ir.Reg(len(regW))
+		regW = append(regW, e.Program().RegWidths...)
+	}
+	// A scratch register receives a unit-cost marker statement wherever
+	// an internal Emit hand-off is spliced away, so the inlined
+	// program's dynamic statement counts match the composed pipeline's
+	// exactly (each Emit costs one statement in a segment summary).
+	in.scratch = ir.Reg(len(regW))
+	regW = append(regW, 8)
+	var states []ir.StateDecl
+	var tables []*ir.StaticTable
+	meta := map[string]bv.Width{}
+	for _, e := range p.Elements {
+		prog := e.Program()
+		for _, d := range prog.States {
+			d2 := d
+			d2.Name = e.Name() + "." + d.Name
+			states = append(states, d2)
+		}
+		for _, t := range prog.Tables {
+			t2 := *t
+			t2.Name = e.Name() + "." + t.Name
+			tables = append(tables, &t2)
+		}
+		for slot, w := range prog.MetaSlots {
+			if have, ok := meta[slot]; ok && have != w {
+				return nil, fmt.Errorf("click: metadata slot %q used at widths %s and %s", slot, have, w)
+			}
+			meta[slot] = w
+		}
+	}
+	body, err := in.splice(p.Entry, 0)
+	if err != nil {
+		return nil, err
+	}
+	nOut := p.NumEgress()
+	if nOut == 0 {
+		nOut = 1
+	}
+	return &ir.Program{
+		Name:      "inline",
+		NumIn:     1,
+		NumOut:    nOut,
+		RegWidths: regW,
+		States:    states,
+		Tables:    tables,
+		Body:      body,
+		MetaSlots: meta,
+	}, nil
+}
+
+type inliner struct {
+	p       *Pipeline
+	regBase []ir.Reg
+	scratch ir.Reg
+}
+
+// maxInlineDepth guards against pathological graphs; the DAG check in
+// Build makes real recursion impossible beyond the element count.
+const maxInlineDepth = 1 << 10
+
+func (in *inliner) splice(elem, depth int) ([]ir.Stmt, error) {
+	if depth > maxInlineDepth {
+		return nil, fmt.Errorf("click: inline depth exceeded")
+	}
+	e := in.p.Elements[elem]
+	return in.rewriteBlock(elem, e.Program().Body, depth)
+}
+
+func (in *inliner) rewriteBlock(elem int, body []ir.Stmt, depth int) ([]ir.Stmt, error) {
+	base := in.regBase[elem]
+	name := in.p.Elements[elem].Name()
+	out := make([]ir.Stmt, 0, len(body))
+	for _, s := range body {
+		switch st := s.(type) {
+		case ir.ConstStmt:
+			st.Dst += base
+			out = append(out, st)
+		case ir.BinStmt:
+			st.Dst += base
+			st.A += base
+			st.B += base
+			out = append(out, st)
+		case ir.NotStmt:
+			st.Dst += base
+			st.A += base
+			out = append(out, st)
+		case ir.CastStmt:
+			st.Dst += base
+			st.A += base
+			out = append(out, st)
+		case ir.SelStmt:
+			st.Dst += base
+			st.Cond += base
+			st.A += base
+			st.B += base
+			out = append(out, st)
+		case ir.LoadPktStmt:
+			st.Dst += base
+			st.Off += base
+			out = append(out, st)
+		case ir.StorePktStmt:
+			st.Off += base
+			st.Src += base
+			out = append(out, st)
+		case ir.PktLenStmt:
+			st.Dst += base
+			out = append(out, st)
+		case ir.MetaLoadStmt:
+			st.Dst += base
+			out = append(out, st)
+		case ir.MetaStoreStmt:
+			st.Src += base
+			out = append(out, st)
+		case ir.StateReadStmt:
+			st.Dst += base
+			st.Key += base
+			st.Store = name + "." + st.Store
+			out = append(out, st)
+		case ir.StateWriteStmt:
+			st.Key += base
+			st.Val += base
+			st.Store = name + "." + st.Store
+			out = append(out, st)
+		case ir.StaticLookupStmt:
+			st.Dst += base
+			st.Key += base
+			st.Table = name + "." + st.Table
+			out = append(out, st)
+		case ir.AssertStmt:
+			st.Cond += base
+			out = append(out, st)
+		case ir.IfStmt:
+			then, err := in.rewriteBlock(elem, st.Then, depth)
+			if err != nil {
+				return nil, err
+			}
+			els, err := in.rewriteBlock(elem, st.Else, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ir.IfStmt{Cond: st.Cond + base, Then: then, Else: els})
+		case ir.LoopStmt:
+			b, err := in.rewriteBlock(elem, st.Body, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ir.LoopStmt{Bound: st.Bound, Body: b})
+		case ir.BreakStmt, ir.DropStmt:
+			out = append(out, st)
+		case ir.EmitStmt:
+			edge := in.p.Edges[elem][st.Port]
+			if edge.To < 0 {
+				out = append(out, ir.EmitStmt{Port: in.p.EgressID(elem, st.Port)})
+				continue
+			}
+			// Splice the downstream element in place of the hand-off:
+			// the packet, its metadata, and control continue there. The
+			// marker preserves the Emit's unit cost.
+			spliced, err := in.splice(edge.To, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ir.ConstStmt{Dst: in.scratch, Val: bv.New(8, 0)})
+			out = append(out, spliced...)
+		default:
+			return nil, fmt.Errorf("click: cannot inline statement %T", s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,328 @@
+package click
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a subset of the Click configuration language and builds a
+// validated pipeline using the registry for element construction.
+//
+// Supported syntax:
+//
+//	// line comments and /* block comments */
+//	name :: Class(arg, arg);           // declaration
+//	name :: Class;                     // declaration, empty config
+//	a -> b -> c;                       // connection chains (port 0)
+//	a [1] -> b;  a -> [0] b;           // output/input port selectors
+//	a -> Class(arg) -> b;              // anonymous elements in chains
+//
+// This covers the pipelines of the paper's evaluation (the default Click
+// IP-router configuration and variants).
+func Parse(reg *Registry, src string) (*Pipeline, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{reg: reg, toks: toks, index: map[string]int{}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return Build(p.elements, p.conns)
+}
+
+type tokKind uint8
+
+const (
+	tokIdent  tokKind = iota
+	tokArrow          // ->
+	tokColons         // ::
+	tokSemi           // ;
+	tokLBracket
+	tokRBracket
+	tokNumber
+	tokConfig // parenthesized raw configuration text
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("click: line %d: unterminated block comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->", line})
+			i += 2
+		case c == ':' && i+1 < len(src) && src[i+1] == ':':
+			toks = append(toks, token{tokColons, "::", line})
+			i += 2
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", line})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", line})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", line})
+			i++
+		case c == '(':
+			// Raw configuration text up to the matching parenthesis.
+			depth := 1
+			j := i + 1
+			for j < len(src) && depth > 0 {
+				switch src[j] {
+				case '(':
+					depth++
+				case ')':
+					depth--
+				case '\n':
+					line++
+				}
+				j++
+			}
+			if depth != 0 {
+				return nil, fmt.Errorf("click: line %d: unbalanced parentheses", line)
+			}
+			toks = append(toks, token{tokConfig, strings.TrimSpace(src[i+1 : j-1]), line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("click: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' || r == '@' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '@'
+}
+
+type parser struct {
+	reg      *Registry
+	toks     []token
+	pos      int
+	elements []*Instance
+	conns    []Connection
+	index    map[string]int // name -> element index
+	anon     int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("click: line %d: "+format, append([]any{p.cur().line}, args...)...)
+}
+
+func (p *parser) run() error {
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokSemi {
+			p.next()
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statement parses either a declaration (name :: Class(cfg)) or a
+// connection chain.
+func (p *parser) statement() error {
+	// Lookahead for "ident ::".
+	if p.cur().kind == tokIdent && p.toks[p.pos+1].kind == tokColons {
+		name := p.next().text
+		p.next() // ::
+		if p.cur().kind != tokIdent {
+			return p.errf("expected class name after ::")
+		}
+		class := p.next().text
+		cfg := ""
+		if p.cur().kind == tokConfig {
+			cfg = p.next().text
+		}
+		if _, dup := p.index[name]; dup {
+			return p.errf("duplicate element %q", name)
+		}
+		inst, err := p.reg.Make(name, class, cfg)
+		if err != nil {
+			return err
+		}
+		p.index[name] = len(p.elements)
+		p.elements = append(p.elements, inst)
+		// A declaration may start a chain: "a :: C(x) -> b;".
+		if p.cur().kind == tokArrow {
+			return p.chainFrom(p.index[name])
+		}
+		return p.expectSemi()
+	}
+	// Connection chain starting with an element reference.
+	from, err := p.elementRef()
+	if err != nil {
+		return err
+	}
+	return p.chainFrom(from)
+}
+
+func (p *parser) expectSemi() error {
+	if p.cur().kind != tokSemi && p.cur().kind != tokEOF {
+		return p.errf("expected ';', got %q", p.cur().text)
+	}
+	if p.cur().kind == tokSemi {
+		p.next()
+	}
+	return nil
+}
+
+// elementRef parses a reference to an existing element by name, an
+// inline declaration "name :: Class(cfg)", or an anonymous
+// instantiation Class(cfg), returning the element index.
+func (p *parser) elementRef() (int, error) {
+	if p.cur().kind != tokIdent {
+		return 0, p.errf("expected element name or class, got %q", p.cur().text)
+	}
+	name := p.next().text
+	if p.cur().kind == tokColons {
+		// Inline declaration inside a chain: "-> s :: Sink ->".
+		p.next()
+		if p.cur().kind != tokIdent {
+			return 0, p.errf("expected class name after ::")
+		}
+		class := p.next().text
+		cfg := ""
+		if p.cur().kind == tokConfig {
+			cfg = p.next().text
+		}
+		if _, dup := p.index[name]; dup {
+			return 0, p.errf("duplicate element %q", name)
+		}
+		inst, err := p.reg.Make(name, class, cfg)
+		if err != nil {
+			return 0, err
+		}
+		p.index[name] = len(p.elements)
+		p.elements = append(p.elements, inst)
+		return p.index[name], nil
+	}
+	if p.cur().kind == tokConfig || isAnonClass(p.reg, name, p.index) {
+		cfg := ""
+		if p.cur().kind == tokConfig {
+			cfg = p.next().text
+		}
+		p.anon++
+		inst, err := p.reg.Make(fmt.Sprintf("%s@%d", name, p.anon), name, cfg)
+		if err != nil {
+			return 0, err
+		}
+		p.index[inst.Name()] = len(p.elements)
+		p.elements = append(p.elements, inst)
+		return p.index[inst.Name()], nil
+	}
+	idx, ok := p.index[name]
+	if !ok {
+		return 0, p.errf("unknown element %q", name)
+	}
+	return idx, nil
+}
+
+// isAnonClass decides whether an identifier in a chain denotes an
+// anonymous class instantiation: it is a registered class name and not a
+// declared element name.
+func isAnonClass(reg *Registry, name string, index map[string]int) bool {
+	if _, declared := index[name]; declared {
+		return false
+	}
+	_, isClass := reg.classes[name]
+	return isClass
+}
+
+// chainFrom parses "[p] -> [q] elem [r] -> ..." starting after the first
+// element (index from).
+func (p *parser) chainFrom(from int) error {
+	for {
+		fromPort := 0
+		if p.cur().kind == tokLBracket {
+			var err error
+			fromPort, err = p.portSelector()
+			if err != nil {
+				return err
+			}
+		}
+		if p.cur().kind != tokArrow {
+			return p.expectSemi()
+		}
+		p.next() // ->
+		toPort := 0
+		if p.cur().kind == tokLBracket {
+			var err error
+			toPort, err = p.portSelector()
+			if err != nil {
+				return err
+			}
+		}
+		to, err := p.elementRef()
+		if err != nil {
+			return err
+		}
+		p.conns = append(p.conns, Connection{From: from, FromPort: fromPort, To: to, ToPort: toPort})
+		from = to
+	}
+}
+
+func (p *parser) portSelector() (int, error) {
+	p.next() // [
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected port number, got %q", p.cur().text)
+	}
+	n, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, p.errf("bad port number: %v", err)
+	}
+	if p.cur().kind != tokRBracket {
+		return 0, p.errf("expected ']', got %q", p.cur().text)
+	}
+	p.next()
+	return n, nil
+}

@@ -1,0 +1,155 @@
+// Package dataplane is the concrete runtime: it forwards real packets
+// through a click.Pipeline by interpreting each element's IR.
+//
+// It exists for three reasons. It is the system under verification — the
+// IR the verifier reasons about is exactly the IR executed here, the
+// paper's premise. It is the oracle for witnesses — every crash witness
+// the verifier produces is replayed here and must actually crash (the
+// integration tests enforce this). And it powers the runnable examples
+// and the vsdrun CLI, standing in for the paper's SMPClick testbed.
+package dataplane
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+	"vsd/internal/click"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// ElementCounters tracks per-element activity.
+type ElementCounters struct {
+	In      int64
+	Dropped int64
+	Crashed int64
+}
+
+// Result describes one packet's journey through the pipeline.
+type Result struct {
+	Disposition ir.Disposition
+	Egress      int    // egress id when Emitted
+	EgressName  string // rendered egress for reports
+	Crash       *ir.CrashInfo
+	CrashAt     string // element that crashed
+	Steps       int64  // total dynamic statements across elements
+	Hops        int    // elements traversed
+}
+
+// Runner executes packets through a pipeline, keeping per-element
+// private state across packets (the paper's private state class: it
+// persists, and only its owner touches it).
+type Runner struct {
+	pipeline *click.Pipeline
+	states   []ir.State
+	counters []ElementCounters
+}
+
+// NewRunner prepares a runner with empty private state.
+func NewRunner(p *click.Pipeline) *Runner {
+	r := &Runner{
+		pipeline: p,
+		states:   make([]ir.State, len(p.Elements)),
+		counters: make([]ElementCounters, len(p.Elements)),
+	}
+	for i := range r.states {
+		r.states[i] = ir.NewState()
+	}
+	return r
+}
+
+// Counters returns the per-element counters, indexed like
+// pipeline.Elements.
+func (r *Runner) Counters() []ElementCounters { return r.counters }
+
+// maxHops caps the element traversal defensively; the pipeline DAG
+// bounds it structurally.
+const maxHops = 1 << 12
+
+// Process forwards one packet. The buffer is mutated in place (packet
+// state is owned by the pipeline for the duration of the call).
+func (r *Runner) Process(buf *packet.Buffer) Result {
+	res := Result{Egress: -1}
+	if buf.Meta == nil {
+		buf.Meta = map[string]bv.V{}
+	}
+	elem := r.pipeline.Entry
+	for {
+		if res.Hops++; res.Hops > maxHops {
+			panic("dataplane: hop limit exceeded (pipeline not a DAG?)")
+		}
+		inst := r.pipeline.Elements[elem]
+		r.counters[elem].In++
+		env := &ir.ExecEnv{Pkt: buf.Data, Meta: buf.Meta, State: r.states[elem]}
+		out := ir.Exec(inst.Program(), env)
+		buf.Data = env.Pkt
+		res.Steps += out.Steps
+		switch out.Disposition {
+		case ir.Crashed:
+			r.counters[elem].Crashed++
+			res.Disposition = ir.Crashed
+			res.Crash = out.Crash
+			res.CrashAt = inst.Name()
+			return res
+		case ir.Dropped:
+			r.counters[elem].Dropped++
+			res.Disposition = ir.Dropped
+			return res
+		case ir.Emitted:
+			edge := r.pipeline.Edges[elem][out.Port]
+			if edge.To < 0 {
+				res.Disposition = ir.Emitted
+				res.Egress = r.pipeline.EgressID(elem, out.Port)
+				res.EgressName = r.pipeline.EgressName(res.Egress)
+				return res
+			}
+			elem = edge.To
+		}
+	}
+}
+
+// Summary aggregates a run for reports.
+type Summary struct {
+	Packets int64
+	Emitted int64
+	Dropped int64
+	Crashed int64
+	// PerEgress counts packets per pipeline exit.
+	PerEgress map[int]int64
+	// FirstCrash records the first crashing packet, if any.
+	FirstCrash *Result
+}
+
+// RunTrace processes each packet of a trace and aggregates the results.
+func (r *Runner) RunTrace(trace []*packet.Buffer) Summary {
+	s := Summary{PerEgress: map[int]int64{}}
+	for _, buf := range trace {
+		res := r.Process(buf.Clone())
+		s.Packets++
+		switch res.Disposition {
+		case ir.Emitted:
+			s.Emitted++
+			s.PerEgress[res.Egress]++
+		case ir.Dropped:
+			s.Dropped++
+		case ir.Crashed:
+			s.Crashed++
+			if s.FirstCrash == nil {
+				c := res
+				s.FirstCrash = &c
+			}
+		}
+	}
+	return s
+}
+
+// FormatCounters renders the per-element counters as a table.
+func (r *Runner) FormatCounters() string {
+	out := fmt.Sprintf("%-24s %10s %10s %10s\n", "element", "in", "dropped", "crashed")
+	for i, e := range r.pipeline.Elements {
+		c := r.counters[i]
+		out += fmt.Sprintf("%-24s %10d %10d %10d\n",
+			e.Name()+" :: "+e.Class(), c.In, c.Dropped, c.Crashed)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"vsd/internal/click"
+	"vsd/internal/elements"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+)
+
+const routerSrc = `
+	src :: InfiniteSource;
+	cls :: Classifier(12/0800, -);
+	strip :: Strip(14);
+	chk :: CheckIPHeader;
+	opt :: IPOptions;
+	rt :: LookupIPRoute(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+	ttl :: DecIPTTL;
+	encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+	bad :: Discard;
+
+	src -> cls;
+	cls [0] -> strip -> chk;
+	cls [1] -> Discard;
+	chk [0] -> opt;
+	chk [1] -> bad;
+	opt [0] -> rt;
+	opt [1] -> bad;
+	rt [0] -> ttl;
+	rt [1] -> ttl;
+	rt [2] -> ttl;
+	ttl [0] -> encap;
+	ttl [1] -> Discard;
+`
+
+func buildRouter(t *testing.T) *click.Pipeline {
+	t.Helper()
+	p, err := click.Parse(elements.Default(), routerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRouterForwardsValidPacket(t *testing.T) {
+	p := buildRouter(t)
+	r := NewRunner(p)
+	buf, err := packet.BuildIPv4(packet.IPv4Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(192, 168, 3, 4),
+		TTL: 64, Protocol: packet.ProtoUDP, Payload: make([]byte, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Process(buf)
+	if res.Disposition != ir.Emitted {
+		t.Fatalf("result %+v", res)
+	}
+	if !strings.HasPrefix(res.EgressName, "encap") {
+		t.Errorf("egress = %s, want the encap exit", res.EgressName)
+	}
+	// The forwarded packet is re-encapsulated with the router's MACs
+	// and has a decremented TTL and a valid checksum.
+	ip, err := packet.IPv4At(buf.Data, packet.EthernetHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.TTL() != 63 {
+		t.Errorf("TTL = %d, want 63", ip.TTL())
+	}
+	want, err := ip.ComputeChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Checksum() != want {
+		t.Errorf("checksum invalid after forwarding")
+	}
+	eth, err := packet.EthernetAt(buf.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth.Src()[5] != 0x01 || eth.Dst()[5] != 0x02 {
+		t.Errorf("MACs not rewritten: % x -> % x", eth.Src(), eth.Dst())
+	}
+}
+
+func TestRouterDropsGarbageWithoutCrashing(t *testing.T) {
+	p := buildRouter(t)
+	r := NewRunner(p)
+	g := trace.New(trace.Spec{Seed: 42})
+	sum := r.RunTrace(g.Mix(500))
+	if sum.Crashed != 0 {
+		t.Fatalf("router crashed on the mixed trace: %+v", sum.FirstCrash)
+	}
+	if sum.Emitted == 0 {
+		t.Error("no packets forwarded")
+	}
+	if sum.Dropped == 0 {
+		t.Error("no packets dropped (adversarial share should be)")
+	}
+	if sum.Packets != 500 {
+		t.Errorf("packets = %d", sum.Packets)
+	}
+	out := r.FormatCounters()
+	if !strings.Contains(out, "cls :: Classifier") {
+		t.Errorf("counters table missing elements:\n%s", out)
+	}
+}
+
+func TestRouterExpiredTTL(t *testing.T) {
+	p := buildRouter(t)
+	r := NewRunner(p)
+	buf, err := packet.BuildIPv4(packet.IPv4Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		TTL: 1, Protocol: packet.ProtoUDP, Payload: make([]byte, 8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Process(buf)
+	// ttl[1] -> Discard: the packet is dropped, not forwarded.
+	if res.Disposition != ir.Dropped {
+		t.Fatalf("expired TTL: %+v, want drop", res)
+	}
+}
+
+func TestRunnerKeepsPrivateStateAcrossPackets(t *testing.T) {
+	p, err := click.Parse(elements.Default(),
+		"s :: InfiniteSource; s -> c :: Counter(SATURATE) -> Discard;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(p)
+	for i := 0; i < 5; i++ {
+		r.Process(packet.NewBuffer(make([]byte, 20)))
+	}
+	// Element index of the counter is 1 (after the source).
+	counts := r.Counters()
+	if counts[1].In != 5 {
+		t.Errorf("counter saw %d packets, want 5", counts[1].In)
+	}
+}
+
+func TestCrashSurfacesElementName(t *testing.T) {
+	p, err := click.Parse(elements.Default(),
+		"s :: InfiniteSource; s -> u :: UnsafeReader(16) -> Discard;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(p)
+	res := r.Process(packet.NewBuffer(make([]byte, 14)))
+	if res.Disposition != ir.Crashed {
+		t.Fatalf("result %+v", res)
+	}
+	if res.CrashAt != "u" {
+		t.Errorf("CrashAt = %q, want u", res.CrashAt)
+	}
+	if res.Crash.Kind != ir.CrashOOB {
+		t.Errorf("crash kind = %v", res.Crash.Kind)
+	}
+}

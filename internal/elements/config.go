@@ -1,0 +1,128 @@
+// Package elements implements the element library: the default Click
+// IP-router elements the paper's evaluation verifies (Classifier,
+// Strip/EtherEncap, CheckIPHeader, LookupIPRoute, DecIPTTL, IPOptions),
+// the stateful elements its discussion motivates (Counter, NetFlow, a
+// NAT rewriter), and supporting elements (Paint, CheckLength, sources
+// and sinks, the toy elements of the paper's Fig. 1 and 2).
+//
+// Every element is written once in the element IR (internal/ir) and is
+// therefore both executable (internal/dataplane) and verifiable
+// (internal/symbex, internal/verify). Element configurations follow
+// Click's flavor: "Strip(14)", "Classifier(12/0800, 12/0806, -)",
+// "LookupIPRoute(10.0.0.0/8 0, 0.0.0.0/0 1)".
+package elements
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vsd/internal/packet"
+)
+
+// splitArgs splits a Click configuration string on commas, trimming
+// whitespace; empty input yields nil.
+func splitArgs(cfg string) []string {
+	cfg = strings.TrimSpace(cfg)
+	if cfg == "" {
+		return nil
+	}
+	parts := strings.Split(cfg, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// parseUint parses a decimal unsigned integer with a range check.
+func parseUint(s string, max uint64) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if v > max {
+		return 0, fmt.Errorf("number %d exceeds %d", v, max)
+	}
+	return v, nil
+}
+
+// parseIP4 parses dotted-quad notation.
+func parseIP4(s string) (uint32, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return ip, nil
+}
+
+// cidr is a parsed prefix.
+type cidr struct {
+	Addr uint32
+	Bits int
+}
+
+// parseCIDR parses "a.b.c.d/len" (or a bare address as /32).
+func parseCIDR(s string) (cidr, error) {
+	s = strings.TrimSpace(s)
+	addrPart, lenPart, found := strings.Cut(s, "/")
+	addr, err := parseIP4(addrPart)
+	if err != nil {
+		return cidr{}, err
+	}
+	bits := 32
+	if found {
+		v, err := strconv.Atoi(lenPart)
+		if err != nil || v < 0 || v > 32 {
+			return cidr{}, fmt.Errorf("bad prefix length in %q", s)
+		}
+		bits = v
+	}
+	// Normalize: zero the host bits.
+	if bits < 32 {
+		addr &= ^uint32(0) << (32 - bits)
+	}
+	return cidr{Addr: addr, Bits: bits}, nil
+}
+
+// Range returns the [lo, hi] address interval the prefix covers.
+func (c cidr) Range() (lo, hi uint32) {
+	lo = c.Addr
+	hi = c.Addr | (^uint32(0) >> c.Bits)
+	if c.Bits == 0 {
+		hi = ^uint32(0)
+	}
+	return lo, hi
+}
+
+func (c cidr) String() string {
+	return fmt.Sprintf("%s/%d", packet.FormatIP4(c.Addr), c.Bits)
+}
+
+// parseMAC parses "aa:bb:cc:dd:ee:ff".
+func parseMAC(s string) ([6]byte, error) {
+	var mac [6]byte
+	parts := strings.Split(strings.TrimSpace(s), ":")
+	if len(parts) != 6 {
+		return mac, fmt.Errorf("bad MAC address %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return mac, fmt.Errorf("bad MAC address %q", s)
+		}
+		mac[i] = byte(v)
+	}
+	return mac, nil
+}
+
+// fields splits on any whitespace.
+func fields(s string) []string { return strings.Fields(s) }

@@ -1,0 +1,240 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vsd/internal/bv"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// Strip(N) advances the header offset annotation by N bytes, Click's
+// way of removing an encapsulation header without copying. It performs
+// no bounds check itself — downstream elements that read the packet do,
+// which is exactly the kind of cross-element dependency the verifier's
+// composition step reasons about.
+func Strip(cfg string) (*ir.Program, error) {
+	n, err := parseUint(cfg, packet.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("Strip", 1, 1)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	b.MetaStore(packet.MetaHeaderOffset, b.BinC(ir.Add, hoff, n))
+	b.Emit(0)
+	return b.Build()
+}
+
+// Unstrip(N) rewinds the header offset annotation by N bytes.
+func Unstrip(cfg string) (*ir.Program, error) {
+	n, err := parseUint(cfg, packet.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("Unstrip", 1, 1)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	b.MetaStore(packet.MetaHeaderOffset, b.BinC(ir.Sub, hoff, n))
+	b.Emit(0)
+	return b.Build()
+}
+
+// EtherEncap(ETHERTYPE, SRC, DST) prepends an Ethernet header by
+// rewinding the header offset 14 bytes and writing the header fields.
+// In isolation the writes are suspect (the offset may rewind past the
+// buffer start and fault); in a pipeline where an upstream Strip(14)
+// guarantees room, composition discharges the suspicion — the element-
+// scale version of the paper's Fig. 2 example.
+func EtherEncap(cfg string) (*ir.Program, error) {
+	args := splitArgs(cfg)
+	if len(args) != 3 {
+		return nil, fmt.Errorf("EtherEncap wants ETHERTYPE, SRC, DST")
+	}
+	etype, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 16)
+	if err != nil {
+		return nil, fmt.Errorf("bad ethertype %q", args[0])
+	}
+	src, err := parseMAC(args[1])
+	if err != nil {
+		return nil, err
+	}
+	dst, err := parseMAC(args[2])
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("EtherEncap", 1, 1)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	newOff := b.BinC(ir.Sub, hoff, packet.EthernetHeaderLen)
+	b.MetaStore(packet.MetaHeaderOffset, newOff)
+	for i := 0; i < 6; i++ {
+		b.StorePkt(b.BinC(ir.Add, newOff, uint64(i)), b.ConstU(8, uint64(dst[i])), 1)
+		b.StorePkt(b.BinC(ir.Add, newOff, uint64(6+i)), b.ConstU(8, uint64(src[i])), 1)
+	}
+	b.StorePkt(b.BinC(ir.Add, newOff, 12), b.ConstU(16, etype), 2)
+	b.Emit(0)
+	return b.Build()
+}
+
+// classifierPattern is one compiled Classifier output: a conjunction of
+// (offset, value, mask) byte-window tests, or the catch-all.
+type classifierPattern struct {
+	catchAll bool
+	tests    []classifierTest
+}
+
+type classifierTest struct {
+	off   uint64
+	value []byte
+	mask  []byte
+}
+
+// parseClassifier parses Click Classifier patterns: comma-separated
+// outputs, each a space-separated list of "offset/hexvalue[%hexmask]"
+// tests, or "-" for the catch-all.
+func parseClassifier(cfg string) ([]classifierPattern, error) {
+	args := splitArgs(cfg)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("Classifier wants at least one pattern")
+	}
+	out := make([]classifierPattern, 0, len(args))
+	for _, arg := range args {
+		if arg == "-" {
+			out = append(out, classifierPattern{catchAll: true})
+			continue
+		}
+		var p classifierPattern
+		for _, test := range fields(arg) {
+			offPart, rest, found := strings.Cut(test, "/")
+			if !found {
+				return nil, fmt.Errorf("bad classifier test %q", test)
+			}
+			off, err := parseUint(offPart, packet.MaxFrame)
+			if err != nil {
+				return nil, err
+			}
+			valPart, maskPart, hasMask := strings.Cut(rest, "%")
+			value, err := parseHexBytes(valPart)
+			if err != nil {
+				return nil, fmt.Errorf("bad classifier value in %q: %v", test, err)
+			}
+			var mask []byte
+			if hasMask {
+				mask, err = parseHexBytes(maskPart)
+				if err != nil || len(mask) != len(value) {
+					return nil, fmt.Errorf("bad classifier mask in %q", test)
+				}
+			} else {
+				mask = make([]byte, len(value))
+				for i := range mask {
+					mask[i] = 0xff
+				}
+			}
+			p.tests = append(p.tests, classifierTest{off: off, value: value, mask: mask})
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || len(s)%2 != 0 {
+		return nil, fmt.Errorf("hex string %q must have even length", s)
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		v, err := strconv.ParseUint(s[2*i:2*i+2], 16, 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Classifier(P0, P1, ..., -) dispatches packets to the output of the
+// first matching pattern, Click's byte-window classifier. Packets
+// matching no pattern are dropped (as Click does when no catch-all is
+// given). Tests are relative to the current header offset. A packet too
+// short to contain a tested window simply fails that pattern — length
+// is checked before loading, so the classifier itself never faults.
+func Classifier(cfg string) (*ir.Program, error) {
+	pats, err := parseClassifier(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("Classifier", 1, len(pats))
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	plen := b.PktLen()
+	// Emit nested if-else: first match wins.
+	var emitFrom func(i int)
+	emitFrom = func(i int) {
+		if i == len(pats) {
+			b.Drop()
+			return
+		}
+		p := pats[i]
+		if p.catchAll {
+			b.Emit(i)
+			return
+		}
+		// Match condition: all windows in range and all masked bytes
+		// equal. Length guards are part of the condition so a short
+		// packet falls through to the next pattern instead of faulting.
+		cond := b.ConstU(1, 1)
+		for _, tst := range p.tests {
+			end := b.BinC(ir.Add, hoff, tst.off+uint64(len(tst.value)))
+			cond = b.Bin(ir.And, cond, b.Bin(ir.Ule, end, plen))
+		}
+		b.If(cond, func() {
+			match := b.ConstU(1, 1)
+			for _, tst := range p.tests {
+				for i2, val := range tst.value {
+					if tst.mask[i2] == 0 {
+						continue
+					}
+					byteReg := b.LoadPkt(b.BinC(ir.Add, hoff, tst.off+uint64(i2)), 1)
+					masked := b.BinC(ir.And, byteReg, uint64(tst.mask[i2]))
+					match = b.Bin(ir.And, match, b.BinC(ir.Eq, masked, uint64(val&tst.mask[i2])))
+				}
+			}
+			b.If(match, func() { b.Emit(i) }, func() { emitFrom(i + 1) })
+		}, func() {
+			emitFrom(i + 1)
+		})
+	}
+	emitFrom(0)
+	// Builder requires an explicit terminator on the main path even
+	// though emitFrom always terminates; a trailing drop is unreachable
+	// but harmless.
+	b.Drop()
+	return b.Build()
+}
+
+// CheckLength(MAX) forwards packets no longer than MAX to output 0 and
+// longer ones to output 1 (dropped when only one output is connected in
+// Click; we always declare two).
+func CheckLength(cfg string) (*ir.Program, error) {
+	max, err := parseUint(cfg, 1<<31)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("CheckLength", 1, 2)
+	plen := b.PktLen()
+	b.If(b.BinC(ir.Ule, plen, max), func() { b.Emit(0) }, func() { b.Emit(1) })
+	b.Drop()
+	return b.Build()
+}
+
+// Paint(COLOR) sets the paint annotation.
+func Paint(cfg string) (*ir.Program, error) {
+	color, err := parseUint(cfg, 255)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("Paint", 1, 1)
+	b.MetaStore(packet.MetaPaint, b.ConstU(bv.W8, color))
+	b.Emit(0)
+	return b.Build()
+}

@@ -1,0 +1,179 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// filterRule is one parsed IPFilter rule.
+type filterRule struct {
+	allow    bool
+	proto    int // -1 = any
+	src, dst *cidr
+	sport    int // -1 = any
+	dport    int
+}
+
+// parseFilterRules parses comma-separated rules of the form
+//
+//	allow|deny [proto udp|tcp|icmp|N] [src CIDR] [dst CIDR]
+//	           [sport N] [dport N]
+//
+// e.g. IPFilter(allow proto udp dport 53, deny dst 10.0.0.0/8, allow).
+// The first matching rule decides; packets matching no rule are denied,
+// as in firewall convention.
+func parseFilterRules(cfg string) ([]filterRule, error) {
+	args := splitArgs(cfg)
+	if len(args) == 0 {
+		return nil, fmt.Errorf("IPFilter wants at least one rule")
+	}
+	var rules []filterRule
+	for _, arg := range args {
+		f := fields(arg)
+		if len(f) == 0 {
+			return nil, fmt.Errorf("empty rule")
+		}
+		r := filterRule{proto: -1, sport: -1, dport: -1}
+		switch f[0] {
+		case "allow":
+			r.allow = true
+		case "deny":
+		default:
+			return nil, fmt.Errorf("rule %q must start with allow or deny", arg)
+		}
+		i := 1
+		for i < len(f) {
+			if i+1 >= len(f) {
+				return nil, fmt.Errorf("dangling keyword %q in %q", f[i], arg)
+			}
+			key, val := f[i], f[i+1]
+			i += 2
+			switch key {
+			case "proto":
+				switch val {
+				case "icmp":
+					r.proto = packet.ProtoICMP
+				case "tcp":
+					r.proto = packet.ProtoTCP
+				case "udp":
+					r.proto = packet.ProtoUDP
+				default:
+					n, err := strconv.Atoi(val)
+					if err != nil || n < 0 || n > 255 {
+						return nil, fmt.Errorf("bad proto %q", val)
+					}
+					r.proto = n
+				}
+			case "src", "dst":
+				c, err := parseCIDR(val)
+				if err != nil {
+					return nil, err
+				}
+				if key == "src" {
+					r.src = &c
+				} else {
+					r.dst = &c
+				}
+			case "sport", "dport":
+				n, err := parseUint(val, 0xffff)
+				if err != nil {
+					return nil, err
+				}
+				if key == "sport" {
+					r.sport = int(n)
+				} else {
+					r.dport = int(n)
+				}
+			default:
+				return nil, fmt.Errorf("unknown keyword %q in rule %q", key, arg)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// IPFilter(RULES) implements a stateless packet filter over IPv4
+// headers. Allowed packets leave on output 0, denied packets are
+// dropped. Like Click's IPFilter it reads header fields directly and is
+// meant to run after CheckIPHeader; the verifier confirms the
+// combination never faults.
+func IPFilter(cfg string) (*ir.Program, error) {
+	rules, err := parseFilterRules(cfg)
+	if err != nil {
+		return nil, err
+	}
+	needPorts := false
+	for _, r := range rules {
+		if r.sport >= 0 || r.dport >= 0 {
+			needPorts = true
+		}
+	}
+	b := ir.NewBuilder("IPFilter", 1, 1)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	proto := b.LoadPkt(b.BinC(ir.Add, hoff, 9), 1)
+	src := b.LoadPkt(b.BinC(ir.Add, hoff, 12), 4)
+	dst := b.LoadPkt(b.BinC(ir.Add, hoff, 16), 4)
+	var sport, dport ir.Reg
+	if needPorts {
+		// Guarded like NetFlow: a valid IP header does not imply a
+		// transport header follows. Packets without one read ports as
+		// zero (so port rules cannot match them).
+		b0 := b.LoadPkt(hoff, 1)
+		ihl := b.ZExt(b.BinC(ir.And, b0, 0x0f), 32)
+		l4 := b.Bin(ir.Add, hoff, b.BinC(ir.Mul, ihl, 4))
+		sport = b.Mov(b.ConstU(16, 0))
+		dport = b.Mov(b.ConstU(16, 0))
+		plen := b.PktLen()
+		hasL4 := b.Bin(ir.Ule, b.BinC(ir.Add, l4, 4), plen)
+		b.If(hasL4, func() {
+			b.SetReg(sport, b.LoadPkt(l4, 2))
+			b.SetReg(dport, b.LoadPkt(b.BinC(ir.Add, l4, 2), 2))
+		}, nil)
+	}
+	var apply func(i int)
+	apply = func(i int) {
+		if i == len(rules) {
+			b.Drop() // default deny
+			return
+		}
+		r := rules[i]
+		cond := b.ConstU(1, 1)
+		if r.proto >= 0 {
+			cond = b.Bin(ir.And, cond, b.BinC(ir.Eq, proto, uint64(r.proto)))
+		}
+		if r.src != nil {
+			lo, hi := r.src.Range()
+			geLo := b.Bin(ir.Ule, b.ConstU(32, uint64(lo)), src)
+			leHi := b.Bin(ir.Ule, src, b.ConstU(32, uint64(hi)))
+			cond = b.Bin(ir.And, cond, b.Bin(ir.And, geLo, leHi))
+		}
+		if r.dst != nil {
+			lo, hi := r.dst.Range()
+			geLo := b.Bin(ir.Ule, b.ConstU(32, uint64(lo)), dst)
+			leHi := b.Bin(ir.Ule, dst, b.ConstU(32, uint64(hi)))
+			cond = b.Bin(ir.And, cond, b.Bin(ir.And, geLo, leHi))
+		}
+		if r.sport >= 0 {
+			cond = b.Bin(ir.And, cond, b.BinC(ir.Eq, sport, uint64(r.sport)))
+		}
+		if r.dport >= 0 {
+			cond = b.Bin(ir.And, cond, b.BinC(ir.Eq, dport, uint64(r.dport)))
+		}
+		b.If(cond, func() {
+			if r.allow {
+				b.Emit(0)
+			} else {
+				b.Drop()
+			}
+		}, func() {
+			apply(i + 1)
+		})
+	}
+	apply(0)
+	b.Drop()
+	return b.Build()
+}

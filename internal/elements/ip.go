@@ -1,0 +1,164 @@
+package elements
+
+import (
+	"fmt"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// CheckIPHeader validates the IPv4 header at the current header offset:
+// the fixed header must fit the packet, the version must be 4, IHL >= 5,
+// the full header and the total length must fit, and (unless configured
+// with NOCHECKSUM) the header checksum must verify. Valid packets leave
+// on output 0, invalid ones on output 1.
+//
+// This is the element that makes everything downstream safe: DecIPTTL,
+// LookupIPRoute, and IPOptions read header fields without re-checking
+// bounds, and the verifier proves the combination correct — the
+// cross-element reasoning at the heart of the paper.
+func CheckIPHeader(cfg string) (*ir.Program, error) {
+	checksum := true
+	for _, arg := range splitArgs(cfg) {
+		switch arg {
+		case "NOCHECKSUM":
+			checksum = false
+		case "":
+		default:
+			return nil, fmt.Errorf("CheckIPHeader: unknown option %q", arg)
+		}
+	}
+	b := ir.NewBuilder("CheckIPHeader", 1, 2)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	plen := b.PktLen()
+
+	bad := func(cond ir.Reg) {
+		b.If(cond, func() { b.Emit(1) }, nil)
+	}
+
+	// Fixed header must fit (checked before any load, so this element
+	// never faults on short packets).
+	end20 := b.BinC(ir.Add, hoff, packet.IPv4MinHeaderLen)
+	bad(b.Not(b.Bin(ir.Ule, end20, plen)))
+
+	b0 := b.LoadPkt(hoff, 1)
+	version := b.BinC(ir.LShr, b0, 4)
+	bad(b.Not(b.BinC(ir.Eq, version, 4)))
+
+	ihl := b.ZExt(b.BinC(ir.And, b0, 0x0f), 32)
+	bad(b.BinC(ir.Ult, ihl, 5))
+
+	hlen := b.BinC(ir.Mul, ihl, 4)
+	hend := b.Bin(ir.Add, hoff, hlen)
+	bad(b.Not(b.Bin(ir.Ule, hend, plen)))
+
+	totLen := b.ZExt(b.LoadPkt(b.BinC(ir.Add, hoff, 2), 2), 32)
+	bad(b.Bin(ir.Ult, totLen, hlen))
+	bad(b.Not(b.Bin(ir.Ule, b.Bin(ir.Add, hoff, totLen), plen)))
+
+	if checksum {
+		// RFC 1071 over the header halfwords; a correct header sums to
+		// 0xffff after end-around folding.
+		sum := b.Mov(b.ConstU(32, 0))
+		halfwords := b.BinC(ir.Mul, ihl, 2)
+		j := b.Mov(b.ConstU(32, 0))
+		b.Loop(packet.IPv4MaxHeaderLen/2, func() {
+			b.If(b.Bin(ir.Ule, halfwords, j), func() { b.Break() }, nil)
+			hw := b.LoadPkt(b.Bin(ir.Add, hoff, b.BinC(ir.Mul, j, 2)), 2)
+			b.SetReg(sum, b.Bin(ir.Add, sum, b.ZExt(hw, 32)))
+			b.SetReg(j, b.BinC(ir.Add, j, 1))
+		})
+		// Two folds suffice: 30 halfwords sum below 2^21.
+		fold := func() {
+			lo := b.BinC(ir.And, sum, 0xffff)
+			hi := b.BinC(ir.LShr, sum, 16)
+			b.SetReg(sum, b.Bin(ir.Add, lo, hi))
+		}
+		fold()
+		fold()
+		bad(b.Not(b.BinC(ir.Eq, sum, 0xffff)))
+	}
+	b.Emit(0)
+	return b.Build()
+}
+
+// DecIPTTL decrements the IPv4 TTL and incrementally updates the header
+// checksum (RFC 1624). Packets whose TTL is 0 or 1 leave on output 1
+// (for ICMP time-exceeded handling); the rest leave on output 0. The
+// element reads and writes the header without bounds checks — it is
+// only safe after CheckIPHeader, and the verifier proves exactly that.
+func DecIPTTL(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("DecIPTTL takes no configuration")
+	}
+	b := ir.NewBuilder("DecIPTTL", 1, 2)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	ttl := b.LoadPkt(b.BinC(ir.Add, hoff, 8), 1)
+	b.If(b.BinC(ir.Ule, ttl, 1), func() { b.Emit(1) }, nil)
+
+	// Decrement TTL within the ttl|protocol halfword and patch the
+	// checksum: sum' = ~(~sum + ~old + new), end-around.
+	oldHW := b.LoadPkt(b.BinC(ir.Add, hoff, 8), 2)
+	newHW := b.BinC(ir.Sub, oldHW, 0x0100)
+	b.StorePkt(b.BinC(ir.Add, hoff, 8), newHW, 2)
+
+	ck := b.LoadPkt(b.BinC(ir.Add, hoff, 10), 2)
+	t := b.Bin(ir.Add, b.ZExt(b.Not(ck), 32), b.ZExt(b.Not(oldHW), 32))
+	t = b.Bin(ir.Add, t, b.ZExt(newHW, 32))
+	// Fold carries twice, then complement.
+	t = b.Bin(ir.Add, b.BinC(ir.And, t, 0xffff), b.BinC(ir.LShr, t, 16))
+	t = b.Bin(ir.Add, b.BinC(ir.And, t, 0xffff), b.BinC(ir.LShr, t, 16))
+	newCk := b.Not(b.Trunc(t, 16))
+	b.StorePkt(b.BinC(ir.Add, hoff, 10), newCk, 2)
+	b.Emit(0)
+	return b.Build()
+}
+
+// maxIPOptionIters bounds the option walk: at most 40 option bytes, and
+// the smallest option (NOP/EOL) is one byte.
+const maxIPOptionIters = packet.IPv4MaxHeaderLen - packet.IPv4MinHeaderLen
+
+// IPOptions walks the IPv4 options area (the loop the paper highlights:
+// unrolled it is "millions of segments", decomposed into mini-elements
+// it verifies in minutes). Well-formed packets leave on output 0;
+// packets with malformed options (truncated option, length < 2, length
+// overrunning the header) leave on output 1.
+//
+// Like Click's IP options handling it assumes a validated header
+// (CheckIPHeader upstream): the cursor stays within hoff+ihl*4, which
+// CheckIPHeader proved to be within the packet.
+func IPOptions(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("IPOptions takes no configuration")
+	}
+	b := ir.NewBuilder("IPOptions", 1, 2)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	b0 := b.LoadPkt(hoff, 1)
+	ihl := b.ZExt(b.BinC(ir.And, b0, 0x0f), 32)
+	optEnd := b.Bin(ir.Add, hoff, b.BinC(ir.Mul, ihl, 4))
+	cur := b.Mov(b.BinC(ir.Add, hoff, packet.IPv4MinHeaderLen))
+
+	b.Loop(maxIPOptionIters, func() {
+		done := b.Bin(ir.Ule, optEnd, cur)
+		b.If(done, func() { b.Break() }, nil)
+		typ := b.LoadPkt(cur, 1)
+		// End of option list: stop processing.
+		b.If(b.BinC(ir.Eq, typ, 0), func() { b.Break() }, nil)
+		// No-operation: single byte.
+		b.If(b.BinC(ir.Eq, typ, 1), func() {
+			b.SetReg(cur, b.BinC(ir.Add, cur, 1))
+		}, func() {
+			// TLV option: the length byte must fit, be >= 2, and not
+			// overrun the options area.
+			lenOff := b.BinC(ir.Add, cur, 1)
+			b.If(b.Not(b.Bin(ir.Ult, lenOff, optEnd)), func() { b.Emit(1) }, nil)
+			olen := b.ZExt(b.LoadPkt(lenOff, 1), 32)
+			b.If(b.BinC(ir.Ult, olen, 2), func() { b.Emit(1) }, nil)
+			next := b.Bin(ir.Add, cur, olen)
+			b.If(b.Not(b.Bin(ir.Ule, next, optEnd)), func() { b.Emit(1) }, nil)
+			b.SetReg(cur, next)
+		})
+	})
+	b.Emit(0)
+	return b.Build()
+}

@@ -1,0 +1,133 @@
+package elements
+
+import (
+	"fmt"
+
+	"vsd/internal/click"
+	"vsd/internal/ir"
+)
+
+// InfiniteSource marks pipeline ingress: packets enter here. Its body
+// is a plain hand-off; the symbolic packet of the verifier and the
+// concrete packets of the runtime both start at this element's output.
+func InfiniteSource(cfg string) (*ir.Program, error) {
+	b := ir.NewBuilder("InfiniteSource", 0, 1)
+	b.Emit(0)
+	return b.Build()
+}
+
+// Discard drops every packet: pipeline egress for unwanted traffic.
+func Discard(cfg string) (*ir.Program, error) {
+	b := ir.NewBuilder("Discard", 1, 0)
+	b.Drop()
+	return b.Build()
+}
+
+// ToyE1 is element E1 from the paper's Fig. 2, over the packet's first
+// byte interpreted as a signed 8-bit integer:
+//
+//	if in < 0 { out = 0 } else { out = in }
+//
+// It clamps negatives to zero, which is what makes the downstream
+// ToyE2's assertion unreachable in composition.
+func ToyE1(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("ToyE1 takes no configuration")
+	}
+	b := ir.NewBuilder("ToyE1", 1, 1)
+	v := b.LoadPktC(0, 1)
+	neg := b.Bin(ir.Slt, v, b.ConstU(8, 0))
+	b.If(neg, func() {
+		b.StorePkt(b.ConstU(32, 0), b.ConstU(8, 0), 1)
+	}, nil)
+	b.Emit(0)
+	return b.Build()
+}
+
+// ToyE2 is element E2 from the paper's Fig. 2:
+//
+//	assert in >= 0
+//	if in < 10 { out = 10 } else { out = in }
+//
+// In isolation the assertion gives it a suspect (crashing) segment e3;
+// composed after ToyE1 the paper shows paths p1 and p4 are infeasible
+// and the pipeline is crash-free.
+func ToyE2(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("ToyE2 takes no configuration")
+	}
+	b := ir.NewBuilder("ToyE2", 1, 1)
+	v := b.LoadPktC(0, 1)
+	nonNeg := b.Bin(ir.Sle, b.ConstU(8, 0), v)
+	b.Assert(nonNeg, "in >= 0")
+	b.If(b.Bin(ir.Slt, v, b.ConstU(8, 10)), func() {
+		b.StorePkt(b.ConstU(32, 0), b.ConstU(8, 10), 1)
+	}, nil)
+	b.Emit(0)
+	return b.Build()
+}
+
+// UnsafeReader is a deliberately buggy third-party element for the
+// app-market scenario: it reads a fixed-size window without checking
+// the packet length first, so short packets fault it. The verifier
+// rejects it with a witness; FixedReader below is the corrected
+// submission.
+func UnsafeReader(cfg string) (*ir.Program, error) {
+	off, err := parseUint(cfg, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("UnsafeReader", 1, 1)
+	v := b.LoadPktC(off, 4) // no length check: suspect, and feasibly so
+	b.MetaStore("scratch", v)
+	b.Emit(0)
+	return b.Build()
+}
+
+// FixedReader is UnsafeReader with the missing length check: packets
+// too short to contain the window are passed through untouched.
+func FixedReader(cfg string) (*ir.Program, error) {
+	off, err := parseUint(cfg, 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("FixedReader", 1, 1)
+	plen := b.PktLen()
+	inRange := b.Bin(ir.Ule, b.ConstU(32, off+4), plen)
+	b.If(inRange, func() {
+		v := b.LoadPktC(off, 4)
+		b.MetaStore("scratch", v)
+	}, nil)
+	b.Emit(0)
+	return b.Build()
+}
+
+// Default returns the element registry with every class in this
+// package, including the Click-compatible aliases used in published
+// configurations.
+func Default() *click.Registry {
+	r := click.NewRegistry()
+	r.Register("InfiniteSource", InfiniteSource)
+	r.Register("FromDevice", InfiniteSource)
+	r.Register("Discard", Discard)
+	r.Register("ToDevice", Discard)
+	r.Register("Strip", Strip)
+	r.Register("Unstrip", Unstrip)
+	r.Register("EtherEncap", EtherEncap)
+	r.Register("Classifier", Classifier)
+	r.Register("CheckLength", CheckLength)
+	r.Register("Paint", Paint)
+	r.Register("CheckIPHeader", CheckIPHeader)
+	r.Register("DecIPTTL", DecIPTTL)
+	r.Register("IPOptions", IPOptions)
+	r.Register("LookupIPRoute", LookupIPRoute)
+	r.Register("IPFilter", IPFilter)
+	r.Register("Counter", Counter)
+	r.Register("NetFlow", NetFlow)
+	r.Register("IPRewriter", IPRewriter)
+	r.Register("ToyE1", ToyE1)
+	r.Register("ToyE2", ToyE2)
+	r.Register("UnsafeReader", UnsafeReader)
+	r.Register("FixedReader", FixedReader)
+	return r
+}

@@ -1,0 +1,167 @@
+package elements
+
+import (
+	"fmt"
+	"sort"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// routeEntry is one parsed route: prefix -> (gateway, output port).
+type routeEntry struct {
+	prefix cidr
+	gw     uint32
+	port   int
+}
+
+// lpmRoute resolves longest-prefix-match over parsed routes for one
+// address; used both by the range compiler and as the reference
+// implementation in tests.
+func lpmRoute(routes []routeEntry, addr uint32) (routeEntry, bool) {
+	best := -1
+	for i, r := range routes {
+		lo, hi := r.prefix.Range()
+		if addr < lo || addr > hi {
+			continue
+		}
+		if best == -1 || r.prefix.Bits > routes[best].prefix.Bits {
+			best = i
+		}
+	}
+	if best == -1 {
+		return routeEntry{}, false
+	}
+	return routes[best], true
+}
+
+// noRouteSentinel marks "no matching route" in the compiled table value
+// (port byte 0xff).
+const noRouteSentinel = 0xff
+
+// compileLPM turns a route list into disjoint [lo, hi] -> value ranges,
+// longest prefix winning, with adjacent equal-valued ranges merged.
+// The value packs gateway<<8 | port. This is the paper's array-chain
+// observation made concrete: a symbolic lookup forks one path per range
+// (a handful), not one per address or per table entry.
+func compileLPM(routes []routeEntry) []ir.RangeEntry {
+	// Collect elementary interval boundaries: each prefix contributes
+	// [lo, hi]; boundaries at lo and hi+1.
+	bounds := map[uint64]bool{0: true}
+	for _, r := range routes {
+		lo, hi := r.prefix.Range()
+		bounds[uint64(lo)] = true
+		bounds[uint64(hi)+1] = true
+	}
+	pts := make([]uint64, 0, len(bounds))
+	for p := range bounds {
+		if p <= uint64(^uint32(0)) {
+			pts = append(pts, p)
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	var out []ir.RangeEntry
+	for i, lo := range pts {
+		hi := uint64(^uint32(0))
+		if i+1 < len(pts) {
+			hi = pts[i+1] - 1
+		}
+		val := uint64(noRouteSentinel)
+		if r, ok := lpmRoute(routes, uint32(lo)); ok {
+			val = uint64(r.gw)<<8 | uint64(r.port)
+		}
+		// Merge with the previous range when the value repeats.
+		if n := len(out); n > 0 && out[n-1].Val == val && out[n-1].Hi+1 == lo {
+			out[n-1].Hi = hi
+			continue
+		}
+		out = append(out, ir.RangeEntry{Lo: lo, Hi: hi, Val: val})
+	}
+	// Drop sentinel ranges only if that leaves the table default to
+	// cover them; keeping them explicit is simpler and equally compact.
+	return out
+}
+
+// parseRoutes parses "CIDR [GW] PORT" entries, comma-separated, Click's
+// LookupIPRoute flavor:
+//
+//	LookupIPRoute(10.0.0.0/8 1, 192.168.0.0/16 10.0.0.1 2, 0.0.0.0/0 0)
+func parseRoutes(cfg string) ([]routeEntry, int, error) {
+	args := splitArgs(cfg)
+	if len(args) == 0 {
+		return nil, 0, fmt.Errorf("LookupIPRoute wants at least one route")
+	}
+	var routes []routeEntry
+	maxPort := 0
+	for _, arg := range args {
+		f := fields(arg)
+		var r routeEntry
+		var err error
+		switch len(f) {
+		case 2:
+			r.prefix, err = parseCIDR(f[0])
+			if err != nil {
+				return nil, 0, err
+			}
+			p, err := parseUint(f[1], 250)
+			if err != nil {
+				return nil, 0, err
+			}
+			r.port = int(p)
+		case 3:
+			r.prefix, err = parseCIDR(f[0])
+			if err != nil {
+				return nil, 0, err
+			}
+			r.gw, err = parseIP4(f[1])
+			if err != nil {
+				return nil, 0, err
+			}
+			p, err := parseUint(f[2], 250)
+			if err != nil {
+				return nil, 0, err
+			}
+			r.port = int(p)
+		default:
+			return nil, 0, fmt.Errorf("bad route %q (want CIDR [GW] PORT)", arg)
+		}
+		if r.port > maxPort {
+			maxPort = r.port
+		}
+		routes = append(routes, r)
+	}
+	return routes, maxPort, nil
+}
+
+// LookupIPRoute(CIDR [GW] PORT, ...) performs longest-prefix-match
+// routing on the IPv4 destination address: the matched route's gateway
+// is stored in the gw annotation and the packet leaves on the route's
+// output port. Packets matching no route are dropped. The route table is
+// static state, compiled to a range table at configuration time.
+func LookupIPRoute(cfg string) (*ir.Program, error) {
+	routes, maxPort, err := parseRoutes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	table := &ir.StaticTable{
+		Name:    "routes",
+		KeyW:    32,
+		ValW:    64,
+		Entries: compileLPM(routes),
+		Default: noRouteSentinel,
+	}
+	b := ir.NewBuilder("LookupIPRoute", 1, maxPort+1)
+	b.DeclareTable(table)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	dst := b.LoadPkt(b.BinC(ir.Add, hoff, 16), 4)
+	val := b.StaticLookup("routes", b.ZExt(dst, 32))
+	port := b.Trunc(val, 8)
+	gw := b.Trunc(b.BinC(ir.LShr, val, 8), 32)
+	b.MetaStore(packet.MetaGateway, gw)
+	b.MetaStore(packet.MetaPort, port)
+	for p := 0; p <= maxPort; p++ {
+		b.If(b.BinC(ir.Eq, port, uint64(p)), func() { b.Emit(p) }, nil)
+	}
+	b.Drop() // no-route sentinel
+	return b.Build()
+}

@@ -1,0 +1,129 @@
+package elements
+
+import (
+	"fmt"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// Counter counts packets in private state. Two variants, selected by
+// configuration:
+//
+//	Counter()          // the paper's cautionary tale: asserts the
+//	                   // 32-bit count never overflows — the verifier's
+//	                   // data-structure analysis finds the overflow
+//	                   // reachable and reports it
+//	Counter(SATURATE)  // saturates instead; provably crash-free
+//
+// The count lives in a single-slot key/value store so it goes through
+// the paper's data-structure model (unconstrained reads, write logs).
+func Counter(cfg string) (*ir.Program, error) {
+	saturate := false
+	switch cfg {
+	case "":
+	case "SATURATE":
+		saturate = true
+	default:
+		return nil, fmt.Errorf("Counter: unknown option %q", cfg)
+	}
+	b := ir.NewBuilder("Counter", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "count", KeyW: 8, ValW: 32})
+	key := b.ConstU(8, 0)
+	n := b.StateRead("count", key)
+	if saturate {
+		max := b.ConstU(32, 0xffffffff)
+		isMax := b.Bin(ir.Eq, n, max)
+		next := b.Select(isMax, max, b.BinC(ir.Add, n, 1))
+		b.StateWrite("count", key, next)
+	} else {
+		b.Assert(b.BinC(ir.Ult, n, 0xffffffff), "packet counter overflow")
+		b.StateWrite("count", key, b.BinC(ir.Add, n, 1))
+	}
+	b.Emit(0)
+	return b.Build()
+}
+
+// NetFlow maintains per-flow packet counts keyed by a 5-tuple hash, the
+// paper's example of a stateful element ("a flow table in a NetFlow
+// element"). Configuration: NetFlow(CAPACITY) bounds the flow table
+// (default 1024). Counts saturate, so the element is crash-free.
+func NetFlow(cfg string) (*ir.Program, error) {
+	capacity := uint64(1024)
+	if cfg != "" {
+		var err error
+		capacity, err = parseUint(cfg, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := ir.NewBuilder("NetFlow", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "flows", KeyW: 32, ValW: 32, Capacity: int(capacity)})
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	// Flow key: src ^ dst ^ (sport:dport) ^ proto. The ports sit right
+	// after the IP header; a validated header upstream guarantees the
+	// header itself, but not that a transport header follows (a
+	// zero-payload datagram is valid IP), so the port read is guarded —
+	// an earlier unguarded version of this element was rejected by the
+	// verifier with exactly that witness.
+	b0 := b.LoadPkt(hoff, 1)
+	ihl := b.ZExt(b.BinC(ir.And, b0, 0x0f), 32)
+	l4 := b.Bin(ir.Add, hoff, b.BinC(ir.Mul, ihl, 4))
+	src := b.LoadPkt(b.BinC(ir.Add, hoff, 12), 4)
+	dst := b.LoadPkt(b.BinC(ir.Add, hoff, 16), 4)
+	ports := b.Mov(b.ConstU(32, 0))
+	plen := b.PktLen()
+	hasL4 := b.Bin(ir.Ule, b.BinC(ir.Add, l4, 4), plen)
+	b.If(hasL4, func() {
+		b.SetReg(ports, b.LoadPkt(l4, 4))
+	}, nil)
+	proto := b.ZExt(b.LoadPkt(b.BinC(ir.Add, hoff, 9), 1), 32)
+	key := b.Bin(ir.Xor, b.Bin(ir.Xor, src, dst), b.Bin(ir.Xor, ports, proto))
+	n := b.StateRead("flows", key)
+	max := b.ConstU(32, 0xffffffff)
+	isMax := b.Bin(ir.Eq, n, max)
+	b.StateWrite("flows", key, b.Select(isMax, max, b.BinC(ir.Add, n, 1)))
+	b.Emit(0)
+	return b.Build()
+}
+
+// IPRewriter(SNAT NEWSRC) is a simplified source-NAT: it rewrites the
+// IPv4 source address to NEWSRC, remembers the original address in its
+// mapping table (keyed by the flow hash, as a real NAT's connection
+// table would be), and incrementally updates the header checksum. The
+// paper names NAT maps as the second canonical mutable data structure.
+func IPRewriter(cfg string) (*ir.Program, error) {
+	f := fields(cfg)
+	if len(f) != 2 || f[0] != "SNAT" {
+		return nil, fmt.Errorf("IPRewriter wants: SNAT NEWSRC")
+	}
+	newSrc, err := parseIP4(f[1])
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("IPRewriter", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "natmap", KeyW: 32, ValW: 32, Capacity: 4096})
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	srcOff := b.BinC(ir.Add, hoff, 12)
+	oldSrc := b.LoadPkt(srcOff, 4)
+	// Remember the original source for the (not modeled) reverse path.
+	b.StateWrite("natmap", oldSrc, oldSrc)
+	// Rewrite and patch the checksum one halfword at a time (RFC 1624).
+	ck := b.Mov(b.LoadPkt(b.BinC(ir.Add, hoff, 10), 2))
+	patch := func(off ir.Reg, newVal uint64) {
+		old := b.LoadPkt(off, 2)
+		nv := b.ConstU(16, newVal)
+		t := b.Bin(ir.Add, b.ZExt(b.Not(ck), 32), b.ZExt(b.Not(old), 32))
+		t = b.Bin(ir.Add, t, b.ZExt(nv, 32))
+		t = b.Bin(ir.Add, b.BinC(ir.And, t, 0xffff), b.BinC(ir.LShr, t, 16))
+		t = b.Bin(ir.Add, b.BinC(ir.And, t, 0xffff), b.BinC(ir.LShr, t, 16))
+		b.SetReg(ck, b.Not(b.Trunc(t, 16)))
+		b.StorePkt(off, nv, 2)
+	}
+	patch(srcOff, uint64(newSrc>>16))
+	patch(b.BinC(ir.Add, hoff, 14), uint64(newSrc&0xffff))
+	b.StorePkt(b.BinC(ir.Add, hoff, 10), ck, 2)
+	_ = oldSrc
+	b.Emit(0)
+	return b.Build()
+}

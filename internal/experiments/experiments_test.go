@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSyntheticChainScaling(t *testing.T) {
+	// The synthetic chain must exhibit the paper's §3 shape: composed
+	// segments grow linearly with k, monolithic paths exponentially.
+	rows, err := A1PathScaling(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MonoPaths <= rows[i-1].MonoPaths {
+			t.Errorf("monolithic paths not growing: %+v", rows)
+		}
+	}
+	// Exponential vs linear: mono(k)/mono(k-1) should be roughly the
+	// per-element path count, while composed grows by one element's
+	// segments.
+	growth := float64(rows[2].MonoPaths) / float64(rows[1].MonoPaths)
+	if growth < 2 {
+		t.Errorf("monolithic growth factor %.2f, want >= 2 (exponential)", growth)
+	}
+	composedGrowth := rows[2].ComposedSegs - rows[1].ComposedSegs
+	perElement := rows[0].ComposedSegs
+	if composedGrowth > 2*perElement {
+		t.Errorf("composed growth %d exceeds 2x per-element segments %d (should be additive)",
+			composedGrowth, perElement)
+	}
+}
+
+func TestE3RowsProduceSpeedup(t *testing.T) {
+	rows, err := E3ComposedVsMonolithic(3, 3, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.ComposedOK {
+			t.Errorf("k=%d composed verification failed", r.Elements)
+		}
+	}
+	// By k=3 the monolithic side must already be doing more work.
+	last := rows[len(rows)-1]
+	if last.MonoPaths <= rows[0].MonoPaths {
+		t.Error("monolithic path count did not grow with k")
+	}
+}
+
+func TestA3RowsShape(t *testing.T) {
+	rows, err := A3StatefulElements(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range rows {
+		got[r.Pipeline] = r.Verified
+	}
+	if got["counter-overflow"] {
+		t.Error("overflow counter must be rejected")
+	}
+	if !got["counter-saturating"] {
+		t.Error("saturating counter must verify")
+	}
+	if !got["netflow"] || !got["nat"] {
+		t.Error("netflow/nat pipelines must verify")
+	}
+}

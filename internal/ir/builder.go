@@ -1,0 +1,438 @@
+package ir
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+)
+
+// Builder constructs Programs with width checking at construction time.
+// Element authors use the fluent value-returning methods; control flow is
+// expressed with closures so nesting mirrors the program structure:
+//
+//	b := ir.NewBuilder("DecTTL", 1, 2)
+//	ttl := b.LoadPkt(b.ConstU(bv.W32, 22), 1)
+//	b.If(b.Bin(ir.Ule, ttl, b.ConstU(bv.W8, 1)), func() {
+//	    b.Emit(1) // expired
+//	}, nil)
+//	...
+//	prog := b.MustBuild()
+//
+// All methods panic on misuse (width mismatches, bad ports); element
+// construction happens at configuration time, where a panic is an
+// implementation bug, not a data-dependent failure.
+type Builder struct {
+	name      string
+	numIn     int
+	numOut    int
+	regWidths []bv.Width
+	states    []StateDecl
+	tables    []*StaticTable
+	metaSlots map[string]bv.Width
+	stack     []*[]Stmt // innermost block last
+	loopDepth int
+	err       error
+}
+
+// NewBuilder starts a program named name with the given port counts.
+func NewBuilder(name string, numIn, numOut int) *Builder {
+	root := &[]Stmt{}
+	return &Builder{
+		name:      name,
+		numIn:     numIn,
+		numOut:    numOut,
+		metaSlots: map[string]bv.Width{},
+		stack:     []*[]Stmt{root},
+	}
+}
+
+func (b *Builder) cur() *[]Stmt { return b.stack[len(b.stack)-1] }
+
+func (b *Builder) push(s Stmt) { *b.cur() = append(*b.cur(), s) }
+
+// Reg allocates a fresh register of width w.
+func (b *Builder) Reg(w bv.Width) Reg {
+	if !w.Valid() {
+		panic(fmt.Sprintf("ir: invalid register width %d", w))
+	}
+	b.regWidths = append(b.regWidths, w)
+	return Reg(len(b.regWidths) - 1)
+}
+
+func (b *Builder) width(r Reg) bv.Width {
+	if r < 0 || int(r) >= len(b.regWidths) {
+		panic(fmt.Sprintf("ir: unknown register %d", r))
+	}
+	return b.regWidths[r]
+}
+
+func (b *Builder) checkBool(r Reg, ctx string) {
+	if b.width(r) != 1 {
+		panic(fmt.Sprintf("ir: %s requires a 1-bit register, got %s", ctx, b.width(r)))
+	}
+}
+
+// ConstU emits a constant and returns its register.
+func (b *Builder) ConstU(w bv.Width, u uint64) Reg {
+	dst := b.Reg(w)
+	b.push(ConstStmt{Dst: dst, Val: bv.New(w, u)})
+	return dst
+}
+
+// Bin emits dst = op(x, y) and returns dst.
+func (b *Builder) Bin(op BinOp, x, y Reg) Reg {
+	if b.width(x) != b.width(y) {
+		panic(fmt.Sprintf("ir: %s operand widths differ: %s vs %s", op, b.width(x), b.width(y)))
+	}
+	w := b.width(x)
+	if op.IsCompare() {
+		w = 1
+	}
+	dst := b.Reg(w)
+	b.push(BinStmt{Op: op, Dst: dst, A: x, B: y})
+	return dst
+}
+
+// BinC emits dst = op(x, const) with the constant widened to x's width.
+func (b *Builder) BinC(op BinOp, x Reg, c uint64) Reg {
+	return b.Bin(op, x, b.ConstU(b.width(x), c))
+}
+
+// Not emits dst = ^x.
+func (b *Builder) Not(x Reg) Reg {
+	dst := b.Reg(b.width(x))
+	b.push(NotStmt{Dst: dst, A: x})
+	return dst
+}
+
+// ZExt emits a zero-extension of x to width w.
+func (b *Builder) ZExt(x Reg, w bv.Width) Reg {
+	if w < b.width(x) {
+		panic("ir: zext narrows")
+	}
+	if w == b.width(x) {
+		return x
+	}
+	dst := b.Reg(w)
+	b.push(CastStmt{Kind: ZExt, Dst: dst, A: x})
+	return dst
+}
+
+// SExt emits a sign-extension of x to width w.
+func (b *Builder) SExt(x Reg, w bv.Width) Reg {
+	if w < b.width(x) {
+		panic("ir: sext narrows")
+	}
+	if w == b.width(x) {
+		return x
+	}
+	dst := b.Reg(w)
+	b.push(CastStmt{Kind: SExt, Dst: dst, A: x})
+	return dst
+}
+
+// Trunc emits a truncation of x to width w.
+func (b *Builder) Trunc(x Reg, w bv.Width) Reg {
+	if w > b.width(x) {
+		panic("ir: trunc widens")
+	}
+	if w == b.width(x) {
+		return x
+	}
+	dst := b.Reg(w)
+	b.push(CastStmt{Kind: Trunc, Dst: dst, A: x})
+	return dst
+}
+
+// Select emits dst = cond ? x : y.
+func (b *Builder) Select(cond, x, y Reg) Reg {
+	b.checkBool(cond, "select")
+	if b.width(x) != b.width(y) {
+		panic("ir: select arm widths differ")
+	}
+	dst := b.Reg(b.width(x))
+	b.push(SelStmt{Dst: dst, Cond: cond, A: x, B: y})
+	return dst
+}
+
+// Mov emits a copy of src into a fresh register (via or with zero).
+func (b *Builder) Mov(src Reg) Reg {
+	return b.Bin(Or, src, b.ConstU(b.width(src), 0))
+}
+
+// SetReg assigns the value of src to an existing register dst (same
+// width), used to update loop-carried values in place.
+func (b *Builder) SetReg(dst, src Reg) {
+	if b.width(dst) != b.width(src) {
+		panic("ir: SetReg width mismatch")
+	}
+	zero := b.Reg(b.width(src))
+	b.push(ConstStmt{Dst: zero, Val: bv.New(b.width(src), 0)})
+	b.push(BinStmt{Op: Or, Dst: dst, A: src, B: zero})
+}
+
+// LoadPkt emits a bounds-checked big-endian read of n bytes at byte
+// offset off (32-bit register) and returns the 8·n-bit destination.
+func (b *Builder) LoadPkt(off Reg, n int) Reg {
+	if b.width(off) != 32 {
+		panic("ir: packet offset must be 32-bit")
+	}
+	w, ok := byteWidth(n)
+	if !ok {
+		panic(fmt.Sprintf("ir: LoadPkt n=%d", n))
+	}
+	dst := b.Reg(w)
+	b.push(LoadPktStmt{Dst: dst, Off: off, N: n})
+	return dst
+}
+
+// LoadPktC is LoadPkt at a constant offset.
+func (b *Builder) LoadPktC(off uint64, n int) Reg {
+	return b.LoadPkt(b.ConstU(32, off), n)
+}
+
+// StorePkt emits a bounds-checked big-endian write of src's n bytes at
+// byte offset off.
+func (b *Builder) StorePkt(off, src Reg, n int) {
+	if b.width(off) != 32 {
+		panic("ir: packet offset must be 32-bit")
+	}
+	w, ok := byteWidth(n)
+	if !ok || b.width(src) != w {
+		panic(fmt.Sprintf("ir: StorePkt n=%d src width %s", n, b.width(src)))
+	}
+	b.push(StorePktStmt{Off: off, Src: src, N: n})
+}
+
+func byteWidth(n int) (bv.Width, bool) {
+	switch n {
+	case 1:
+		return 8, true
+	case 2:
+		return 16, true
+	case 4:
+		return 32, true
+	default:
+		return 0, false
+	}
+}
+
+// PktLen emits a read of the packet length (32-bit).
+func (b *Builder) PktLen() Reg {
+	dst := b.Reg(32)
+	b.push(PktLenStmt{Dst: dst})
+	return dst
+}
+
+// MetaLoad emits a read of the named metadata annotation of width w.
+func (b *Builder) MetaLoad(slot string, w bv.Width) Reg {
+	b.declMeta(slot, w)
+	dst := b.Reg(w)
+	b.push(MetaLoadStmt{Dst: dst, Slot: slot})
+	return dst
+}
+
+// MetaStore emits a write of src to the named metadata annotation.
+func (b *Builder) MetaStore(slot string, src Reg) {
+	b.declMeta(slot, b.width(src))
+	b.push(MetaStoreStmt{Slot: slot, Src: src})
+}
+
+func (b *Builder) declMeta(slot string, w bv.Width) {
+	if got, ok := b.metaSlots[slot]; ok {
+		if got != w {
+			panic(fmt.Sprintf("ir: metadata slot %q used at widths %s and %s", slot, got, w))
+		}
+		return
+	}
+	b.metaSlots[slot] = w
+}
+
+// DeclareState declares a private key/value store for this element.
+func (b *Builder) DeclareState(d StateDecl) {
+	if !d.KeyW.Valid() || !d.ValW.Valid() {
+		panic("ir: invalid state widths")
+	}
+	for _, s := range b.states {
+		if s.Name == d.Name {
+			panic(fmt.Sprintf("ir: duplicate state store %q", d.Name))
+		}
+	}
+	b.states = append(b.states, d)
+}
+
+// StateRead emits dst = store[key] (or the store default) and returns
+// dst.
+func (b *Builder) StateRead(store string, key Reg) Reg {
+	d := b.stateDecl(store)
+	if b.width(key) != d.KeyW {
+		panic(fmt.Sprintf("ir: state %q key width %s, got %s", store, d.KeyW, b.width(key)))
+	}
+	dst := b.Reg(d.ValW)
+	b.push(StateReadStmt{Dst: dst, Store: store, Key: key})
+	return dst
+}
+
+// StateWrite emits store[key] = val.
+func (b *Builder) StateWrite(store string, key, val Reg) {
+	d := b.stateDecl(store)
+	if b.width(key) != d.KeyW || b.width(val) != d.ValW {
+		panic(fmt.Sprintf("ir: state %q write widths (%s,%s), got (%s,%s)",
+			store, d.KeyW, d.ValW, b.width(key), b.width(val)))
+	}
+	b.push(StateWriteStmt{Store: store, Key: key, Val: val})
+}
+
+func (b *Builder) stateDecl(name string) StateDecl {
+	for _, s := range b.states {
+		if s.Name == name {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("ir: undeclared state store %q", name))
+}
+
+// DeclareTable registers a static table; Lookup panics if the table is
+// invalid.
+func (b *Builder) DeclareTable(t *StaticTable) {
+	if err := t.Validate(); err != nil {
+		panic("ir: " + err.Error())
+	}
+	for _, have := range b.tables {
+		if have.Name == t.Name {
+			panic(fmt.Sprintf("ir: duplicate table %q", t.Name))
+		}
+	}
+	b.tables = append(b.tables, t)
+}
+
+// StaticLookup emits dst = table[key] and returns dst.
+func (b *Builder) StaticLookup(table string, key Reg) Reg {
+	var t *StaticTable
+	for _, have := range b.tables {
+		if have.Name == table {
+			t = have
+			break
+		}
+	}
+	if t == nil {
+		panic(fmt.Sprintf("ir: undeclared table %q", table))
+	}
+	if b.width(key) != t.KeyW {
+		panic(fmt.Sprintf("ir: table %q key width %s, got %s", table, t.KeyW, b.width(key)))
+	}
+	dst := b.Reg(t.ValW)
+	b.push(StaticLookupStmt{Dst: dst, Table: table, Key: key})
+	return dst
+}
+
+// Assert emits a crash-if-false check.
+func (b *Builder) Assert(cond Reg, msg string) {
+	b.checkBool(cond, "assert")
+	b.push(AssertStmt{Cond: cond, Msg: msg})
+}
+
+// If emits a conditional; then and els (either may be nil) populate the
+// branches.
+func (b *Builder) If(cond Reg, then, els func()) {
+	b.checkBool(cond, "if")
+	st := IfStmt{Cond: cond}
+	if then != nil {
+		blk := &[]Stmt{}
+		b.stack = append(b.stack, blk)
+		then()
+		b.stack = b.stack[:len(b.stack)-1]
+		st.Then = *blk
+	}
+	if els != nil {
+		blk := &[]Stmt{}
+		b.stack = append(b.stack, blk)
+		els()
+		b.stack = b.stack[:len(b.stack)-1]
+		st.Else = *blk
+	}
+	b.push(st)
+}
+
+// Loop emits a loop executing body up to bound times.
+func (b *Builder) Loop(bound int, body func()) {
+	if bound <= 0 {
+		panic("ir: loop bound must be positive")
+	}
+	blk := &[]Stmt{}
+	b.stack = append(b.stack, blk)
+	b.loopDepth++
+	body()
+	b.loopDepth--
+	b.stack = b.stack[:len(b.stack)-1]
+	b.push(LoopStmt{Bound: bound, Body: *blk})
+}
+
+// Break emits an exit from the innermost loop.
+func (b *Builder) Break() {
+	if b.loopDepth == 0 {
+		panic("ir: break outside loop")
+	}
+	b.push(BreakStmt{})
+}
+
+// Emit emits packet hand-off out of the given output port.
+func (b *Builder) Emit(port int) {
+	if port < 0 || port >= b.numOut {
+		panic(fmt.Sprintf("ir: emit to port %d of %d", port, b.numOut))
+	}
+	b.push(EmitStmt{Port: port})
+}
+
+// Drop emits a packet drop.
+func (b *Builder) Drop() { b.push(DropStmt{}) }
+
+// Build finalizes the program. It verifies that every path ends in Emit,
+// Drop, or a crash — element execution must always terminate with an
+// explicit packet disposition.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("ir: unbalanced blocks in %s", b.name)
+	}
+	body := *b.stack[0]
+	if !alwaysTerminates(body) {
+		return nil, fmt.Errorf("ir: %s has a path that falls off the end without Emit/Drop", b.name)
+	}
+	p := &Program{
+		Name:      b.name,
+		NumIn:     b.numIn,
+		NumOut:    b.numOut,
+		RegWidths: b.regWidths,
+		States:    b.states,
+		Tables:    b.tables,
+		Body:      body,
+		MetaSlots: b.metaSlots,
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error; for statically known-correct
+// element definitions.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// alwaysTerminates reports whether every execution of body reaches an
+// Emit or Drop (crashes also terminate but are not required statically).
+func alwaysTerminates(body []Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case EmitStmt, DropStmt:
+			return true
+		case IfStmt:
+			if alwaysTerminates(st.Then) && alwaysTerminates(st.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}

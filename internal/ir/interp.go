@@ -1,0 +1,312 @@
+package ir
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+)
+
+// CrashKind classifies why element code crashed. These are the faults
+// the paper's crash-freedom property rules out: failed assertions,
+// division by zero, and out-of-bounds packet accesses (the IR analogue
+// of a segmentation fault).
+type CrashKind uint8
+
+// Crash kinds.
+const (
+	CrashAssert CrashKind = iota
+	CrashDivZero
+	CrashOOB
+)
+
+func (k CrashKind) String() string {
+	switch k {
+	case CrashAssert:
+		return "assertion failure"
+	case CrashDivZero:
+		return "division by zero"
+	case CrashOOB:
+		return "out-of-bounds packet access"
+	}
+	return "unknown crash"
+}
+
+// CrashInfo describes a concrete crash.
+type CrashInfo struct {
+	Kind CrashKind
+	Msg  string
+}
+
+func (c *CrashInfo) Error() string { return fmt.Sprintf("%s: %s", c.Kind, c.Msg) }
+
+// Disposition is how an element execution ended.
+type Disposition uint8
+
+// Dispositions.
+const (
+	Emitted Disposition = iota
+	Dropped
+	Crashed
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Emitted:
+		return "emitted"
+	case Dropped:
+		return "dropped"
+	case Crashed:
+		return "crashed"
+	}
+	return "?"
+}
+
+// Outcome is the result of one concrete element execution.
+type Outcome struct {
+	Disposition Disposition
+	Port        int        // valid when Emitted
+	Crash       *CrashInfo // valid when Crashed
+	Steps       int64      // dynamic statements executed
+}
+
+// State is the concrete private state of an element instance: per-store
+// key/value maps. It persists across packets, implementing the paper's
+// "private state" class.
+type State map[string]map[uint64]uint64
+
+// NewState returns empty private state.
+func NewState() State { return State{} }
+
+// Read returns the value for key in the named store, or the declared
+// default.
+func (s State) Read(d StateDecl, key uint64) uint64 {
+	if m, ok := s[d.Name]; ok {
+		if v, ok := m[key]; ok {
+			return v
+		}
+	}
+	return d.Default
+}
+
+// Write sets store[key] = val, honoring the capacity bound: writes of
+// new keys to a full store are dropped, modeling the pre-allocated
+// tables of a real dataplane.
+func (s State) Write(d StateDecl, key, val uint64) {
+	m, ok := s[d.Name]
+	if !ok {
+		m = map[uint64]uint64{}
+		s[d.Name] = m
+	}
+	if _, exists := m[key]; !exists && d.Capacity > 0 && len(m) >= d.Capacity {
+		return
+	}
+	m[key] = val
+}
+
+// ExecEnv is the mutable environment of one element execution. Pkt and
+// Meta are the packet state (owned by the executing element for the
+// duration of the call); State is the element's private state.
+type ExecEnv struct {
+	Pkt   []byte
+	Meta  map[string]bv.V
+	State State
+}
+
+// Exec interprets p once over env. The packet and metadata are mutated
+// in place; private state updates persist in env.State. Exec never
+// panics on data-dependent conditions: faults become Crashed outcomes,
+// exactly the events the verifier proves unreachable.
+func Exec(p *Program, env *ExecEnv) Outcome {
+	x := &interp{p: p, env: env, regs: make([]bv.V, len(p.RegWidths))}
+	for i, w := range p.RegWidths {
+		x.regs[i] = bv.New(w, 0)
+	}
+	out := x.block(p.Body)
+	out.Steps = x.steps
+	return out
+}
+
+// interp is one concrete execution.
+type interp struct {
+	p     *Program
+	env   *ExecEnv
+	regs  []bv.V
+	steps int64
+}
+
+// blockResult distinguishes fallthrough from the terminating outcomes.
+type blockResult uint8
+
+const (
+	fellThrough blockResult = iota
+	brokeLoop
+	terminated
+)
+
+func (x *interp) block(body []Stmt) Outcome {
+	out, res := x.runBlock(body)
+	if res == terminated {
+		return out
+	}
+	// Build verifies this cannot happen for well-formed programs.
+	return Outcome{Disposition: Crashed, Crash: &CrashInfo{Kind: CrashAssert, Msg: "fell off program end"}}
+}
+
+func (x *interp) runBlock(body []Stmt) (Outcome, blockResult) {
+	for _, s := range body {
+		x.steps++
+		switch st := s.(type) {
+		case ConstStmt:
+			x.regs[st.Dst] = st.Val
+		case BinStmt:
+			a, b := x.regs[st.A], x.regs[st.B]
+			if st.Op == UDiv || st.Op == URem {
+				if b.IsZero() {
+					return x.crash(CrashDivZero, fmt.Sprintf("%s by zero in %s", st.Op, x.p.Name)), terminated
+				}
+			}
+			x.regs[st.Dst] = concreteBin(st.Op, a, b)
+		case NotStmt:
+			x.regs[st.Dst] = bv.Not(x.regs[st.A])
+		case CastStmt:
+			w := x.p.RegWidth(st.Dst)
+			switch st.Kind {
+			case ZExt:
+				x.regs[st.Dst] = bv.ZExt(x.regs[st.A], w)
+			case SExt:
+				x.regs[st.Dst] = bv.SExt(x.regs[st.A], w)
+			case Trunc:
+				x.regs[st.Dst] = bv.Trunc(x.regs[st.A], w)
+			}
+		case SelStmt:
+			if x.regs[st.Cond].IsTrue() {
+				x.regs[st.Dst] = x.regs[st.A]
+			} else {
+				x.regs[st.Dst] = x.regs[st.B]
+			}
+		case LoadPktStmt:
+			off := x.regs[st.Off].Int()
+			if off+uint64(st.N) > uint64(len(x.env.Pkt)) {
+				return x.crash(CrashOOB, fmt.Sprintf("read [%d,%d) beyond %d-byte packet in %s",
+					off, off+uint64(st.N), len(x.env.Pkt), x.p.Name)), terminated
+			}
+			var u uint64
+			for i := 0; i < st.N; i++ {
+				u = u<<8 | uint64(x.env.Pkt[off+uint64(i)])
+			}
+			x.regs[st.Dst] = bv.New(x.p.RegWidth(st.Dst), u)
+		case StorePktStmt:
+			off := x.regs[st.Off].Int()
+			if off+uint64(st.N) > uint64(len(x.env.Pkt)) {
+				return x.crash(CrashOOB, fmt.Sprintf("write [%d,%d) beyond %d-byte packet in %s",
+					off, off+uint64(st.N), len(x.env.Pkt), x.p.Name)), terminated
+			}
+			v := x.regs[st.Src].Int()
+			for i := 0; i < st.N; i++ {
+				x.env.Pkt[off+uint64(i)] = byte(v >> uint(8*(st.N-1-i)))
+			}
+		case PktLenStmt:
+			x.regs[st.Dst] = bv.New(32, uint64(len(x.env.Pkt)))
+		case MetaLoadStmt:
+			w := x.p.RegWidth(st.Dst)
+			if v, ok := x.env.Meta[st.Slot]; ok {
+				x.regs[st.Dst] = bv.New(w, v.U)
+			} else {
+				x.regs[st.Dst] = bv.New(w, 0)
+			}
+		case MetaStoreStmt:
+			x.env.Meta[st.Slot] = x.regs[st.Src]
+		case StateReadStmt:
+			d, _ := x.p.StateDeclByName(st.Store)
+			v := x.env.State.Read(d, x.regs[st.Key].Int())
+			x.regs[st.Dst] = bv.New(d.ValW, v)
+		case StateWriteStmt:
+			d, _ := x.p.StateDeclByName(st.Store)
+			x.env.State.Write(d, x.regs[st.Key].Int(), x.regs[st.Val].Int())
+		case StaticLookupStmt:
+			t, _ := x.p.TableByName(st.Table)
+			v, _ := t.Lookup(x.regs[st.Key].Int())
+			x.regs[st.Dst] = bv.New(t.ValW, v)
+		case AssertStmt:
+			if !x.regs[st.Cond].IsTrue() {
+				return x.crash(CrashAssert, fmt.Sprintf("%s in %s", st.Msg, x.p.Name)), terminated
+			}
+		case IfStmt:
+			var body []Stmt
+			if x.regs[st.Cond].IsTrue() {
+				body = st.Then
+			} else {
+				body = st.Else
+			}
+			if out, res := x.runBlock(body); res != fellThrough {
+				return out, res
+			}
+		case LoopStmt:
+			for i := 0; i < st.Bound; i++ {
+				out, res := x.runBlock(st.Body)
+				if res == terminated {
+					return out, terminated
+				}
+				if res == brokeLoop {
+					break
+				}
+				if i+1 < st.Bound {
+					x.steps++ // back-edge cost, mirrors the symbolic count
+				}
+			}
+		case BreakStmt:
+			return Outcome{}, brokeLoop
+		case EmitStmt:
+			return Outcome{Disposition: Emitted, Port: st.Port}, terminated
+		case DropStmt:
+			return Outcome{Disposition: Dropped}, terminated
+		default:
+			panic(fmt.Sprintf("ir: unknown statement %T", s))
+		}
+	}
+	return Outcome{}, fellThrough
+}
+
+func (x *interp) crash(kind CrashKind, msg string) Outcome {
+	return Outcome{Disposition: Crashed, Crash: &CrashInfo{Kind: kind, Msg: msg}}
+}
+
+func concreteBin(op BinOp, a, b bv.V) bv.V {
+	switch op {
+	case Add:
+		return bv.Add(a, b)
+	case Sub:
+		return bv.Sub(a, b)
+	case Mul:
+		return bv.Mul(a, b)
+	case UDiv:
+		return bv.UDiv(a, b)
+	case URem:
+		return bv.URem(a, b)
+	case And:
+		return bv.And(a, b)
+	case Or:
+		return bv.Or(a, b)
+	case Xor:
+		return bv.Xor(a, b)
+	case Shl:
+		return bv.Shl(a, b)
+	case LShr:
+		return bv.LShr(a, b)
+	case AShr:
+		return bv.AShr(a, b)
+	case Eq:
+		return bv.Eq(a, b)
+	case Ne:
+		return bv.Ne(a, b)
+	case Ult:
+		return bv.Ult(a, b)
+	case Ule:
+		return bv.Ule(a, b)
+	case Slt:
+		return bv.Slt(a, b)
+	case Sle:
+		return bv.Sle(a, b)
+	}
+	panic("ir: unknown binop")
+}

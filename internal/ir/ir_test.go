@@ -1,0 +1,351 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vsd/internal/bv"
+)
+
+// buildFig1 constructs the paper's Fig. 1 toy program:
+//
+//	assert in >= 0; if in < 10 { out = 10 } else { out = in }; return out
+//
+// Input is read from metadata slot "in" (32-bit, signed semantics), the
+// output goes to slot "out", and "return" is an emit on port 0.
+func buildFig1(t testing.TB) *Program {
+	t.Helper()
+	b := NewBuilder("Fig1", 1, 1)
+	in := b.MetaLoad("in", 32)
+	zero := b.ConstU(32, 0)
+	b.Assert(b.Bin(Sle, zero, in), "in >= 0")
+	b.If(b.Bin(Slt, in, b.ConstU(32, 10)), func() {
+		b.MetaStore("out", b.ConstU(32, 10))
+	}, func() {
+		b.MetaStore("out", in)
+	})
+	b.Emit(0)
+	return b.MustBuild()
+}
+
+func run(t testing.TB, p *Program, pkt []byte, meta map[string]bv.V) (Outcome, *ExecEnv) {
+	t.Helper()
+	if meta == nil {
+		meta = map[string]bv.V{}
+	}
+	env := &ExecEnv{Pkt: pkt, Meta: meta, State: NewState()}
+	return Exec(p, env), env
+}
+
+func TestFig1Semantics(t *testing.T) {
+	p := buildFig1(t)
+	// in = 5 -> out = 10.
+	out, env := run(t, p, nil, map[string]bv.V{"in": bv.New(32, 5)})
+	if out.Disposition != Emitted || out.Port != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if got := env.Meta["out"]; got.U != 10 {
+		t.Errorf("out = %v, want 10", got)
+	}
+	// in = 42 -> out = 42.
+	out, env = run(t, p, nil, map[string]bv.V{"in": bv.New(32, 42)})
+	if got := env.Meta["out"]; got.U != 42 {
+		t.Errorf("out = %v, want 42", got)
+	}
+	// in = -1 -> crash (the paper's p1 path).
+	out, _ = run(t, p, nil, map[string]bv.V{"in": bv.New(32, 0xffffffff)})
+	if out.Disposition != Crashed || out.Crash.Kind != CrashAssert {
+		t.Fatalf("negative input should crash with assert, got %+v", out)
+	}
+}
+
+func TestFig1BoundedExecution(t *testing.T) {
+	p := buildFig1(t)
+	bound := p.MaxStmts()
+	f := func(in uint32) bool {
+		out, _ := run(t, p, nil, map[string]bv.V{"in": bv.New(32, uint64(in))})
+		return out.Steps <= bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketAccessAndBounds(t *testing.T) {
+	b := NewBuilder("ReadByte10", 1, 1)
+	v := b.LoadPktC(10, 1)
+	b.StorePkt(b.ConstU(32, 0), v, 1)
+	b.Emit(0)
+	p := b.MustBuild()
+
+	pkt := make([]byte, 16)
+	pkt[10] = 0x7a
+	out, env := run(t, p, pkt, nil)
+	if out.Disposition != Emitted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if env.Pkt[0] != 0x7a {
+		t.Errorf("pkt[0] = %#x, want 0x7a", env.Pkt[0])
+	}
+	// Too-short packet: out-of-bounds crash, not a panic.
+	out, _ = run(t, p, make([]byte, 5), nil)
+	if out.Disposition != Crashed || out.Crash.Kind != CrashOOB {
+		t.Fatalf("short packet: %+v, want OOB crash", out)
+	}
+}
+
+func TestWideLoadsAreBigEndian(t *testing.T) {
+	b := NewBuilder("Load32", 1, 1)
+	v := b.LoadPktC(2, 4)
+	b.MetaStore("v", v)
+	b.Emit(0)
+	p := b.MustBuild()
+	out, env := run(t, p, []byte{0, 0, 0x12, 0x34, 0x56, 0x78}, nil)
+	if out.Disposition != Emitted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if env.Meta["v"].U != 0x12345678 {
+		t.Errorf("v = %#x, want 0x12345678", env.Meta["v"].U)
+	}
+}
+
+func TestStoreWideRoundTrips(t *testing.T) {
+	b := NewBuilder("RT", 1, 1)
+	v := b.LoadPktC(0, 4)
+	b.StorePkt(b.ConstU(32, 4), v, 4)
+	b.Emit(0)
+	p := b.MustBuild()
+	f := func(a, bb, c, d byte) bool {
+		pkt := []byte{a, bb, c, d, 0, 0, 0, 0}
+		out, env := run(t, p, pkt, nil)
+		return out.Disposition == Emitted &&
+			env.Pkt[4] == a && env.Pkt[5] == bb && env.Pkt[6] == c && env.Pkt[7] == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroCrashes(t *testing.T) {
+	b := NewBuilder("Div", 1, 1)
+	x := b.LoadPktC(0, 1)
+	y := b.LoadPktC(1, 1)
+	b.MetaStore("q", b.Bin(UDiv, x, y))
+	b.Emit(0)
+	p := b.MustBuild()
+	out, _ := run(t, p, []byte{8, 2}, nil)
+	if out.Disposition != Emitted {
+		t.Fatalf("8/2: %+v", out)
+	}
+	out, _ = run(t, p, []byte{8, 0}, nil)
+	if out.Disposition != Crashed || out.Crash.Kind != CrashDivZero {
+		t.Fatalf("8/0: %+v, want div-zero crash", out)
+	}
+}
+
+func TestLoopWithBreakAndCarriedState(t *testing.T) {
+	// Sum packet bytes 0..len-1 with a bounded loop, stopping at a 0xff
+	// sentinel byte.
+	b := NewBuilder("SumUntilFF", 1, 1)
+	sum := b.Mov(b.ConstU(8, 0))
+	idx := b.Mov(b.ConstU(32, 0))
+	plen := b.PktLen()
+	b.Loop(8, func() {
+		atEnd := b.Bin(Ule, plen, idx)
+		b.If(atEnd, func() { b.Break() }, nil)
+		v := b.LoadPkt(idx, 1)
+		isFF := b.BinC(Eq, v, 0xff)
+		b.If(isFF, func() { b.Break() }, nil)
+		b.SetReg(sum, b.Bin(Add, sum, v))
+		b.SetReg(idx, b.BinC(Add, idx, 1))
+	})
+	b.MetaStore("sum", sum)
+	b.Emit(0)
+	p := b.MustBuild()
+
+	out, env := run(t, p, []byte{1, 2, 3, 0xff, 9, 9, 9, 9}, nil)
+	if out.Disposition != Emitted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if env.Meta["sum"].U != 6 {
+		t.Errorf("sum = %d, want 6", env.Meta["sum"].U)
+	}
+	// Loop bound caps iterations even without a sentinel.
+	out, env = run(t, p, []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, nil)
+	if out.Disposition != Emitted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if env.Meta["sum"].U != 8 {
+		t.Errorf("sum = %d, want 8 (bounded)", env.Meta["sum"].U)
+	}
+}
+
+func TestStateStoreSemantics(t *testing.T) {
+	b := NewBuilder("Counter", 1, 1)
+	b.DeclareState(StateDecl{Name: "flows", KeyW: 32, ValW: 32, Default: 0, Capacity: 2})
+	key := b.LoadPktC(0, 4)
+	n := b.StateRead("flows", key)
+	n1 := b.BinC(Add, n, 1)
+	b.StateWrite("flows", key, n1)
+	b.MetaStore("count", n1)
+	b.Emit(0)
+	p := b.MustBuild()
+
+	env := &ExecEnv{Pkt: []byte{0, 0, 0, 1}, Meta: map[string]bv.V{}, State: NewState()}
+	for i := 1; i <= 3; i++ {
+		out := Exec(p, env)
+		if out.Disposition != Emitted {
+			t.Fatalf("outcome = %+v", out)
+		}
+		if env.Meta["count"].U != uint64(i) {
+			t.Fatalf("count after %d packets = %d", i, env.Meta["count"].U)
+		}
+	}
+	// A second flow fits capacity 2.
+	env.Pkt = []byte{0, 0, 0, 2}
+	Exec(p, env)
+	if env.Meta["count"].U != 1 {
+		t.Errorf("second flow count = %d, want 1", env.Meta["count"].U)
+	}
+	// A third flow exceeds capacity: the write is dropped, so the count
+	// stays at default+1 on every packet.
+	env.Pkt = []byte{0, 0, 0, 3}
+	Exec(p, env)
+	Exec(p, env)
+	if env.Meta["count"].U != 1 {
+		t.Errorf("over-capacity flow count = %d, want 1 (write dropped)", env.Meta["count"].U)
+	}
+}
+
+func TestStaticTableLookup(t *testing.T) {
+	table := &StaticTable{
+		Name: "rt", KeyW: 32, ValW: 8,
+		Entries: []RangeEntry{
+			{Lo: 0x0a000000, Hi: 0x0affffff, Val: 1}, // 10.0.0.0/8
+			{Lo: 0xc0a80000, Hi: 0xc0a8ffff, Val: 2}, // 192.168.0.0/16
+		},
+		Default: 0,
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder("Route", 1, 3)
+	b.DeclareTable(table)
+	dst := b.LoadPktC(0, 4)
+	port := b.StaticLookup("rt", dst)
+	b.MetaStore("port", port)
+	b.Emit(0)
+	p := b.MustBuild()
+
+	cases := []struct {
+		ip   []byte
+		want uint64
+	}{
+		{[]byte{10, 1, 2, 3}, 1},
+		{[]byte{192, 168, 9, 9}, 2},
+		{[]byte{8, 8, 8, 8}, 0},
+	}
+	for _, c := range cases {
+		_, env := run(t, p, c.ip, nil)
+		if env.Meta["port"].U != c.want {
+			t.Errorf("route %v = %d, want %d", c.ip, env.Meta["port"].U, c.want)
+		}
+	}
+}
+
+func TestStaticTableValidateRejects(t *testing.T) {
+	bad := []*StaticTable{
+		{Name: "rev", KeyW: 32, ValW: 8, Entries: []RangeEntry{{Lo: 5, Hi: 3}}},
+		{Name: "overlap", KeyW: 32, ValW: 8, Entries: []RangeEntry{{Lo: 0, Hi: 10, Val: 1}, {Lo: 10, Hi: 20, Val: 2}}},
+		{Name: "wide", KeyW: 8, ValW: 8, Entries: []RangeEntry{{Lo: 0, Hi: 300}}},
+		{Name: "bigval", KeyW: 8, ValW: 8, Entries: []RangeEntry{{Lo: 0, Hi: 1, Val: 300}}},
+	}
+	for _, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("table %s validated but should not", tb.Name)
+		}
+	}
+}
+
+func TestBuilderRejectsNonTerminatingProgram(t *testing.T) {
+	b := NewBuilder("NoEnd", 1, 1)
+	b.ConstU(8, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("program without Emit/Drop built successfully")
+	}
+}
+
+func TestBuilderPanicsOnMisuse(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(b *Builder)
+	}{
+		{"width mismatch", func(b *Builder) { b.Bin(Add, b.ConstU(8, 1), b.ConstU(16, 1)) }},
+		{"if non-bool", func(b *Builder) { b.If(b.ConstU(8, 1), func() {}, nil) }},
+		{"emit bad port", func(b *Builder) { b.Emit(7) }},
+		{"break outside loop", func(b *Builder) { b.Break() }},
+		{"undeclared state", func(b *Builder) { b.StateRead("nope", b.ConstU(32, 0)) }},
+		{"undeclared table", func(b *Builder) { b.StaticLookup("nope", b.ConstU(32, 0)) }},
+		{"bad loop bound", func(b *Builder) { b.Loop(0, func() {}) }},
+		{"meta width clash", func(b *Builder) { b.MetaLoad("m", 8); b.MetaLoad("m", 16) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f(NewBuilder("x", 1, 1))
+		})
+	}
+}
+
+func TestMaxStmtsAccountsForLoops(t *testing.T) {
+	b := NewBuilder("L", 1, 1)
+	b.Loop(10, func() {
+		b.ConstU(8, 1)
+		b.ConstU(8, 2)
+	})
+	b.Emit(0)
+	p := b.MustBuild()
+	// loop header 1 + 10*(1 + 2 stmts) + emit 1 = 32
+	if got := p.MaxStmts(); got != 32 {
+		t.Errorf("MaxStmts = %d, want 32", got)
+	}
+}
+
+func TestStepsNeverExceedMaxStmts(t *testing.T) {
+	p := buildFig1(t)
+	b := NewBuilder("Loopy", 1, 1)
+	idx := b.Mov(b.ConstU(32, 0))
+	b.Loop(5, func() {
+		v := b.LoadPkt(idx, 1)
+		b.If(b.BinC(Eq, v, 0), func() { b.Break() }, nil)
+		b.SetReg(idx, b.BinC(Add, idx, 1))
+	})
+	b.Drop()
+	loopy := b.MustBuild()
+
+	for _, prog := range []*Program{p, loopy} {
+		f := func(b0, b1, b2, b3, b4 byte, in uint32) bool {
+			out, _ := run(t, prog, []byte{b0, b1, b2, b3, b4},
+				map[string]bv.V{"in": bv.New(32, uint64(in))})
+			return out.Steps <= prog.MaxStmts()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", prog.Name, err)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := buildFig1(t)
+	s := p.String()
+	for _, want := range []string{"program Fig1", "assert", "if r", "emit 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}

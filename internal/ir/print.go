@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program as indented pseudo-assembly, used by the
+// CLI's --dump-ir flag and in test failure output.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (in=%d out=%d regs=%d maxstmts=%d)\n",
+		p.Name, p.NumIn, p.NumOut, len(p.RegWidths), p.MaxStmts())
+	for _, s := range p.States {
+		fmt.Fprintf(&b, "  state %s key=%s val=%s default=%d cap=%d\n",
+			s.Name, s.KeyW, s.ValW, s.Default, s.Capacity)
+	}
+	for _, t := range p.Tables {
+		fmt.Fprintf(&b, "  table %s key=%s val=%s entries=%d default=%d\n",
+			t.Name, t.KeyW, t.ValW, len(t.Entries), t.Default)
+	}
+	writeBlock(&b, p.Body, 1)
+	return b.String()
+}
+
+func writeBlock(b *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case ConstStmt:
+			fmt.Fprintf(b, "%sr%d = %s\n", ind, st.Dst, st.Val)
+		case BinStmt:
+			fmt.Fprintf(b, "%sr%d = %s r%d, r%d\n", ind, st.Dst, st.Op, st.A, st.B)
+		case NotStmt:
+			fmt.Fprintf(b, "%sr%d = not r%d\n", ind, st.Dst, st.A)
+		case CastStmt:
+			kinds := [...]string{ZExt: "zext", SExt: "sext", Trunc: "trunc"}
+			fmt.Fprintf(b, "%sr%d = %s r%d\n", ind, st.Dst, kinds[st.Kind], st.A)
+		case SelStmt:
+			fmt.Fprintf(b, "%sr%d = select r%d ? r%d : r%d\n", ind, st.Dst, st.Cond, st.A, st.B)
+		case LoadPktStmt:
+			fmt.Fprintf(b, "%sr%d = pkt[r%d .. +%d]\n", ind, st.Dst, st.Off, st.N)
+		case StorePktStmt:
+			fmt.Fprintf(b, "%spkt[r%d .. +%d] = r%d\n", ind, st.Off, st.N, st.Src)
+		case PktLenStmt:
+			fmt.Fprintf(b, "%sr%d = pktlen\n", ind, st.Dst)
+		case MetaLoadStmt:
+			fmt.Fprintf(b, "%sr%d = meta.%s\n", ind, st.Dst, st.Slot)
+		case MetaStoreStmt:
+			fmt.Fprintf(b, "%smeta.%s = r%d\n", ind, st.Slot, st.Src)
+		case StateReadStmt:
+			fmt.Fprintf(b, "%sr%d = state.%s[r%d]\n", ind, st.Dst, st.Store, st.Key)
+		case StateWriteStmt:
+			fmt.Fprintf(b, "%sstate.%s[r%d] = r%d\n", ind, st.Store, st.Key, st.Val)
+		case StaticLookupStmt:
+			fmt.Fprintf(b, "%sr%d = table.%s[r%d]\n", ind, st.Dst, st.Table, st.Key)
+		case AssertStmt:
+			fmt.Fprintf(b, "%sassert r%d, %q\n", ind, st.Cond, st.Msg)
+		case IfStmt:
+			fmt.Fprintf(b, "%sif r%d {\n", ind, st.Cond)
+			writeBlock(b, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				writeBlock(b, st.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case LoopStmt:
+			fmt.Fprintf(b, "%sloop %d {\n", ind, st.Bound)
+			writeBlock(b, st.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case BreakStmt:
+			fmt.Fprintf(b, "%sbreak\n", ind)
+		case EmitStmt:
+			fmt.Fprintf(b, "%semit %d\n", ind, st.Port)
+		case DropStmt:
+			fmt.Fprintf(b, "%sdrop\n", ind)
+		}
+	}
+}

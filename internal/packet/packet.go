@@ -1,0 +1,362 @@
+// Package packet models network packets for the dataplane runtime, the
+// traffic generator, and witness construction.
+//
+// The design follows the layered-view idiom of packet libraries like
+// gopacket, scaled to what the verifier needs: a packet is a flat byte
+// buffer, and typed views (Ethernet, IPv4, UDP, ...) are cheap windows
+// over it that decode on access. Buffers carry Click-style metadata
+// annotations keyed by name; the IR's MetaLoad/MetaStore and the
+// symbolic executor use the same slot names (see MetaHeaderOffset and
+// friends), so a concrete run and a verification run describe the same
+// pipeline state.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vsd/internal/bv"
+)
+
+// Well-known metadata annotation slots shared by the element library.
+// The widths are fixed; ir.Builder enforces consistent use.
+const (
+	// MetaHeaderOffset (32-bit) is the offset of the current header in
+	// the buffer. Strip advances it; EtherEncap rewinds it.
+	MetaHeaderOffset = "hoff"
+	// MetaPaint (8-bit) is Click's paint annotation.
+	MetaPaint = "paint"
+	// MetaGateway (32-bit) carries the next-hop IP chosen by routing.
+	MetaGateway = "gw"
+	// MetaPort (8-bit) carries the chosen output port for deferred
+	// switching.
+	MetaPort = "port"
+)
+
+// MetaWidth returns the conventional width of a known annotation slot.
+func MetaWidth(slot string) (bv.Width, bool) {
+	switch slot {
+	case MetaHeaderOffset, MetaGateway:
+		return 32, true
+	case MetaPaint, MetaPort:
+		return 8, true
+	}
+	return 0, false
+}
+
+// Limits used across the verifier and runtime.
+const (
+	// MinFrame is the smallest frame the generator produces (Ethernet
+	// header only; real NICs pad to 60, the verifier is stricter on
+	// purpose so short-frame handling is exercised).
+	MinFrame = 14
+	// MaxFrame is the largest frame considered (standard 1500-byte MTU
+	// plus the Ethernet header).
+	MaxFrame = 1514
+)
+
+// EtherType values used by the element library.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeVLAN = 0x8100
+)
+
+// IP protocol numbers used by the element library.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Buffer is a packet: raw bytes plus metadata annotations. The verifier
+// proves properties over all byte contents; Buffer exists for the
+// concrete side (runtime, traces, witnesses).
+type Buffer struct {
+	Data []byte
+	Meta map[string]bv.V
+}
+
+// NewBuffer wraps data in a Buffer with empty metadata.
+func NewBuffer(data []byte) *Buffer {
+	return &Buffer{Data: data, Meta: map[string]bv.V{}}
+}
+
+// Clone deep-copies the buffer (packet state is exclusively owned; the
+// runtime clones when a concrete run must not disturb the original).
+func (b *Buffer) Clone() *Buffer {
+	c := &Buffer{Data: append([]byte{}, b.Data...), Meta: make(map[string]bv.V, len(b.Meta))}
+	for k, v := range b.Meta {
+		c.Meta[k] = v
+	}
+	return c
+}
+
+// Len returns the packet length in bytes.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// SetMeta sets an annotation, validating the width of well-known slots.
+func (b *Buffer) SetMeta(slot string, v bv.V) {
+	if w, ok := MetaWidth(slot); ok && v.W != w {
+		panic(fmt.Sprintf("packet: meta %q width %s, want %s", slot, v.W, w))
+	}
+	b.Meta[slot] = v
+}
+
+// HeaderOffset returns the current header offset annotation (0 when
+// unset).
+func (b *Buffer) HeaderOffset() int {
+	if v, ok := b.Meta[MetaHeaderOffset]; ok {
+		return int(v.U)
+	}
+	return 0
+}
+
+// ---- Ethernet ----
+
+// EthernetHeaderLen is the length of an untagged Ethernet header.
+const EthernetHeaderLen = 14
+
+// Ethernet is a view over an Ethernet header at a fixed offset.
+type Ethernet struct {
+	b   []byte
+	off int
+}
+
+// EthernetAt returns an Ethernet view at offset off, or an error if the
+// buffer is too short.
+func EthernetAt(data []byte, off int) (Ethernet, error) {
+	if off < 0 || off+EthernetHeaderLen > len(data) {
+		return Ethernet{}, fmt.Errorf("packet: ethernet header at %d exceeds %d-byte buffer", off, len(data))
+	}
+	return Ethernet{b: data, off: off}, nil
+}
+
+// Dst returns the destination MAC (6 bytes).
+func (e Ethernet) Dst() []byte { return e.b[e.off : e.off+6] }
+
+// Src returns the source MAC (6 bytes).
+func (e Ethernet) Src() []byte { return e.b[e.off+6 : e.off+12] }
+
+// Type returns the EtherType.
+func (e Ethernet) Type() uint16 { return binary.BigEndian.Uint16(e.b[e.off+12:]) }
+
+// SetType writes the EtherType.
+func (e Ethernet) SetType(t uint16) { binary.BigEndian.PutUint16(e.b[e.off+12:], t) }
+
+// ---- IPv4 ----
+
+// IPv4MinHeaderLen and IPv4MaxHeaderLen bound the IPv4 header size.
+const (
+	IPv4MinHeaderLen = 20
+	IPv4MaxHeaderLen = 60
+)
+
+// IPv4 is a view over an IPv4 header at a fixed offset.
+type IPv4 struct {
+	b   []byte
+	off int
+}
+
+// IPv4At returns an IPv4 view at offset off; it validates only that the
+// fixed 20-byte header fits (elements perform their own semantic
+// checks — that is the code under verification).
+func IPv4At(data []byte, off int) (IPv4, error) {
+	if off < 0 || off+IPv4MinHeaderLen > len(data) {
+		return IPv4{}, fmt.Errorf("packet: ipv4 header at %d exceeds %d-byte buffer", off, len(data))
+	}
+	return IPv4{b: data, off: off}, nil
+}
+
+// Version returns the IP version nibble.
+func (p IPv4) Version() int { return int(p.b[p.off] >> 4) }
+
+// IHL returns the header length in 32-bit words.
+func (p IPv4) IHL() int { return int(p.b[p.off] & 0x0f) }
+
+// HeaderLen returns the header length in bytes.
+func (p IPv4) HeaderLen() int { return p.IHL() * 4 }
+
+// TotalLen returns the datagram total length field.
+func (p IPv4) TotalLen() uint16 { return binary.BigEndian.Uint16(p.b[p.off+2:]) }
+
+// TTL returns the time-to-live field.
+func (p IPv4) TTL() uint8 { return p.b[p.off+8] }
+
+// SetTTL writes the time-to-live field.
+func (p IPv4) SetTTL(t uint8) { p.b[p.off+8] = t }
+
+// Protocol returns the payload protocol number.
+func (p IPv4) Protocol() uint8 { return p.b[p.off+9] }
+
+// Checksum returns the header checksum field.
+func (p IPv4) Checksum() uint16 { return binary.BigEndian.Uint16(p.b[p.off+10:]) }
+
+// SetChecksum writes the header checksum field.
+func (p IPv4) SetChecksum(c uint16) { binary.BigEndian.PutUint16(p.b[p.off+10:], c) }
+
+// Src returns the source address as a big-endian uint32.
+func (p IPv4) Src() uint32 { return binary.BigEndian.Uint32(p.b[p.off+12:]) }
+
+// Dst returns the destination address as a big-endian uint32.
+func (p IPv4) Dst() uint32 { return binary.BigEndian.Uint32(p.b[p.off+16:]) }
+
+// SetSrc writes the source address.
+func (p IPv4) SetSrc(a uint32) { binary.BigEndian.PutUint32(p.b[p.off+12:], a) }
+
+// SetDst writes the destination address.
+func (p IPv4) SetDst(a uint32) { binary.BigEndian.PutUint32(p.b[p.off+16:], a) }
+
+// Options returns the options bytes (after the fixed header, within
+// HeaderLen), or nil when IHL <= 5 or the buffer is short.
+func (p IPv4) Options() []byte {
+	hl := p.HeaderLen()
+	if hl <= IPv4MinHeaderLen || p.off+hl > len(p.b) {
+		return nil
+	}
+	return p.b[p.off+IPv4MinHeaderLen : p.off+hl]
+}
+
+// ComputeChecksum returns the correct header checksum for the current
+// header bytes (checksum field treated as zero).
+func (p IPv4) ComputeChecksum() (uint16, error) {
+	hl := p.HeaderLen()
+	if hl < IPv4MinHeaderLen || p.off+hl > len(p.b) {
+		return 0, fmt.Errorf("packet: cannot checksum %d-byte header at %d in %d-byte buffer", hl, p.off, len(p.b))
+	}
+	return ChecksumExcluding(p.b[p.off:p.off+hl], 10), nil
+}
+
+// ---- UDP ----
+
+// UDPHeaderLen is the UDP header size.
+const UDPHeaderLen = 8
+
+// UDP is a view over a UDP header at a fixed offset.
+type UDP struct {
+	b   []byte
+	off int
+}
+
+// UDPAt returns a UDP view at offset off.
+func UDPAt(data []byte, off int) (UDP, error) {
+	if off < 0 || off+UDPHeaderLen > len(data) {
+		return UDP{}, fmt.Errorf("packet: udp header at %d exceeds %d-byte buffer", off, len(data))
+	}
+	return UDP{b: data, off: off}, nil
+}
+
+// SrcPort returns the source port.
+func (u UDP) SrcPort() uint16 { return binary.BigEndian.Uint16(u.b[u.off:]) }
+
+// DstPort returns the destination port.
+func (u UDP) DstPort() uint16 { return binary.BigEndian.Uint16(u.b[u.off+2:]) }
+
+// SetSrcPort writes the source port.
+func (u UDP) SetSrcPort(p uint16) { binary.BigEndian.PutUint16(u.b[u.off:], p) }
+
+// SetDstPort writes the destination port.
+func (u UDP) SetDstPort(p uint16) { binary.BigEndian.PutUint16(u.b[u.off+2:], p) }
+
+// ---- checksum ----
+
+// Checksum computes the RFC 1071 Internet checksum over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumExcluding computes the Internet checksum over data with the
+// 16-bit field at byte offset skip treated as zero — the usual "zero the
+// checksum field before summing" without mutating the input.
+func ChecksumExcluding(data []byte, skip int) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		if i == skip {
+			continue
+		}
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 && len(data)-1 != skip {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ChecksumUpdate16 incrementally updates an Internet checksum after a
+// 16-bit field changed from old to new (RFC 1624, eqn. 3).
+func ChecksumUpdate16(sum, old, new uint16) uint16 {
+	c := uint32(^sum) + uint32(^old) + uint32(new)
+	for c>>16 != 0 {
+		c = c&0xffff + c>>16
+	}
+	return ^uint16(c)
+}
+
+// ---- construction helpers ----
+
+// IPv4Spec describes an IPv4 packet to build.
+type IPv4Spec struct {
+	SrcMAC, DstMAC [6]byte
+	SrcIP, DstIP   uint32
+	TTL            uint8
+	Protocol       uint8
+	Options        []byte // raw option bytes, padded to a 4-byte multiple
+	Payload        []byte
+	// BadChecksum leaves an incorrect header checksum, for negative
+	// tests and adversarial traces.
+	BadChecksum bool
+}
+
+// BuildIPv4 constructs an Ethernet+IPv4 frame from the spec.
+func BuildIPv4(s IPv4Spec) (*Buffer, error) {
+	if len(s.Options)%4 != 0 {
+		return nil, fmt.Errorf("packet: options length %d not a multiple of 4", len(s.Options))
+	}
+	hl := IPv4MinHeaderLen + len(s.Options)
+	if hl > IPv4MaxHeaderLen {
+		return nil, fmt.Errorf("packet: header length %d exceeds %d", hl, IPv4MaxHeaderLen)
+	}
+	total := hl + len(s.Payload)
+	data := make([]byte, EthernetHeaderLen+total)
+	copy(data[0:6], s.DstMAC[:])
+	copy(data[6:12], s.SrcMAC[:])
+	binary.BigEndian.PutUint16(data[12:], EtherTypeIPv4)
+	ip := data[EthernetHeaderLen:]
+	ip[0] = byte(4<<4 | hl/4)
+	binary.BigEndian.PutUint16(ip[2:], uint16(total))
+	ip[8] = s.TTL
+	ip[9] = s.Protocol
+	binary.BigEndian.PutUint32(ip[12:], s.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], s.DstIP)
+	copy(ip[IPv4MinHeaderLen:], s.Options)
+	copy(ip[hl:], s.Payload)
+	ck := ChecksumExcluding(ip[:hl], 10)
+	if s.BadChecksum {
+		ck ^= 0xffff
+	}
+	binary.BigEndian.PutUint16(ip[10:], ck)
+	return NewBuffer(data), nil
+}
+
+// IP4 packs four octets into the uint32 address representation.
+func IP4(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// FormatIP4 renders a uint32 address in dotted-quad form.
+func FormatIP4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

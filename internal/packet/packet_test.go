@@ -1,0 +1,193 @@
+package packet
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"vsd/internal/bv"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 worked example: 0001 f203 f4f5 f6f7 sums to ddf2 before
+	// complement (checksum = ^0xddf2 = 0x220d).
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Trailing byte is padded with zero on the right.
+	if got, want := Checksum([]byte{0xab}), ^uint16(0xab00); got != want {
+		t.Errorf("Checksum odd = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// A header whose checksum field holds the correct checksum sums to
+	// 0xffff (complement zero).
+	f := func(raw [20]byte) bool {
+		h := append([]byte{}, raw[:]...)
+		ck := ChecksumExcluding(h, 10)
+		binary.BigEndian.PutUint16(h[10:], ck)
+		return Checksum(h) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumUpdate16MatchesRecompute(t *testing.T) {
+	f := func(raw [20]byte, newTTLProto uint16) bool {
+		h := append([]byte{}, raw[:]...)
+		ck := ChecksumExcluding(h, 10)
+		binary.BigEndian.PutUint16(h[10:], ck)
+		old := binary.BigEndian.Uint16(h[8:10])
+		binary.BigEndian.PutUint16(h[8:10], newTTLProto)
+		want := ChecksumExcluding(h, 10)
+		got := ChecksumUpdate16(ck, old, newTTLProto)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildIPv4RoundTrip(t *testing.T) {
+	buf, err := BuildIPv4(IPv4Spec{
+		SrcMAC:   [6]byte{1, 2, 3, 4, 5, 6},
+		DstMAC:   [6]byte{7, 8, 9, 10, 11, 12},
+		SrcIP:    IP4(10, 0, 0, 1),
+		DstIP:    IP4(192, 168, 1, 2),
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Payload:  []byte{0xde, 0xad},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eth, err := EthernetAt(buf.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eth.Type() != EtherTypeIPv4 {
+		t.Errorf("ethertype = %#x", eth.Type())
+	}
+	ip, err := IPv4At(buf.Data, EthernetHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Version() != 4 || ip.IHL() != 5 {
+		t.Errorf("version/ihl = %d/%d", ip.Version(), ip.IHL())
+	}
+	if ip.Src() != IP4(10, 0, 0, 1) || ip.Dst() != IP4(192, 168, 1, 2) {
+		t.Errorf("addresses wrong: %s -> %s", FormatIP4(ip.Src()), FormatIP4(ip.Dst()))
+	}
+	if ip.TTL() != 64 || ip.Protocol() != ProtoUDP {
+		t.Errorf("ttl/proto = %d/%d", ip.TTL(), ip.Protocol())
+	}
+	if int(ip.TotalLen()) != 22 {
+		t.Errorf("total length = %d, want 22", ip.TotalLen())
+	}
+	want, err := ip.ComputeChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Checksum() != want {
+		t.Errorf("checksum = %#04x, want %#04x", ip.Checksum(), want)
+	}
+}
+
+func TestBuildIPv4WithOptionsAndBadChecksum(t *testing.T) {
+	buf, err := BuildIPv4(IPv4Spec{
+		SrcIP: 1, DstIP: 2, TTL: 1, Protocol: ProtoICMP,
+		Options:     []byte{1, 1, 1, 0}, // NOP NOP NOP EOL
+		BadChecksum: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := IPv4At(buf.Data, EthernetHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.IHL() != 6 {
+		t.Errorf("ihl = %d, want 6", ip.IHL())
+	}
+	if got := ip.Options(); len(got) != 4 || got[0] != 1 {
+		t.Errorf("options = % x", got)
+	}
+	want, _ := ip.ComputeChecksum()
+	if ip.Checksum() == want {
+		t.Error("BadChecksum produced a correct checksum")
+	}
+	// Odd-length options rejected.
+	if _, err := BuildIPv4(IPv4Spec{Options: []byte{1, 1}}); err == nil {
+		t.Error("non-multiple-of-4 options accepted")
+	}
+	// Oversized header rejected.
+	if _, err := BuildIPv4(IPv4Spec{Options: make([]byte, 44)}); err == nil {
+		t.Error("oversized options accepted")
+	}
+}
+
+func TestViewsRejectShortBuffers(t *testing.T) {
+	short := make([]byte, 10)
+	if _, err := EthernetAt(short, 0); err == nil {
+		t.Error("EthernetAt accepted a 10-byte buffer")
+	}
+	if _, err := IPv4At(short, 0); err == nil {
+		t.Error("IPv4At accepted a 10-byte buffer")
+	}
+	if _, err := UDPAt(short, 4); err == nil {
+		t.Error("UDPAt accepted an 8-byte window at 4 in a 10-byte buffer")
+	}
+	if _, err := EthernetAt(make([]byte, 20), -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestBufferCloneIsDeep(t *testing.T) {
+	b := NewBuffer([]byte{1, 2, 3})
+	b.SetMeta(MetaPaint, bv.New(8, 7))
+	c := b.Clone()
+	c.Data[0] = 9
+	c.SetMeta(MetaPaint, bv.New(8, 1))
+	if b.Data[0] != 1 || b.Meta[MetaPaint].U != 7 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestSetMetaWidthChecked(t *testing.T) {
+	b := NewBuffer(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMeta with wrong width did not panic")
+		}
+	}()
+	b.SetMeta(MetaHeaderOffset, bv.New(8, 1))
+}
+
+func TestUDPPorts(t *testing.T) {
+	data := make([]byte, 8)
+	u, err := UDPAt(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.SetSrcPort(1234)
+	u.SetDstPort(53)
+	if u.SrcPort() != 1234 || u.DstPort() != 53 {
+		t.Errorf("ports = %d/%d", u.SrcPort(), u.DstPort())
+	}
+}
+
+func TestIP4Formatting(t *testing.T) {
+	ip := IP4(10, 1, 2, 3)
+	if ip != 0x0a010203 {
+		t.Errorf("IP4 = %#x", ip)
+	}
+	if got := FormatIP4(ip); got != "10.1.2.3" {
+		t.Errorf("FormatIP4 = %q", got)
+	}
+}

@@ -1,0 +1,488 @@
+package smt
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+	"vsd/internal/expr"
+)
+
+// blaster translates bitvector expressions into CNF over a SatSolver.
+// Each expression node maps to a little-endian vector of literals (bit 0
+// first). Variable 0 of the solver is pinned true so that constant bits
+// are ordinary literals.
+type blaster struct {
+	sat     *SatSolver
+	tru     Lit // literal that is always true
+	exprMem map[*expr.Expr][]Lit
+	varBits map[string][]Lit
+	divMem  map[divModKey]divModResult
+}
+
+func newBlaster() *blaster {
+	b := &blaster{
+		sat:     NewSatSolver(),
+		exprMem: map[*expr.Expr][]Lit{},
+		varBits: map[string][]Lit{},
+		divMem:  map[divModKey]divModResult{},
+	}
+	v := b.sat.NewVar()
+	b.tru = MkLit(v, false)
+	b.sat.AddClause(b.tru)
+	return b
+}
+
+func (b *blaster) fls() Lit { return b.tru.Flip() }
+
+func (b *blaster) isConst(l Lit) (bool, bool) {
+	if l == b.tru {
+		return true, true
+	}
+	if l == b.fls() {
+		return false, true
+	}
+	return false, false
+}
+
+func (b *blaster) fresh() Lit { return MkLit(b.sat.NewVar(), false) }
+
+// gate constructors with constant propagation
+
+func (b *blaster) mkAnd(x, y Lit) Lit {
+	if v, ok := b.isConst(x); ok {
+		if v {
+			return y
+		}
+		return b.fls()
+	}
+	if v, ok := b.isConst(y); ok {
+		if v {
+			return x
+		}
+		return b.fls()
+	}
+	if x == y {
+		return x
+	}
+	if x == y.Flip() {
+		return b.fls()
+	}
+	z := b.fresh()
+	b.sat.AddClause(z.Flip(), x)
+	b.sat.AddClause(z.Flip(), y)
+	b.sat.AddClause(z, x.Flip(), y.Flip())
+	return z
+}
+
+func (b *blaster) mkOr(x, y Lit) Lit { return b.mkAnd(x.Flip(), y.Flip()).Flip() }
+
+func (b *blaster) mkXor(x, y Lit) Lit {
+	if v, ok := b.isConst(x); ok {
+		if v {
+			return y.Flip()
+		}
+		return y
+	}
+	if v, ok := b.isConst(y); ok {
+		if v {
+			return x.Flip()
+		}
+		return x
+	}
+	if x == y {
+		return b.fls()
+	}
+	if x == y.Flip() {
+		return b.tru
+	}
+	z := b.fresh()
+	b.sat.AddClause(z.Flip(), x, y)
+	b.sat.AddClause(z.Flip(), x.Flip(), y.Flip())
+	b.sat.AddClause(z, x.Flip(), y)
+	b.sat.AddClause(z, x, y.Flip())
+	return z
+}
+
+func (b *blaster) mkIff(x, y Lit) Lit { return b.mkXor(x, y).Flip() }
+
+// mkMux returns c ? x : y.
+func (b *blaster) mkMux(c, x, y Lit) Lit {
+	if v, ok := b.isConst(c); ok {
+		if v {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	return b.mkOr(b.mkAnd(c, x), b.mkAnd(c.Flip(), y))
+}
+
+// vector helpers
+
+func (b *blaster) constBits(v bv.V) []Lit {
+	out := make([]Lit, v.W)
+	for i := range out {
+		if v.Bit(i) {
+			out[i] = b.tru
+		} else {
+			out[i] = b.fls()
+		}
+	}
+	return out
+}
+
+func (b *blaster) zeros(n int) []Lit {
+	out := make([]Lit, n)
+	for i := range out {
+		out[i] = b.fls()
+	}
+	return out
+}
+
+func (b *blaster) addBits(x, y []Lit, cin Lit) (sum []Lit, cout Lit) {
+	if len(x) != len(y) {
+		panic("smt: addBits width mismatch")
+	}
+	sum = make([]Lit, len(x))
+	c := cin
+	for i := range x {
+		axb := b.mkXor(x[i], y[i])
+		sum[i] = b.mkXor(axb, c)
+		c = b.mkOr(b.mkAnd(x[i], y[i]), b.mkAnd(axb, c))
+	}
+	return sum, c
+}
+
+func (b *blaster) negBits(x []Lit) []Lit {
+	inv := make([]Lit, len(x))
+	for i := range x {
+		inv[i] = x[i].Flip()
+	}
+	one := b.zeros(len(x))
+	one[0] = b.tru
+	s, _ := b.addBits(inv, one, b.fls())
+	return s
+}
+
+func (b *blaster) subBits(x, y []Lit) []Lit {
+	inv := make([]Lit, len(y))
+	for i := range y {
+		inv[i] = y[i].Flip()
+	}
+	s, _ := b.addBits(x, inv, b.tru)
+	return s
+}
+
+func (b *blaster) mulBits(x, y []Lit) []Lit {
+	n := len(x)
+	acc := b.zeros(n)
+	for i := 0; i < n; i++ {
+		// Partial product: (x << i) gated by y[i].
+		pp := b.zeros(n)
+		for j := 0; i+j < n; j++ {
+			pp[i+j] = b.mkAnd(x[j], y[i])
+		}
+		acc, _ = b.addBits(acc, pp, b.fls())
+	}
+	return acc
+}
+
+// mulConst multiplies a literal vector by a constant via shift-adds on
+// the constant's set bits.
+func (b *blaster) mulConst(x []Lit, c uint64) []Lit {
+	n := len(x)
+	acc := b.zeros(n)
+	for i := 0; i < n; i++ {
+		if c>>uint(i)&1 == 0 {
+			continue
+		}
+		pp := b.zeros(n)
+		copy(pp[i:], x[:n-i])
+		acc, _ = b.addBits(acc, pp, b.fls())
+	}
+	return acc
+}
+
+func (b *blaster) eqBits(x, y []Lit) Lit {
+	r := b.tru
+	for i := range x {
+		r = b.mkAnd(r, b.mkIff(x[i], y[i]))
+	}
+	return r
+}
+
+// ultBits computes unsigned x < y via a borrow chain.
+func (b *blaster) ultBits(x, y []Lit) Lit {
+	lt := b.fls()
+	for i := 0; i < len(x); i++ {
+		bitLt := b.mkAnd(x[i].Flip(), y[i])
+		eq := b.mkIff(x[i], y[i])
+		lt = b.mkOr(bitLt, b.mkAnd(eq, lt))
+	}
+	return lt
+}
+
+func (b *blaster) muxBits(c Lit, x, y []Lit) []Lit {
+	out := make([]Lit, len(x))
+	for i := range x {
+		out[i] = b.mkMux(c, x[i], y[i])
+	}
+	return out
+}
+
+// shiftBits builds a barrel shifter. dir: "shl", "lshr", or "ashr".
+// Stages where the stride meets or exceeds the width saturate to the
+// fill value, which makes oversized shift amounts behave per bv
+// semantics (zero, or sign-fill for ashr).
+func (b *blaster) shiftBits(dir string, x, amt []Lit) []Lit {
+	n := len(x)
+	fill := b.fls()
+	if dir == "ashr" {
+		fill = x[n-1]
+	}
+	cur := x
+	for s := 0; s < len(amt); s++ {
+		shifted := make([]Lit, n)
+		if s >= 30 || 1<<uint(s) >= n {
+			// This stage's stride meets or exceeds the width: the whole
+			// vector becomes fill when the amount bit is set.
+			for i := range shifted {
+				shifted[i] = fill
+			}
+		} else {
+			stride := 1 << uint(s)
+			for i := 0; i < n; i++ {
+				src := i + stride
+				if dir == "shl" {
+					src = i - stride
+				}
+				if src < 0 || src >= n {
+					shifted[i] = fill
+				} else {
+					shifted[i] = cur[src]
+				}
+			}
+		}
+		cur = b.muxBits(amt[s], shifted, cur)
+	}
+	return cur
+}
+
+// blast returns the literal vector for e, memoized.
+func (b *blaster) blast(e *expr.Expr) []Lit {
+	if bits, ok := b.exprMem[e]; ok {
+		return bits
+	}
+	bits := b.blastNode(e)
+	if len(bits) != int(e.Width()) {
+		panic(fmt.Sprintf("smt: blasted %d bits for width-%d node", len(bits), e.Width()))
+	}
+	b.exprMem[e] = bits
+	return bits
+}
+
+func (b *blaster) varLits(name string, w bv.Width) []Lit {
+	if bits, ok := b.varBits[name]; ok {
+		if len(bits) != int(w) {
+			panic(fmt.Sprintf("smt: variable %s used at widths %d and %d", name, len(bits), w))
+		}
+		return bits
+	}
+	bits := make([]Lit, w)
+	for i := range bits {
+		bits[i] = b.fresh()
+	}
+	b.varBits[name] = bits
+	return bits
+}
+
+func (b *blaster) blastNode(e *expr.Expr) []Lit {
+	switch e.Kind {
+	case expr.KConst:
+		return b.constBits(e.Val)
+	case expr.KVar:
+		return b.varLits(e.Name, e.Width())
+	case expr.KNot:
+		x := b.blast(e.A)
+		out := make([]Lit, len(x))
+		for i := range x {
+			out[i] = x[i].Flip()
+		}
+		return out
+	case expr.KNeg:
+		return b.negBits(b.blast(e.A))
+	case expr.KZExt:
+		x := b.blast(e.A)
+		out := append([]Lit{}, x...)
+		for len(out) < int(e.Width()) {
+			out = append(out, b.fls())
+		}
+		return out
+	case expr.KSExt:
+		x := b.blast(e.A)
+		out := append([]Lit{}, x...)
+		sign := x[len(x)-1]
+		for len(out) < int(e.Width()) {
+			out = append(out, sign)
+		}
+		return out
+	case expr.KTrunc:
+		return b.blast(e.A)[:e.Width()]
+	case expr.KExtract:
+		x := b.blast(e.A)
+		return x[e.Lo : e.Lo+int(e.Width())]
+	case expr.KIte:
+		c := b.blast(e.Cond)[0]
+		return b.muxBits(c, b.blast(e.A), b.blast(e.B))
+	case expr.KSelect:
+		panic("smt: select reached bit-blaster; Ackermannization must run first")
+	case expr.KBin:
+		x, y := b.blast(e.A), b.blast(e.B)
+		switch e.Op {
+		case expr.OpAdd:
+			s, _ := b.addBits(x, y, b.fls())
+			return s
+		case expr.OpSub:
+			return b.subBits(x, y)
+		case expr.OpMul:
+			// Multiplication by a constant reduces to shift-adds over the
+			// constant's set bits — packet code multiplies by 2 and 4
+			// (header-length scaling) constantly, and the generic
+			// shift-add array is needlessly large for that.
+			if v, ok := e.A.IsConst(); ok {
+				return b.mulConst(y, v.U)
+			}
+			if v, ok := e.B.IsConst(); ok {
+				return b.mulConst(x, v.U)
+			}
+			return b.mulBits(x, y)
+		case expr.OpUDiv:
+			q, _ := b.blastDivMod(e.A, e.B, x, y)
+			return q
+		case expr.OpURem:
+			_, r := b.blastDivMod(e.A, e.B, x, y)
+			return r
+		case expr.OpAnd:
+			out := make([]Lit, len(x))
+			for i := range x {
+				out[i] = b.mkAnd(x[i], y[i])
+			}
+			return out
+		case expr.OpOr:
+			out := make([]Lit, len(x))
+			for i := range x {
+				out[i] = b.mkOr(x[i], y[i])
+			}
+			return out
+		case expr.OpXor:
+			out := make([]Lit, len(x))
+			for i := range x {
+				out[i] = b.mkXor(x[i], y[i])
+			}
+			return out
+		case expr.OpShl:
+			return b.shiftBits("shl", x, y)
+		case expr.OpLShr:
+			return b.shiftBits("lshr", x, y)
+		case expr.OpAShr:
+			return b.shiftBits("ashr", x, y)
+		case expr.OpEq:
+			return []Lit{b.eqBits(x, y)}
+		case expr.OpNe:
+			return []Lit{b.eqBits(x, y).Flip()}
+		case expr.OpUlt:
+			return []Lit{b.ultBits(x, y)}
+		case expr.OpUle:
+			return []Lit{b.ultBits(y, x).Flip()}
+		case expr.OpSlt:
+			return []Lit{b.ultBits(b.flipSign(x), b.flipSign(y))}
+		case expr.OpSle:
+			return []Lit{b.ultBits(b.flipSign(y), b.flipSign(x)).Flip()}
+		}
+	}
+	panic("smt: unhandled node kind in bit-blaster")
+}
+
+// flipSign inverts the sign bit, mapping signed comparison onto unsigned.
+func (b *blaster) flipSign(x []Lit) []Lit {
+	out := append([]Lit{}, x...)
+	out[len(out)-1] = out[len(out)-1].Flip()
+	return out
+}
+
+// divModKey keys on the operand expression pair so that a udiv and a
+// urem over the same operands share one encoding.
+type divModKey struct{ a, b *expr.Expr }
+
+// blastDivMod encodes unsigned division and remainder with fresh result
+// vectors q and r constrained by:
+//
+//	b == 0  ->  q == all-ones  &&  r == a
+//	b != 0  ->  zext(q)*zext(b) + zext(r) == zext(a)  (in 2w bits)
+//	            &&  r < b
+//
+// The 2w-bit equation cannot wrap because q, b < 2^w.
+func (b *blaster) blastDivMod(ea, eb *expr.Expr, x, y []Lit) (q, r []Lit) {
+	key := divModKey{ea, eb}
+	if got, ok := b.divMem[key]; ok {
+		return got.q, got.r
+	}
+	n := len(x)
+	q = make([]Lit, n)
+	r = make([]Lit, n)
+	for i := 0; i < n; i++ {
+		q[i] = b.fresh()
+		r[i] = b.fresh()
+	}
+	ext := func(v []Lit) []Lit {
+		out := append([]Lit{}, v...)
+		for len(out) < 2*n {
+			out = append(out, b.fls())
+		}
+		return out
+	}
+	prod := b.mulBits(ext(q), ext(y))
+	sum, _ := b.addBits(prod, ext(r), b.fls())
+	eqn := b.eqBits(sum, ext(x))
+	rLtB := b.ultBits(r, y)
+	bZero := b.eqBits(y, b.zeros(n))
+	qOnes := b.eqBits(q, b.constBits(bv.New(bv.Width(n), bv.Width(n).Mask())))
+	rEqA := b.eqBits(r, x)
+	zeroCase := b.mkAnd(qOnes, rEqA)
+	posCase := b.mkAnd(eqn, rLtB)
+	b.sat.AddClause(b.mkMux(bZero, zeroCase, posCase))
+	b.divMem[key] = divModResult{q, r}
+	return q, r
+}
+
+type divModResult struct{ q, r []Lit }
+
+// assertTrue constrains the 1-bit expression e to hold.
+func (b *blaster) assertTrue(e *expr.Expr) {
+	if e.Width() != 1 {
+		panic("smt: asserting non-boolean")
+	}
+	b.sat.AddClause(b.blast(e)[0])
+}
+
+// modelVar reads back the model value of a named variable; variables the
+// formula never mentioned read as zero.
+func (b *blaster) modelVar(name string, w bv.Width) bv.V {
+	bits, ok := b.varBits[name]
+	if !ok {
+		return bv.New(w, 0)
+	}
+	var u uint64
+	for i, l := range bits {
+		val := b.sat.ModelValue(l.Var())
+		if l.Neg() {
+			val = !val
+		}
+		if val {
+			u |= 1 << uint(i)
+		}
+	}
+	return bv.New(w, u)
+}

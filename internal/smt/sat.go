@@ -1,0 +1,590 @@
+// Package smt implements the constraint solver behind the dataplane
+// verifier: a quantifier-free bitvector (QF_BV) decision procedure with
+// byte-array (packet) support.
+//
+// The pipeline is the classical eager one:
+//
+//  1. an interval/constant pre-analysis that decides many queries
+//     produced by segment stitching without touching the SAT core;
+//  2. Ackermann-style elimination of packet-array reads;
+//  3. bit-blasting of the remaining bitvector formula to CNF;
+//  4. a CDCL SAT solver (two-watched-literal propagation, first-UIP
+//     conflict analysis, VSIDS-style activities, phase saving, geometric
+//     restarts);
+//  5. model reconstruction back to bitvector variables and packet bytes.
+//
+// This file implements the SAT core. It is deliberately self-contained:
+// literals, clauses and the trail use the MiniSat conventions, which keeps
+// the implementation auditable against the literature.
+package smt
+
+// A Lit is a literal: variable index shifted left once, low bit = negation.
+type Lit int32
+
+// MkLit builds a literal for variable v (0-based); neg selects ¬v.
+func MkLit(v int32, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int32 { return int32(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Flip returns the complementary literal.
+func (l Lit) Flip() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func (b lbool) flip() lbool {
+	switch b {
+	case lTrue:
+		return lFalse
+	case lFalse:
+		return lTrue
+	}
+	return lUndef
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// SatResult is the verdict of a SAT call.
+type SatResult int8
+
+// SAT solver verdicts.
+const (
+	SatUnknown SatResult = iota
+	SatSat
+	SatUnsat
+)
+
+func (r SatResult) String() string {
+	switch r {
+	case SatSat:
+		return "sat"
+	case SatUnsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// SatSolver is a CDCL SAT solver. The zero value is not usable; call
+// NewSatSolver.
+type SatSolver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assign    []lbool // indexed by variable
+	level     []int32
+	reason    []*clause
+	trail     []Lit
+	trailLim  []int32
+	qhead     int
+	activity  []float64
+	varInc    float64
+	claInc    float64
+	polarity  []bool // phase saving
+	order     *varHeap
+	seen      []bool
+	ok        bool // false once a top-level conflict is found
+	conflicts int64
+	decisions int64
+	propags   int64
+
+	// MaxConflicts bounds the search; <=0 means unbounded. When the
+	// budget is exhausted Solve returns SatUnknown.
+	MaxConflicts int64
+}
+
+// NewSatSolver returns an empty solver.
+func NewSatSolver() *SatSolver {
+	s := &SatSolver{varInc: 1, claInc: 1, ok: true}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *SatSolver) NewVar() int32 {
+	v := int32(len(s.assign))
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables allocated.
+func (s *SatSolver) NumVars() int { return len(s.assign) }
+
+// Stats returns the number of decisions, propagations and conflicts seen.
+func (s *SatSolver) Stats() (decisions, propagations, conflicts int64) {
+	return s.decisions, s.propags, s.conflicts
+}
+
+func (s *SatSolver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return v.flip()
+	}
+	return v
+}
+
+// AddClause adds a clause; it returns false if the formula is already
+// unsatisfiable at the top level. Clauses may be added between Solve
+// calls (the incremental Session does); the trail is first rewound to
+// level 0 so simplification never consults stale search assignments.
+func (s *SatSolver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Simplify: remove duplicates and false literals; detect tautology.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			if s.level[l.Var()] == 0 {
+				continue // permanently false
+			}
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Flip() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if conf := s.propagate(); conf != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *SatSolver) watchClause(c *clause) {
+	s.watches[c.lits[0].Flip()] = append(s.watches[c.lits[0].Flip()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], watcher{c, c.lits[0]})
+}
+
+func (s *SatSolver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *SatSolver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propags++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Flip() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.value(first) == lFalse {
+				// Conflict: keep the remaining watchers, restore and bail.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *SatSolver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *SatSolver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= int(s.trailLim[lvl]); i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *SatSolver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *SatSolver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (asserting literal first) and the backtrack level.
+func (s *SatSolver) analyze(conf *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conf
+	for {
+		s.bumpClause(c)
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+		// Move p to lits[0] position semantics: reason clauses always have
+		// the implied literal at index 0, so skipping index 0 is correct.
+	}
+	learnt[0] = p.Flip()
+	// Compute backtrack level: max level among learnt[1:].
+	bt := int32(0)
+	maxI := 1
+	for i := 1; i < len(learnt); i++ {
+		if s.level[learnt[i].Var()] > bt {
+			bt = s.level[learnt[i].Var()]
+			maxI = i
+		}
+	}
+	if len(learnt) > 1 {
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+func (s *SatSolver) record(learnt []Lit) {
+	switch len(learnt) {
+	case 1:
+		s.enqueue(learnt[0], nil)
+	default:
+		c := &clause{lits: learnt, learnt: true, act: s.claInc}
+		s.learnts = append(s.learnts, c)
+		s.watchClause(c)
+		s.enqueue(learnt[0], c)
+	}
+}
+
+// reduceDB removes half of the learnt clauses with lowest activity.
+func (s *SatSolver) reduceDB() {
+	if len(s.learnts) < 100 {
+		return
+	}
+	// Partial selection: keep clauses above median activity or binary.
+	sum := 0.0
+	for _, c := range s.learnts {
+		sum += c.act
+	}
+	lim := sum / float64(len(s.learnts))
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || c.act >= lim || s.isReason(c) {
+			kept = append(kept, c)
+		} else {
+			c.deleted = true
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *SatSolver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == c
+}
+
+// Solve runs the CDCL search. assumptions, if any, are enqueued as
+// level-1+ decisions first (used for incremental queries).
+func (s *SatSolver) Solve(assumptions ...Lit) SatResult {
+	if !s.ok {
+		return SatUnsat
+	}
+	s.cancelUntil(0)
+	restartLimit := int64(100)
+	conflictsAtStart := s.conflicts
+	learntLimit := len(s.clauses)/3 + 100
+	for {
+		conf := s.propagate()
+		if conf != nil {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return SatUnsat
+			}
+			learnt, bt := s.analyze(conf)
+			s.cancelUntil(bt)
+			s.record(learnt)
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			continue
+		}
+		if s.MaxConflicts > 0 && s.conflicts-conflictsAtStart > s.MaxConflicts {
+			s.cancelUntil(0)
+			return SatUnknown
+		}
+		if s.conflicts-conflictsAtStart > restartLimit {
+			restartLimit = restartLimit*3/2 + 50
+			s.cancelUntil(0)
+			continue
+		}
+		if len(s.learnts) > learntLimit {
+			learntLimit = learntLimit*11/10 + 10
+			s.reduceDB()
+		}
+		// Re-apply assumptions under the current trail.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied: open an empty decision level so the
+				// index keeps advancing.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				return SatUnsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+		// Decide.
+		v := s.pickBranchVar()
+		if v < 0 {
+			return SatSat
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.enqueue(MkLit(v, !s.polarity[v]), nil)
+	}
+}
+
+func (s *SatSolver) pickBranchVar() int32 {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// ModelValue returns the assignment of variable v after a Sat answer.
+// Unassigned variables (possible after elimination) read as false.
+func (s *SatSolver) ModelValue(v int32) bool { return s.assign[v] == lTrue }
+
+// varHeap is a max-heap on variable activity with lazy deletion.
+type varHeap struct {
+	act   *[]float64
+	items []int32
+	pos   map[int32]int
+}
+
+func (h *varHeap) less(a, b int32) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) push(v int32) {
+	if h.pos == nil {
+		h.pos = map[int32]int{}
+	}
+	if _, in := h.pos[v]; in {
+		return
+	}
+	h.items = append(h.items, v)
+	h.pos[v] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+func (h *varHeap) pop() (int32, bool) {
+	if len(h.items) == 0 {
+		return -1, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0]] = 0
+	h.items = h.items[:last]
+	delete(h.pos, top)
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+func (h *varHeap) update(v int32) {
+	if i, in := h.pos[v]; in {
+		h.up(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		h.pos[h.items[i]] = i
+		h.pos[h.items[p]] = p
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < n && h.less(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		h.pos[h.items[i]] = i
+		h.pos[h.items[m]] = m
+		i = m
+	}
+}

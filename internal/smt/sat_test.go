@@ -1,0 +1,260 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSatTrivial(t *testing.T) {
+	s := NewSatSolver()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false)) {
+		t.Fatal("unit clause rejected")
+	}
+	if got := s.Solve(); got != SatSat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	if !s.ModelValue(a) {
+		t.Error("model does not satisfy unit clause")
+	}
+}
+
+func TestSatContradiction(t *testing.T) {
+	s := NewSatSolver()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != SatUnsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestSatPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes is unsatisfiable. A classic
+	// hard-for-resolution family; n=5 exercises conflict analysis,
+	// learning, and restarts without taking long.
+	n := 5
+	s := NewSatSolver()
+	vars := make([][]int32, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]int32, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != SatUnsat {
+		t.Fatalf("pigeonhole Solve = %v, want unsat", got)
+	}
+}
+
+func TestSatGraphColoringSat(t *testing.T) {
+	// A 5-cycle is 3-colorable: satisfiable with a valid model.
+	const nodes, colors = 5, 3
+	s := NewSatSolver()
+	v := make([][]int32, nodes)
+	for i := range v {
+		v[i] = make([]int32, colors)
+		for c := range v[i] {
+			v[i][c] = s.NewVar()
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		lits := make([]Lit, colors)
+		for c := 0; c < colors; c++ {
+			lits[c] = MkLit(v[i][c], false)
+		}
+		s.AddClause(lits...)
+		for c1 := 0; c1 < colors; c1++ {
+			for c2 := c1 + 1; c2 < colors; c2++ {
+				s.AddClause(MkLit(v[i][c1], true), MkLit(v[i][c2], true))
+			}
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		j := (i + 1) % nodes
+		for c := 0; c < colors; c++ {
+			s.AddClause(MkLit(v[i][c], true), MkLit(v[j][c], true))
+		}
+	}
+	if got := s.Solve(); got != SatSat {
+		t.Fatalf("5-cycle 3-coloring = %v, want sat", got)
+	}
+	// Verify the model is a proper coloring.
+	color := make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		color[i] = -1
+		for c := 0; c < colors; c++ {
+			if s.ModelValue(v[i][c]) {
+				color[i] = c
+				break
+			}
+		}
+		if color[i] < 0 {
+			t.Fatalf("node %d has no color in model", i)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		if color[i] == color[(i+1)%nodes] {
+			t.Fatalf("adjacent nodes %d,%d share color %d", i, (i+1)%nodes, color[i])
+		}
+	}
+}
+
+// bruteForceSat checks satisfiability of a CNF over nv variables by
+// enumeration (nv must be small).
+func bruteForceSat(nv int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nv; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				val := m>>uint(l.Var())&1 == 1
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSatAgainstBruteForceRandom3CNF(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nv := 3 + r.Intn(8) // 3..10 vars
+		nc := 1 + r.Intn(5*nv)
+		var cnf [][]Lit
+		for i := 0; i < nc; i++ {
+			width := 1 + r.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(int32(r.Intn(nv)), r.Intn(2) == 1)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := NewSatSolver()
+		for i := 0; i < nv; i++ {
+			s.NewVar()
+		}
+		early := false
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				early = true
+				break
+			}
+		}
+		want := bruteForceSat(nv, cnf)
+		if early {
+			if want {
+				t.Fatalf("trial %d: AddClause found unsat but formula is sat: %v", trial, cnf)
+			}
+			continue
+		}
+		got := s.Solve()
+		if (got == SatSat) != want {
+			t.Fatalf("trial %d: Solve = %v, brute force = %v, cnf = %v", trial, got, want, cnf)
+		}
+		if got == SatSat {
+			// Verify the model.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					val := s.ModelValue(l.Var())
+					if l.Neg() {
+						val = !val
+					}
+					if val {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestSatAssumptions(t *testing.T) {
+	s := NewSatSolver()
+	a, b := s.NewVar(), s.NewVar()
+	// a -> b
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	if got := s.Solve(MkLit(a, false), MkLit(b, true)); got != SatUnsat {
+		t.Fatalf("assumptions a, !b with a->b: got %v, want unsat", got)
+	}
+	// Solver must remain usable for compatible assumptions.
+	if got := s.Solve(MkLit(a, false), MkLit(b, false)); got != SatSat {
+		t.Fatalf("assumptions a, b: got %v, want sat", got)
+	}
+	if !s.ModelValue(a) || !s.ModelValue(b) {
+		t.Error("model violates assumptions")
+	}
+}
+
+func TestSatConflictBudget(t *testing.T) {
+	// Pigeonhole with a tiny budget must return unknown, not loop.
+	n := 7
+	s := NewSatSolver()
+	s.MaxConflicts = 10
+	vars := make([][]int32, n+1)
+	for p := 0; p <= n; p++ {
+		vars[p] = make([]int32, n)
+		for h := 0; h < n; h++ {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(vars[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(vars[p1][h], true), MkLit(vars[p2][h], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != SatUnknown {
+		t.Fatalf("budgeted Solve = %v, want unknown", got)
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.Neg() {
+		t.Errorf("MkLit(5,true): var=%d neg=%v", l.Var(), l.Neg())
+	}
+	if l.Flip().Neg() || l.Flip().Var() != 5 {
+		t.Error("Flip broken")
+	}
+}

@@ -1,0 +1,268 @@
+package smt
+
+import (
+	"fmt"
+
+	"vsd/internal/expr"
+)
+
+// Session is an incremental solving context: one persistent SAT
+// instance into which constraint atoms are asserted once, guarded by
+// activation literals, and queried under assumption sets. Conflict
+// clauses learnt by one query accelerate the next — essential for
+// symbolic execution and composition, which issue thousands of queries
+// over monotonically growing constraint prefixes.
+//
+// A Session is not safe for concurrent use (each exploration owns one).
+// Cheap per-query passes (constant folding, the interval analysis, the
+// owning Solver's verdict cache) still run first; the incremental core
+// only sees queries those passes cannot decide.
+type Session struct {
+	owner         *Solver
+	bl            *blaster
+	lastConflicts int64
+	// guards maps an asserted (select-free, rewritten) atom to its
+	// activation literal.
+	guards map[*expr.Expr]Lit
+	// Session-global Ackermann state: every distinct select node seen so
+	// far, its rewritten index, and its fresh variable name.
+	selRepl map[*expr.Expr]*expr.Expr // select node -> fresh var
+	selInfo []selectInfo
+	selVars []string
+	rwMemo  map[*expr.Expr]*expr.Expr
+}
+
+// NewSession returns an incremental context backed by this solver's
+// options, statistics, and verdict cache.
+func (s *Solver) NewSession() *Session {
+	sess := &Session{
+		owner:   s,
+		bl:      newBlaster(),
+		guards:  map[*expr.Expr]Lit{},
+		selRepl: map[*expr.Expr]*expr.Expr{},
+		rwMemo:  map[*expr.Expr]*expr.Expr{},
+	}
+	sess.bl.sat.MaxConflicts = s.Opts.MaxConflicts
+	if sess.bl.sat.MaxConflicts == 0 {
+		sess.bl.sat.MaxConflicts = DefaultMaxConflicts
+	}
+	return sess
+}
+
+// lastConflicts tracks the SAT core's conflict counter so Check can
+// report deltas to the owner's statistics.
+
+// rewriteSelects rewrites an expression replacing every select node by
+// its session variable, registering new selects (and their pairwise
+// functional-consistency axioms) as they appear.
+func (sess *Session) rewriteSelects(e *expr.Expr) *expr.Expr {
+	if r, ok := sess.rwMemo[e]; ok {
+		return r
+	}
+	var r *expr.Expr
+	if v, ok := sess.selRepl[e]; ok {
+		r = v
+	} else {
+		switch e.Kind {
+		case expr.KConst, expr.KVar:
+			r = e
+		case expr.KSelect:
+			// New select: allocate its variable, rewrite its index, and
+			// assert consistency with every earlier select of the same
+			// base array. The axioms are unconditionally true, so they
+			// are added unguarded.
+			name := fmt.Sprintf("§s%d", len(sess.selVars))
+			v := expr.Var(name, 8)
+			sess.selRepl[e] = v
+			idx := sess.rewriteSelects(e.B)
+			for i, prev := range sess.selInfo {
+				if prev.sel.Arr.BaseName() != e.Arr.BaseName() {
+					continue
+				}
+				ax := expr.Implies(expr.Eq(idx, prev.idx), expr.Eq(v, expr.Var(sess.selVars[i], 8)))
+				if !ax.IsTrue() {
+					sess.bl.assertTrue(ax)
+				}
+			}
+			sess.selInfo = append(sess.selInfo, selectInfo{sel: e, idx: idx})
+			sess.selVars = append(sess.selVars, name)
+			r = v
+		case expr.KBin:
+			r = expr.Bin(e.Op, sess.rewriteSelects(e.A), sess.rewriteSelects(e.B))
+		case expr.KNot:
+			r = expr.Not(sess.rewriteSelects(e.A))
+		case expr.KNeg:
+			r = expr.Neg(sess.rewriteSelects(e.A))
+		case expr.KIte:
+			r = expr.Ite(sess.rewriteSelects(e.Cond), sess.rewriteSelects(e.A), sess.rewriteSelects(e.B))
+		case expr.KZExt:
+			r = expr.ZExt(sess.rewriteSelects(e.A), e.Width())
+		case expr.KSExt:
+			r = expr.SExt(sess.rewriteSelects(e.A), e.Width())
+		case expr.KTrunc:
+			r = expr.Trunc(sess.rewriteSelects(e.A), e.Width())
+		case expr.KExtract:
+			r = expr.Extract(sess.rewriteSelects(e.A), e.Lo, e.Width())
+		default:
+			panic("smt: unexpected node in session rewriting")
+		}
+	}
+	sess.rwMemo[e] = r
+	return r
+}
+
+// guardFor asserts the atom (guarded) if new and returns its activation
+// literal.
+func (sess *Session) guardFor(atom *expr.Expr) Lit {
+	if g, ok := sess.guards[atom]; ok {
+		return g
+	}
+	rw := sess.rewriteSelects(atom)
+	g := MkLit(sess.bl.sat.NewVar(), false)
+	lit := sess.bl.blast(rw)[0]
+	sess.bl.sat.AddClause(g.Flip(), lit)
+	sess.guards[atom] = g
+	return g
+}
+
+// Check decides satisfiability of the conjunction incrementally. The
+// result contract matches Solver.Check.
+func (sess *Session) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
+	s := sess.owner
+	s.stats.queries.Add(1)
+	atoms, early := flattenAtoms(constraints)
+	if early != Unknown {
+		s.stats.folded.Add(1)
+		if early == Sat {
+			return Sat, expr.NewAssignment()
+		}
+		return Unsat, nil
+	}
+	sortAtoms(atoms)
+	atoms = dedupAtoms(atoms)
+	key := cacheKey(atoms)
+	atomsCopy := append([]*expr.Expr{}, atoms...)
+	if res, m, ok := s.cacheGet(key, atomsCopy); ok {
+		s.stats.cacheHits.Add(1)
+		return res, m
+	}
+	if !s.Opts.DisableIntervals {
+		switch verdict, model := preAnalyze(atoms); verdict {
+		case intervalUnsat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atomsCopy, Unsat, nil)
+			return Unsat, nil
+		case intervalSat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atomsCopy, Sat, model)
+			return Sat, model
+		}
+	}
+	s.stats.satCalls.Add(1)
+	assumptions := make([]Lit, len(atoms))
+	for i, a := range atoms {
+		assumptions[i] = sess.guardFor(a)
+	}
+	verdict := sess.bl.sat.Solve(assumptions...)
+	_, _, conflicts := sess.bl.sat.Stats()
+	s.stats.satConflicts.Add(conflicts - sess.lastConflicts)
+	sess.lastConflicts = conflicts
+	switch verdict {
+	case SatUnsat:
+		s.cachePut(key, atomsCopy, Unsat, nil)
+		return Unsat, nil
+	case SatUnknown:
+		return Unknown, nil
+	}
+	asn := sess.extractModel(atoms)
+	s.cachePut(key, atomsCopy, Sat, asn)
+	return Sat, asn
+}
+
+// extractModel reads back values for the variables of the queried atoms
+// and array bytes for every select the session has seen. Including all
+// session selects (not just the queried ones) is harmless: extra bytes
+// only make the witness more concrete.
+func (sess *Session) extractModel(atoms []*expr.Expr) *expr.Assignment {
+	asn := expr.NewAssignment()
+	var vars []*expr.Expr
+	for _, a := range atoms {
+		vars = expr.Vars(a, vars)
+	}
+	for _, v := range vars {
+		asn.Vars[v.Name] = sess.bl.modelVar(v.Name, v.Width())
+	}
+	// Select variables referenced by the queried atoms' rewrites are
+	// found transitively; simply materialize every session select whose
+	// guard context makes it meaningful. Unconstrained ones read as 0,
+	// which is a valid completion.
+	const maxModelIndex = 1 << 20
+	for i, info := range sess.selInfo {
+		name := info.sel.Arr.BaseName()
+		// The index may mention select variables; resolve them through
+		// the blaster's model too.
+		idxVars := expr.Vars(info.idx, nil)
+		tmp := expr.NewAssignment()
+		for _, v := range idxVars {
+			tmp.Vars[v.Name] = sess.bl.modelVar(v.Name, v.Width())
+		}
+		idx := expr.Eval(info.idx, tmp).Int()
+		if idx >= maxModelIndex {
+			continue
+		}
+		val := byte(sess.bl.modelVar(sess.selVars[i], 8).Int())
+		content := asn.Arrays[name]
+		for uint64(len(content)) <= idx {
+			content = append(content, 0)
+		}
+		content[idx] = val
+		asn.Arrays[name] = content
+	}
+	return asn
+}
+
+// flattenAtoms splits conjunctions and folds constants. The second
+// result is Sat when everything folded away, Unsat when some atom is
+// false, and Unknown otherwise.
+func flattenAtoms(constraints []*expr.Expr) ([]*expr.Expr, Result) {
+	var atoms []*expr.Expr
+	var flatten func(e *expr.Expr)
+	flatten = func(e *expr.Expr) {
+		if e.Kind == expr.KBin && e.Op == expr.OpAnd && e.Width() == 1 {
+			flatten(e.A)
+			flatten(e.B)
+			return
+		}
+		atoms = append(atoms, e)
+	}
+	for _, c := range constraints {
+		if c.Width() != 1 {
+			panic(fmt.Sprintf("smt: non-boolean constraint %s", c))
+		}
+		flatten(c)
+	}
+	out := atoms[:0]
+	for _, a := range atoms {
+		if a.IsTrue() {
+			continue
+		}
+		if a.IsFalse() {
+			return nil, Unsat
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, Sat
+	}
+	return out, Unknown
+}
+
+func dedupAtoms(atoms []*expr.Expr) []*expr.Expr {
+	out := atoms[:0]
+	for i, a := range atoms {
+		if i == 0 || atoms[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}

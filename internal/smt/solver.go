@@ -1,0 +1,375 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vsd/internal/expr"
+)
+
+// Result is the verdict of a satisfiability query.
+type Result int8
+
+// Query verdicts.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Options configures a Solver. The zero value enables every technique;
+// the Disable* knobs exist for the ablation benchmarks.
+type Options struct {
+	// DisableIntervals turns off the interval/constant pre-analysis, so
+	// every query goes through bit-blasting.
+	DisableIntervals bool
+	// MaxConflicts bounds each SAT search; 0 means the default budget.
+	MaxConflicts int64
+}
+
+// DefaultMaxConflicts bounds a single SAT search unless overridden.
+const DefaultMaxConflicts = 2_000_000
+
+// Stats counts solver work, for the evaluation harness.
+type Stats struct {
+	Queries         int64 // total Check calls
+	FoldedDecided   int64 // decided by constant folding alone
+	IntervalDecided int64 // decided by the interval pre-pass
+	SatCalls        int64 // queries that reached the SAT core
+	SatConflicts    int64 // conflicts accumulated across SAT calls
+	CacheHits       int64 // queries answered from the verdict cache
+}
+
+// Solver decides satisfiability of conjunctions of 1-bit bitvector
+// expressions, producing models (including packet-array contents) for
+// satisfiable queries. A Solver is safe for concurrent use; each query
+// builds an independent SAT instance.
+//
+// Verdicts are cached by the (order-insensitive) atom set: symbolic
+// execution and composition re-issue structurally identical queries —
+// the same loop prefix reached through different downstream branches —
+// and expression interning makes the atom-set key exact.
+type Solver struct {
+	Opts  Options
+	stats struct {
+		queries, folded, interval, satCalls, satConflicts, cacheHits atomic.Int64
+	}
+	mu    sync.Mutex
+	cache map[uint64][]cacheEntry
+}
+
+type cacheEntry struct {
+	atoms []*expr.Expr // sorted by pointer for exact matching
+	res   Result
+	model *expr.Assignment
+}
+
+// New returns a solver with the given options.
+func New(opts Options) *Solver {
+	return &Solver{Opts: opts, cache: map[uint64][]cacheEntry{}}
+}
+
+// cacheKey hashes the atom set; atoms must be sorted by ID so the key
+// is order-insensitive.
+func cacheKey(atoms []*expr.Expr) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, a := range atoms {
+		h ^= a.ID() * 0x100000001b3
+		h *= 0xff51afd7ed558ccd
+	}
+	return h
+}
+
+func sortAtoms(atoms []*expr.Expr) {
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].ID() < atoms[j].ID() })
+}
+
+func sameAtoms(a, b []*expr.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) cacheGet(key uint64, atoms []*expr.Expr) (Result, *expr.Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.cache[key] {
+		if sameAtoms(e.atoms, atoms) {
+			return e.res, e.model, true
+		}
+	}
+	return Unknown, nil, false
+}
+
+// cacheMaxEntries bounds memory; the cache resets wholesale when full
+// (simple and effective at verification scale).
+const cacheMaxEntries = 1 << 16
+
+func (s *Solver) cachePut(key uint64, atoms []*expr.Expr, res Result, m *expr.Assignment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cache) >= cacheMaxEntries {
+		s.cache = map[uint64][]cacheEntry{}
+	}
+	s.cache[key] = append(s.cache[key], cacheEntry{atoms: atoms, res: res, model: m})
+}
+
+// Stats returns a snapshot of the work counters.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Queries:         s.stats.queries.Load(),
+		FoldedDecided:   s.stats.folded.Load(),
+		IntervalDecided: s.stats.interval.Load(),
+		SatCalls:        s.stats.satCalls.Load(),
+		SatConflicts:    s.stats.satConflicts.Load(),
+		CacheHits:       s.stats.cacheHits.Load(),
+	}
+}
+
+// Check decides whether the conjunction of the given 1-bit expressions is
+// satisfiable. On Sat it returns a model assigning every free variable
+// and the bytes of every base array mentioned by the constraints.
+func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
+	s.stats.queries.Add(1)
+	// 1. Flatten conjunctions and fold constants.
+	atoms := make([]*expr.Expr, 0, len(constraints))
+	var flatten func(e *expr.Expr)
+	flatten = func(e *expr.Expr) {
+		if e.Kind == expr.KBin && e.Op == expr.OpAnd && e.Width() == 1 {
+			flatten(e.A)
+			flatten(e.B)
+			return
+		}
+		atoms = append(atoms, e)
+	}
+	for _, c := range constraints {
+		if c.Width() != 1 {
+			panic(fmt.Sprintf("smt: non-boolean constraint %s", c))
+		}
+		flatten(c)
+	}
+	out := atoms[:0]
+	for _, a := range atoms {
+		if a.IsTrue() {
+			continue
+		}
+		if a.IsFalse() {
+			s.stats.folded.Add(1)
+			return Unsat, nil
+		}
+		out = append(out, a)
+	}
+	atoms = out
+	if len(atoms) == 0 {
+		s.stats.folded.Add(1)
+		return Sat, expr.NewAssignment()
+	}
+	// Deduplicate and canonically order the atom set, then consult the
+	// verdict cache.
+	sortAtoms(atoms)
+	dedup := atoms[:0]
+	for i, a := range atoms {
+		if i == 0 || atoms[i-1] != a {
+			dedup = append(dedup, a)
+		}
+	}
+	atoms = dedup
+	key := cacheKey(atoms)
+	atomsCopy := append([]*expr.Expr{}, atoms...)
+	if res, m, ok := s.cacheGet(key, atomsCopy); ok {
+		s.stats.cacheHits.Add(1)
+		return res, m
+	}
+
+	// 2. Interval pre-analysis.
+	if !s.Opts.DisableIntervals {
+		switch verdict, model := preAnalyze(atoms); verdict {
+		case intervalUnsat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atomsCopy, Unsat, nil)
+			return Unsat, nil
+		case intervalSat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atomsCopy, Sat, model)
+			return Sat, model
+		}
+	}
+
+	// 3. Ackermannize packet-array reads.
+	atoms, selects, selVars := ackermannize(atoms)
+
+	// 4. Bit-blast and solve.
+	s.stats.satCalls.Add(1)
+	b := newBlaster()
+	b.sat.MaxConflicts = s.Opts.MaxConflicts
+	if b.sat.MaxConflicts == 0 {
+		b.sat.MaxConflicts = DefaultMaxConflicts
+	}
+	for _, a := range atoms {
+		b.assertTrue(a)
+	}
+	verdict := b.sat.Solve()
+	_, _, conflicts := b.sat.Stats()
+	s.stats.satConflicts.Add(conflicts)
+	switch verdict {
+	case SatUnsat:
+		s.cachePut(key, atomsCopy, Unsat, nil)
+		return Unsat, nil
+	case SatUnknown:
+		return Unknown, nil
+	}
+
+	// 5. Reconstruct the model.
+	asn := expr.NewAssignment()
+	var vars []*expr.Expr
+	for _, a := range atoms {
+		vars = expr.Vars(a, vars)
+	}
+	for _, v := range vars {
+		asn.Vars[v.Name] = b.modelVar(v.Name, v.Width())
+	}
+	// Array contents: evaluate each select's (rewritten) index under the
+	// model, then place the select variable's value at that index. The
+	// Ackermann constraints guarantee consistency.
+	// Indices are capped defensively: the IR guards every packet access
+	// with a bounds assertion, so genuine models never index past the
+	// maximum packet size, but a caller-supplied unguarded query must not
+	// make us allocate gigabytes.
+	const maxModelIndex = 1 << 20
+	for i, sel := range selects {
+		name := sel.sel.Arr.BaseName()
+		idx := expr.Eval(sel.idx, asn).Int()
+		if idx >= maxModelIndex {
+			continue
+		}
+		val := byte(asn.Vars[selVars[i]].Int())
+		content := asn.Arrays[name]
+		for uint64(len(content)) <= idx {
+			content = append(content, 0)
+		}
+		content[idx] = val
+		asn.Arrays[name] = content
+	}
+	// Drop the internal Ackermann variables from the reported model.
+	for _, n := range selVars {
+		delete(asn.Vars, n)
+	}
+	s.cachePut(key, atomsCopy, Sat, asn)
+	return Sat, asn
+}
+
+// selectInfo pairs a KSelect node with its select-free rewritten index.
+type selectInfo struct {
+	sel *expr.Expr
+	idx *expr.Expr
+}
+
+// ackermannize replaces every KSelect node in the atoms with a fresh
+// 8-bit variable and appends functional-consistency constraints: for any
+// two reads of the same base array, equal indices force equal values.
+// It returns the rewritten atoms, the select descriptors, and the fresh
+// variable names (parallel slices).
+func ackermannize(atoms []*expr.Expr) ([]*expr.Expr, []selectInfo, []string) {
+	var sels []*expr.Expr
+	for _, a := range atoms {
+		sels = expr.SelectsOf(a, sels)
+	}
+	if len(sels) == 0 {
+		return atoms, nil, nil
+	}
+	// Deterministic order for reproducible encodings.
+	sort.Slice(sels, func(i, j int) bool {
+		si, sj := sels[i], sels[j]
+		if si.Arr.BaseName() != sj.Arr.BaseName() {
+			return si.Arr.BaseName() < sj.Arr.BaseName()
+		}
+		return si.B.String() < sj.B.String()
+	})
+	repl := map[*expr.Expr]*expr.Expr{}
+	names := make([]string, len(sels))
+	for i, sel := range sels {
+		names[i] = fmt.Sprintf("§sel%d", i)
+		repl[sel] = expr.Var(names[i], 8)
+	}
+	// Rewrite: replace selects bottom-up (an index expression may itself
+	// contain selects).
+	memo := map[*expr.Expr]*expr.Expr{}
+	var rw func(e *expr.Expr) *expr.Expr
+	rw = func(e *expr.Expr) *expr.Expr {
+		if e == nil {
+			return nil
+		}
+		if r, ok := memo[e]; ok {
+			return r
+		}
+		var r *expr.Expr
+		if v, ok := repl[e]; ok {
+			r = v
+		} else {
+			switch e.Kind {
+			case expr.KConst, expr.KVar:
+				r = e
+			case expr.KBin:
+				r = expr.Bin(e.Op, rw(e.A), rw(e.B))
+			case expr.KNot:
+				r = expr.Not(rw(e.A))
+			case expr.KNeg:
+				r = expr.Neg(rw(e.A))
+			case expr.KIte:
+				r = expr.Ite(rw(e.Cond), rw(e.A), rw(e.B))
+			case expr.KZExt:
+				r = expr.ZExt(rw(e.A), e.Width())
+			case expr.KSExt:
+				r = expr.SExt(rw(e.A), e.Width())
+			case expr.KTrunc:
+				r = expr.Trunc(rw(e.A), e.Width())
+			case expr.KExtract:
+				r = expr.Extract(rw(e.A), e.Lo, e.Width())
+			default:
+				panic("smt: unexpected node during Ackermannization")
+			}
+		}
+		memo[e] = r
+		return r
+	}
+	infos := make([]selectInfo, len(sels))
+	outAtoms := make([]*expr.Expr, 0, len(atoms)+len(sels)*(len(sels)-1)/2)
+	for _, a := range atoms {
+		outAtoms = append(outAtoms, rw(a))
+	}
+	for i, sel := range sels {
+		infos[i] = selectInfo{sel: sel, idx: rw(sel.B)}
+	}
+	// Functional consistency.
+	for i := 0; i < len(sels); i++ {
+		for j := i + 1; j < len(sels); j++ {
+			if sels[i].Arr.BaseName() != sels[j].Arr.BaseName() {
+				continue
+			}
+			vi, vj := expr.Var(names[i], 8), expr.Var(names[j], 8)
+			c := expr.Implies(expr.Eq(infos[i].idx, infos[j].idx), expr.Eq(vi, vj))
+			if !c.IsTrue() {
+				outAtoms = append(outAtoms, c)
+			}
+		}
+	}
+	return outAtoms, infos, names
+}

@@ -1,0 +1,424 @@
+package symbex
+
+import (
+	"fmt"
+
+	"vsd/internal/expr"
+	"vsd/internal/ir"
+)
+
+// This file implements the paper's loop decomposition: "If a loop has t
+// iterations, we view it as a sequence of t mini-elements, each one
+// corresponding to one iteration of the loop. [...] we symbex one
+// mini-element in isolation, then use the results to reason about the
+// entire loop."
+//
+// The loop body is symbolically executed exactly once against fully
+// generic inputs — fresh variables for every register, a fresh packet
+// array, fresh metadata — yielding a set of bodySummary values: the
+// body's segments, expressed over those generic inputs. Composing
+// iteration k is then pure substitution (the parent path's current state
+// replaces the generic inputs) plus a feasibility check, the same
+// mechanism internal/verify uses to compose pipeline elements.
+
+// Generic input names used by loop-body summaries. They never escape:
+// instantiation substitutes all of them.
+const (
+	loopPktName   = "lpkt"
+	loopLenName   = "llen"
+	loopRegPrefix = "lr"
+	loopMetaPref  = "lm."
+)
+
+// summaryKind is how a body path ended.
+type summaryKind uint8
+
+const (
+	bodyFellThrough summaryKind = iota // continue to next iteration
+	bodyBroke                          // break: exit the loop
+	bodyTerminated                     // emit/drop/crash: the element ends inside the loop
+)
+
+// bodySummary is one path through the loop body, over generic inputs.
+type bodySummary struct {
+	how   summaryKind
+	conds []*expr.Expr
+	// Effects (always present).
+	pkt    *expr.Array
+	meta   map[string]*expr.Expr
+	steps  int64
+	reads  []StateAccess
+	writes []StateUpdate
+	// regs are the final register values, needed for fellThrough and
+	// brokeLoop to continue the parent path.
+	regs []*expr.Expr
+	// Terminal information for bodyTerminated.
+	disposition ir.Disposition
+	port        int
+	crash       *CrashRecord
+}
+
+// loopKey gives a LoopStmt a stable identity for memoization: statement
+// values are copied when ranged over, but the body's backing array is
+// built once by the Builder and shared by all copies.
+func loopKey(stmt ir.LoopStmt) *ir.Stmt {
+	if len(stmt.Body) == 0 {
+		return nil
+	}
+	return &stmt.Body[0]
+}
+
+// summaries returns the memoized mini-element summaries for the loop.
+func (x *exec) summaries(stmt ir.LoopStmt) ([]*bodySummary, error) {
+	key := loopKey(stmt)
+	if got, ok := x.eng.loopMemo[key]; ok {
+		return got, nil
+	}
+	// Build the generic input state.
+	st := &pathState{
+		prog: x.prog,
+		regs: make([]*expr.Expr, len(x.prog.RegWidths)),
+		pkt:  expr.BaseArray(loopPktName),
+		plen: expr.Var(loopLenName, 32),
+		meta: map[string]*expr.Expr{},
+	}
+	for i, w := range x.prog.RegWidths {
+		st.regs[i] = expr.Var(fmt.Sprintf("%s%d", loopRegPrefix, i), w)
+	}
+	for slot, w := range x.prog.MetaSlots {
+		st.meta[slot] = expr.Var(loopMetaPref+slot, w)
+	}
+	// Execute the body once in a sub-exec that captures terminated
+	// segments separately instead of emitting them.
+	sub := &exec{eng: x.eng, prog: x.prog}
+	conts, err := sub.runBlock(stmt.Body, st)
+	if err != nil {
+		return nil, err
+	}
+	var sums []*bodySummary
+	for _, seg := range sub.out {
+		sums = append(sums, &bodySummary{
+			how:         bodyTerminated,
+			conds:       seg.Cond,
+			pkt:         seg.Pkt,
+			meta:        seg.Meta,
+			steps:       seg.Steps,
+			reads:       seg.Reads,
+			writes:      seg.Writes,
+			disposition: seg.Disposition,
+			port:        seg.Port,
+			crash:       seg.Crash,
+		})
+	}
+	for _, c := range conts {
+		how := bodyFellThrough
+		if c.how == brokeLoop {
+			how = bodyBroke
+		}
+		sums = append(sums, &bodySummary{
+			how:    how,
+			conds:  c.st.conds,
+			pkt:    c.st.pkt,
+			meta:   c.st.meta,
+			steps:  c.st.steps,
+			reads:  c.st.reads,
+			writes: c.st.writes,
+			regs:   c.st.regs,
+		})
+	}
+	x.eng.loopMemo[key] = sums
+	return sums, nil
+}
+
+// instantiate applies a body summary to a concrete parent path state,
+// returning the successor state (with conds appended and effects
+// applied) or nil if infeasible.
+func (x *exec) instantiate(sum *bodySummary, parent *pathState) (*pathState, error) {
+	sub := expr.NewSubst()
+	sub.BindArr(loopPktName, parent.pkt)
+	sub.BindVar(loopLenName, parent.plen)
+	for i, r := range parent.regs {
+		sub.BindVar(fmt.Sprintf("%s%d", loopRegPrefix, i), r)
+	}
+	for slot, w := range x.prog.MetaSlots {
+		v, ok := parent.meta[slot]
+		if !ok {
+			v = MetaVar(slot, w)
+		}
+		sub.BindVar(loopMetaPref+slot, v)
+	}
+	// Rename the summary's state-read variables to fresh parent-scope
+	// names: each dynamic iteration performs its own reads.
+	cs := parent.fork()
+	if cs.nRead == nil {
+		cs.nRead = map[string]int{}
+	}
+	for _, rd := range sum.reads {
+		n := cs.nRead[rd.Store]
+		cs.nRead[rd.Store] = n + 1
+		fresh := expr.Var(fmt.Sprintf("%s%s.%d", StateReadPrefix, rd.Store, n), rd.Var.Width())
+		sub.BindVar(rd.Var.Name, fresh)
+	}
+	// Feasibility of the instantiated conditions.
+	newConds := make([]*expr.Expr, 0, len(sum.conds))
+	for _, c := range sum.conds {
+		ic := sub.Apply(c)
+		if ic.IsTrue() {
+			continue
+		}
+		if ic.IsFalse() {
+			return nil, nil
+		}
+		newConds = append(newConds, ic)
+	}
+	if len(newConds) > 0 {
+		ok, m := x.feasibleM(parent, expr.And(newConds...))
+		if !ok {
+			return nil, nil
+		}
+		for _, c := range newConds {
+			cs.assume(c)
+		}
+		cs.model = m
+	}
+	cs.pkt = sub.ApplyArray(sum.pkt)
+	for slot, v := range sum.meta {
+		cs.meta[slot] = sub.Apply(v)
+	}
+	cs.steps = parent.steps + sum.steps
+	for _, rd := range sum.reads {
+		cs.reads = append(cs.reads, StateAccess{
+			Store: rd.Store,
+			Key:   sub.Apply(rd.Key),
+			Var:   sub.Apply(rd.Var),
+		})
+	}
+	for _, wr := range sum.writes {
+		cs.writes = append(cs.writes, StateUpdate{
+			Store: wr.Store,
+			Key:   sub.Apply(wr.Key),
+			Val:   sub.Apply(wr.Val),
+		})
+	}
+	if sum.regs != nil {
+		for i, r := range sum.regs {
+			cs.regs[i] = sub.Apply(r)
+		}
+	}
+	return cs, nil
+}
+
+// loopSummarize drives a loop using mini-element summaries: a DFS over
+// iterations where each step is substitution plus a feasibility check —
+// no re-execution of the body. In LoopMerge mode the continuation states
+// of each iteration are merged per parent, keeping the frontier linear
+// in the bound.
+func (x *exec) loopSummarize(stmt ir.LoopStmt, st *pathState) ([]*pathState, []continuation, error) {
+	if len(stmt.Body) == 0 {
+		return []*pathState{st}, nil, nil
+	}
+	sums, err := x.summaries(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	merge := x.eng.Opts.LoopMode == LoopMerge
+	var through []*pathState
+	// In merge mode, paths that terminate inside the loop are collected
+	// and merged per terminal kind against the loop-entry state before
+	// segments are emitted: forty per-iteration "malformed option" exits
+	// become one segment with a disjunctive constraint, and downstream
+	// composition sees a handful of loop segments instead of hundreds.
+	type termKey struct {
+		disp  ir.Disposition
+		port  int
+		kind  ir.CrashKind
+		msg   string
+		crash bool
+	}
+	terminated := map[termKey][]*pathState{}
+	var termOrder []termKey
+	emitTerm := func(cs *pathState, sum *bodySummary) error {
+		if !merge {
+			return x.emitSegment(cs, sum.disposition, sum.port, sum.crash)
+		}
+		k := termKey{disp: sum.disposition, port: sum.port}
+		if sum.crash != nil {
+			k.crash = true
+			k.kind = sum.crash.Kind
+			k.msg = sum.crash.Msg
+		}
+		if _, ok := terminated[k]; !ok {
+			termOrder = append(termOrder, k)
+		}
+		terminated[k] = append(terminated[k], cs)
+		return nil
+	}
+	active := []*pathState{st}
+	for iter := 0; iter < stmt.Bound && len(active) > 0; iter++ {
+		if iter > 0 {
+			for _, a := range active {
+				a.steps++ // back-edge cost, matching the interpreter
+			}
+		}
+		var next []*pathState
+		var broke []*pathState
+		for _, a := range active {
+			var nextHere, brokeHere []*pathState
+			for _, sum := range sums {
+				cs, err := x.instantiate(sum, a)
+				if err != nil {
+					return nil, nil, err
+				}
+				if cs == nil {
+					continue
+				}
+				switch sum.how {
+				case bodyTerminated:
+					if err := emitTerm(cs, sum); err != nil {
+						return nil, nil, err
+					}
+				case bodyBroke:
+					brokeHere = append(brokeHere, cs)
+				case bodyFellThrough:
+					nextHere = append(nextHere, cs)
+				}
+			}
+			if merge {
+				nextHere = x.mergeStates(a, nextHere)
+				brokeHere = x.mergeStates(a, brokeHere)
+			}
+			next = append(next, nextHere...)
+			broke = append(broke, brokeHere...)
+		}
+		through = append(through, broke...)
+		active = next
+	}
+	through = append(through, active...)
+	if merge {
+		for _, k := range termOrder {
+			var crash *CrashRecord
+			if k.crash {
+				crash = &CrashRecord{Kind: k.kind, Msg: k.msg}
+			}
+			for _, m := range x.mergeStates(st, terminated[k]) {
+				if err := x.emitSegment(m, k.disp, k.port, crash); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		through = x.mergeStates(st, through)
+	}
+	return through, nil, nil
+}
+
+// mergeStates merges sibling continuation states derived from the same
+// parent into one state per packet-array value: conditions become a
+// disjunction of the siblings' condition deltas, register and metadata
+// values become ite-chains guarded by those deltas, and the step count
+// becomes the maximum (an upper bound — Stats.Merged records the loss of
+// exactness). Sibling deltas are mutually exclusive by construction
+// (they partition the body's input space), so the ite guards are
+// unambiguous.
+func (x *exec) mergeStates(parent *pathState, states []*pathState) []*pathState {
+	if len(states) <= 1 {
+		return states
+	}
+	groups := map[*expr.Array][]*pathState{}
+	var order []*expr.Array
+	for _, s := range states {
+		if _, ok := groups[s.pkt]; !ok {
+			order = append(order, s.pkt)
+		}
+		groups[s.pkt] = append(groups[s.pkt], s)
+	}
+	var out []*pathState
+	base := len(parent.conds)
+	for _, pktKey := range order {
+		g := groups[pktKey]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		x.eng.stats.Merged = true
+		deltas := make([]*expr.Expr, len(g))
+		for i, s := range g {
+			deltas[i] = expr.And(s.conds[base:]...)
+		}
+		m := g[0].fork()
+		m.conds = append(append([]*expr.Expr{}, parent.conds...), expr.Or(deltas...))
+		// Values: fold right-to-left so g[0] ends outermost.
+		for r := range m.regs {
+			v := g[len(g)-1].regs[r]
+			for i := len(g) - 2; i >= 0; i-- {
+				if g[i].regs[r] != v {
+					v = expr.Ite(deltas[i], g[i].regs[r], v)
+				}
+			}
+			m.regs[r] = v
+		}
+		slots := map[string]bool{}
+		for _, s := range g {
+			for slot := range s.meta {
+				slots[slot] = true
+			}
+		}
+		for slot := range slots {
+			valOf := func(s *pathState) *expr.Expr {
+				if v, ok := s.meta[slot]; ok {
+					return v
+				}
+				if v, ok := parent.meta[slot]; ok {
+					return v
+				}
+				return MetaVar(slot, x.prog.MetaSlots[slot])
+			}
+			v := valOf(g[len(g)-1])
+			for i := len(g) - 2; i >= 0; i-- {
+				if vi := valOf(g[i]); vi != v {
+					v = expr.Ite(deltas[i], vi, v)
+				}
+			}
+			m.meta[slot] = v
+		}
+		// Steps: worst case across siblings.
+		for _, s := range g[1:] {
+			if s.steps > m.steps {
+				m.steps = s.steps
+			}
+		}
+		// Reads and writes: union (sound over-approximation for the
+		// bad-value analysis); fresh-name counters take the maximum so
+		// future reads cannot collide with any sibling's names.
+		seenReads := map[*expr.Expr]bool{}
+		for _, rd := range m.reads {
+			seenReads[rd.Var] = true
+		}
+		for _, s := range g[1:] {
+			for _, rd := range s.reads {
+				if !seenReads[rd.Var] {
+					seenReads[rd.Var] = true
+					m.reads = append(m.reads, rd)
+				}
+			}
+			m.writes = append(m.writes, s.writes[len(parent.writes):]...)
+			for store, n := range s.nRead {
+				if m.nRead == nil {
+					m.nRead = map[string]int{}
+				}
+				if n > m.nRead[store] {
+					m.nRead[store] = n
+				}
+			}
+		}
+		// Any sibling's witness satisfies the disjunction.
+		m.model = nil
+		for _, s := range g {
+			if s.model != nil {
+				m.model = s.model
+				break
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}

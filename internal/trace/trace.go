@@ -1,0 +1,193 @@
+// Package trace generates synthetic packet workloads.
+//
+// The paper's testbed used live traffic through SMPClick on a Xeon
+// server; no such traces ship with a paper reproduction, so this package
+// provides the synthetic equivalents the examples, the vsdrun CLI, and
+// the failure-injection tests use: protocol-shaped IPv4 mixes, uniform
+// random frames, and adversarial mutations (truncations, corrupted
+// checksums, fuzzed IP options) that specifically target the code paths
+// the verifier reasons about.
+package trace
+
+import (
+	"math/rand"
+
+	"vsd/internal/packet"
+)
+
+// Spec configures a generator.
+type Spec struct {
+	Seed int64
+	// Hosts bounds the address pool (flows are picked among them).
+	Hosts int
+	// Prefixes to draw destination addresses from; defaults to a mix of
+	// 10/8, 192.168/16 and random space.
+	Prefixes []uint32
+}
+
+// Generator produces packet workloads deterministically from a seed.
+type Generator struct {
+	rng  *rand.Rand
+	spec Spec
+}
+
+// New returns a generator.
+func New(spec Spec) *Generator {
+	if spec.Hosts <= 0 {
+		spec.Hosts = 64
+	}
+	if len(spec.Prefixes) == 0 {
+		spec.Prefixes = []uint32{
+			packet.IP4(10, 0, 0, 0),
+			packet.IP4(192, 168, 0, 0),
+			packet.IP4(8, 8, 0, 0),
+		}
+	}
+	return &Generator{rng: rand.New(rand.NewSource(spec.Seed)), spec: spec}
+}
+
+func (g *Generator) addr() uint32 {
+	p := g.spec.Prefixes[g.rng.Intn(len(g.spec.Prefixes))]
+	return p | uint32(g.rng.Intn(g.spec.Hosts)+1)
+}
+
+// IPv4 produces one well-formed Ethernet+IPv4+UDP frame with random
+// addresses, TTL, and payload size.
+func (g *Generator) IPv4() *packet.Buffer {
+	payload := make([]byte, 8+g.rng.Intn(64))
+	// UDP-ish header in the payload: random ports.
+	payload[0] = byte(g.rng.Intn(256))
+	payload[1] = byte(g.rng.Intn(256))
+	payload[2] = byte(g.rng.Intn(256))
+	payload[3] = byte(g.rng.Intn(256))
+	var opts []byte
+	if g.rng.Intn(4) == 0 {
+		opts = g.options(false)
+	}
+	buf, err := packet.BuildIPv4(packet.IPv4Spec{
+		SrcMAC:   [6]byte{2, 0, 0, 0, 0, byte(g.rng.Intn(255))},
+		DstMAC:   [6]byte{2, 0, 0, 0, 1, byte(g.rng.Intn(255))},
+		SrcIP:    g.addr(),
+		DstIP:    g.addr(),
+		TTL:      uint8(1 + g.rng.Intn(254)),
+		Protocol: []uint8{packet.ProtoUDP, packet.ProtoTCP, packet.ProtoICMP}[g.rng.Intn(3)],
+		Options:  opts,
+		Payload:  payload,
+	})
+	if err != nil {
+		panic("trace: generator produced invalid spec: " + err.Error())
+	}
+	return buf
+}
+
+// options produces an IP options area; when malformed is set, the
+// area violates TLV rules (bad lengths, truncation).
+func (g *Generator) options(malformed bool) []byte {
+	n := 4 * (1 + g.rng.Intn(3))
+	opts := make([]byte, n)
+	i := 0
+	for i < n {
+		switch g.rng.Intn(3) {
+		case 0:
+			opts[i] = 1 // NOP
+			i++
+		case 1:
+			opts[i] = 0 // EOL
+			i = n
+		default:
+			l := 2 + g.rng.Intn(4)
+			if i+l > n {
+				l = n - i
+			}
+			if l < 2 {
+				opts[i] = 1
+				i++
+				continue
+			}
+			opts[i] = byte(7 + g.rng.Intn(60))
+			opts[i+1] = byte(l)
+			i += l
+		}
+	}
+	if malformed && n >= 2 {
+		switch g.rng.Intn(3) {
+		case 0:
+			opts[0], opts[1] = 9, 0 // length 0
+		case 1:
+			opts[0], opts[1] = 9, 1 // length 1
+		default:
+			opts[0], opts[1] = 9, byte(n+10) // overruns the area
+		}
+	}
+	return opts
+}
+
+// Random produces a frame of uniformly random bytes with length in
+// [packet.MinFrame, maxLen].
+func (g *Generator) Random(maxLen int) *packet.Buffer {
+	if maxLen < packet.MinFrame {
+		maxLen = packet.MinFrame
+	}
+	n := packet.MinFrame + g.rng.Intn(maxLen-packet.MinFrame+1)
+	data := make([]byte, n)
+	g.rng.Read(data)
+	return packet.NewBuffer(data)
+}
+
+// Adversarial produces a frame crafted to stress verification-relevant
+// paths: truncated headers, corrupted checksums, hostile IP options,
+// wrong versions, and huge claimed total lengths.
+func (g *Generator) Adversarial() *packet.Buffer {
+	base := g.IPv4()
+	data := base.Data
+	switch g.rng.Intn(6) {
+	case 0: // truncate inside the IP header
+		if len(data) > 16 {
+			data = data[:14+g.rng.Intn(7)]
+		}
+	case 1: // corrupt the checksum
+		data[14+10] ^= byte(1 + g.rng.Intn(255))
+	case 2: // wrong version nibble
+		data[14] = data[14]&0x0f | byte(g.rng.Intn(16))<<4
+	case 3: // absurd total length
+		data[14+2] = 0xff
+		data[14+3] = 0xff
+	case 4: // hostile options
+		buf, err := packet.BuildIPv4(packet.IPv4Spec{
+			SrcIP: g.addr(), DstIP: g.addr(), TTL: 3,
+			Protocol: packet.ProtoUDP,
+			Options:  g.options(true),
+			Payload:  []byte{0, 1, 2, 3, 4, 5, 6, 7},
+		})
+		if err == nil {
+			data = buf.Data
+		}
+	case 5: // zero TTL
+		data[14+8] = 0
+		ip, err := packet.IPv4At(data, 14)
+		if err == nil {
+			if ck, err2 := ip.ComputeChecksum(); err2 == nil {
+				ip.SetChecksum(ck)
+			}
+		}
+	}
+	return packet.NewBuffer(data)
+}
+
+// Mix produces a trace of n packets: mostly well-formed, a fraction
+// adversarial and a fraction uniformly random, the workload shape used
+// across the examples and benchmarks.
+func (g *Generator) Mix(n int) []*packet.Buffer {
+	out := make([]*packet.Buffer, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%10 == 7:
+			out = append(out, g.Adversarial())
+		case i%10 == 9:
+			out = append(out, g.Random(128))
+		default:
+			out = append(out, g.IPv4())
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+
+	"vsd/internal/packet"
+)
+
+func TestGeneratorIsDeterministic(t *testing.T) {
+	a := New(Spec{Seed: 7}).Mix(50)
+	b := New(Spec{Seed: 7}).Mix(50)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("packet %d differs between runs with the same seed", i)
+		}
+	}
+	c := New(Spec{Seed: 8}).Mix(50)
+	same := true
+	for i := range a {
+		if string(a[i].Data) != string(c[i].Data) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestIPv4PacketsAreWellFormed(t *testing.T) {
+	g := New(Spec{Seed: 3})
+	for i := 0; i < 200; i++ {
+		buf := g.IPv4()
+		eth, err := packet.EthernetAt(buf.Data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eth.Type() != packet.EtherTypeIPv4 {
+			t.Fatalf("packet %d: ethertype %#x", i, eth.Type())
+		}
+		ip, err := packet.IPv4At(buf.Data, packet.EthernetHeaderLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.Version() != 4 || ip.IHL() < 5 {
+			t.Fatalf("packet %d: bad version/ihl", i)
+		}
+		want, err := ip.ComputeChecksum()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip.Checksum() != want {
+			t.Fatalf("packet %d: bad checksum", i)
+		}
+		if int(ip.TotalLen())+packet.EthernetHeaderLen != len(buf.Data) {
+			t.Fatalf("packet %d: total length %d vs frame %d", i, ip.TotalLen(), len(buf.Data))
+		}
+	}
+}
+
+func TestRandomRespectsBounds(t *testing.T) {
+	g := New(Spec{Seed: 1})
+	for i := 0; i < 100; i++ {
+		buf := g.Random(100)
+		if len(buf.Data) < packet.MinFrame || len(buf.Data) > 100 {
+			t.Fatalf("random frame length %d out of bounds", len(buf.Data))
+		}
+	}
+	// Degenerate max clamps to MinFrame.
+	buf := g.Random(1)
+	if len(buf.Data) != packet.MinFrame {
+		t.Errorf("clamped length = %d", len(buf.Data))
+	}
+}
+
+func TestMixComposition(t *testing.T) {
+	g := New(Spec{Seed: 9})
+	mix := g.Mix(100)
+	if len(mix) != 100 {
+		t.Fatalf("mix size %d", len(mix))
+	}
+	// The mix must contain some packets that fail IPv4 validation
+	// (adversarial/random shares).
+	bad := 0
+	for _, buf := range mix {
+		ip, err := packet.IPv4At(buf.Data, packet.EthernetHeaderLen)
+		if err != nil {
+			bad++
+			continue
+		}
+		want, err := ip.ComputeChecksum()
+		if err != nil || ip.Checksum() != want || ip.Version() != 4 {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("mix contains no adversarial packets")
+	}
+	if bad > 60 {
+		t.Errorf("mix is mostly garbage (%d/100); well-formed share too small", bad)
+	}
+}

@@ -1,0 +1,258 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"vsd/internal/click"
+	"vsd/internal/expr"
+	"vsd/internal/ir"
+	"vsd/internal/symbex"
+)
+
+// Witness is a concrete input demonstrating a property violation (or,
+// for the instruction bound, attaining the maximum): the "example packet
+// sequences" the paper requires a verifier to produce.
+type Witness struct {
+	Packet []byte
+	Path   string // element-level path, for the report
+	Detail string
+}
+
+// CrashReport is the outcome of the crash-freedom property.
+type CrashReport struct {
+	// Verified is true when no packet can crash the pipeline.
+	Verified bool
+	// Witnesses lists feasible crashing inputs (empty when Verified).
+	Witnesses []Witness
+	// StatefulAssumed lists crash paths that are only realizable if a
+	// "bad value" lives in private state and were discharged by the
+	// data-structure refinement (see stateful.go).
+	Discharged int
+}
+
+// CrashFreedom proves that no input packet can crash the pipeline, for
+// any packet contents and any length within the configured bounds.
+// If the proof fails it returns concrete witness packets.
+func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
+	// Step-1 fast path: if no element has a suspect segment, the
+	// pipeline cannot crash — no composition needed (the paper's "if
+	// this step does not yield any suspect segments, we are done").
+	anySuspect := false
+	for _, e := range p.Elements {
+		segs, err := v.Summarize(e)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range segs {
+			if s.IsSuspect() {
+				anySuspect = true
+				break
+			}
+		}
+		if anySuspect {
+			break
+		}
+	}
+	rep := &CrashReport{Verified: true}
+	if !anySuspect {
+		return rep, nil
+	}
+	err := v.walk(p, nil, func(end pathEnd) error {
+		if end.disp != ir.Crashed {
+			return nil
+		}
+		// Stateful refinement: a crash whose constraint mentions
+		// private-state reads is realizable only if a bad value can
+		// actually be in the store.
+		realizable, err := v.statefulRealizable(p, end.state)
+		if err != nil {
+			return err
+		}
+		if !realizable {
+			rep.Discharged++
+			return nil
+		}
+		w, err := v.witness(p, end.state, nil)
+		if err != nil {
+			return err
+		}
+		w.Detail = fmt.Sprintf("%s: %s", end.crash.Kind, end.crash.Msg)
+		rep.Verified = false
+		rep.Witnesses = append(rep.Witnesses, w)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// BoundReport is the outcome of the bounded-execution property.
+type BoundReport struct {
+	// MaxSteps is the maximum dynamic statement count any packet can
+	// incur, over all feasible paths.
+	MaxSteps int64
+	// Witness attains MaxSteps.
+	Witness Witness
+	// CrashPossible notes that some input crashes the pipeline (the
+	// bound then covers only non-crashing executions).
+	CrashPossible bool
+}
+
+// BoundedInstructions computes the pipeline's worst-case instruction
+// count and a packet that attains it — the paper's "maximum number of
+// instructions that each pipeline may ever execute and which input
+// causes it".
+func (v *Verifier) BoundedInstructions(p *click.Pipeline) (*BoundReport, error) {
+	rep := &BoundReport{}
+	var maxState *composed
+	err := v.walk(p, nil, func(end pathEnd) error {
+		if end.disp == ir.Crashed {
+			realizable, err := v.statefulRealizable(p, end.state)
+			if err != nil {
+				return err
+			}
+			if realizable {
+				rep.CrashPossible = true
+			}
+			return nil
+		}
+		if end.state.steps > rep.MaxSteps {
+			rep.MaxSteps = end.state.steps
+			maxState = end.state
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if maxState != nil {
+		w, err := v.witness(p, maxState, nil)
+		if err != nil {
+			return nil, err
+		}
+		w.Detail = fmt.Sprintf("executes %d statements", rep.MaxSteps)
+		rep.Witness = w
+	}
+	return rep, nil
+}
+
+// ReachSpec is a configuration-specific reachability property: under the
+// given input assumptions, every feasible path must end at an accepted
+// egress (and never drop or crash). This expresses properties like "any
+// well-formed packet with destination IP X is never dropped".
+type ReachSpec struct {
+	// Name labels the property in reports.
+	Name string
+	// Assume constrains the input packet (expressions over the symbolic
+	// entry packet, see symbex naming conventions).
+	Assume []*expr.Expr
+	// AcceptEgress reports whether ending at the given pipeline egress
+	// id satisfies the property.
+	AcceptEgress func(egress int) bool
+}
+
+// ReachReport is the outcome of a reachability property.
+type ReachReport struct {
+	Verified  bool
+	Witnesses []Witness
+}
+
+// Reachability proves a ReachSpec over the pipeline.
+func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport, error) {
+	rep := &ReachReport{Verified: true}
+	err := v.walk(p, spec.Assume, func(end pathEnd) error {
+		bad := ""
+		switch end.disp {
+		case ir.Crashed:
+			realizable, err := v.statefulRealizable(p, end.state)
+			if err != nil {
+				return err
+			}
+			if realizable {
+				bad = "crashes"
+			}
+		case ir.Dropped:
+			bad = "is dropped"
+		case ir.Emitted:
+			if !spec.AcceptEgress(end.egress) {
+				bad = fmt.Sprintf("exits at %s", p.EgressName(end.egress))
+			}
+		}
+		if bad == "" {
+			return nil
+		}
+		w, err := v.witness(p, end.state, spec.Assume)
+		if err != nil {
+			return err
+		}
+		w.Detail = fmt.Sprintf("%s: packet %s", spec.Name, bad)
+		rep.Verified = false
+		rep.Witnesses = append(rep.Witnesses, w)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// witness turns a feasible composed path into a concrete packet.
+func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (Witness, error) {
+	m := st.model
+	if m == nil {
+		ok, got := v.feasible(&composed{}, append(append([]*expr.Expr{}, extraPre...), st.conds...), nil)
+		if !ok || got == nil {
+			return Witness{}, fmt.Errorf("verify: cannot produce witness for feasible path %s", pathName(p, st))
+		}
+		m = got
+	}
+	// Defensive cross-check: the model must satisfy the stitched
+	// constraints under evaluation semantics. A failure here indicates a
+	// solver or composition bug, not a property violation.
+	for _, c := range st.conds {
+		if !expr.Eval(c, m).IsTrue() {
+			return Witness{}, fmt.Errorf("verify: internal error: witness model violates path constraint %s on %s",
+				c, pathName(p, st))
+		}
+	}
+	return Witness{Packet: packetFromModel(m, v.opts.MinLen, v.opts.MaxLen), Path: pathName(p, st)}, nil
+}
+
+// packetFromModel materializes the symbolic entry packet of a model.
+func packetFromModel(m *expr.Assignment, minLen, maxLen uint64) []byte {
+	n := uint64(0)
+	if v, ok := m.Vars[symbex.PktLenVar]; ok {
+		n = v.Int()
+	}
+	if n < minLen {
+		n = minLen
+	}
+	if n > maxLen {
+		n = maxLen
+	}
+	pkt := make([]byte, n)
+	copy(pkt, m.Arrays[symbex.PktArrayName])
+	return pkt
+}
+
+// FormatWitness renders a witness for CLI reports.
+func FormatWitness(w Witness) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  path:   %s\n", w.Path)
+	fmt.Fprintf(&b, "  detail: %s\n", w.Detail)
+	fmt.Fprintf(&b, "  packet: (%d bytes)", len(w.Packet))
+	for i, by := range w.Packet {
+		if i%16 == 0 {
+			fmt.Fprintf(&b, "\n    %04x:", i)
+		}
+		fmt.Fprintf(&b, " %02x", by)
+		if i >= 63 && len(w.Packet) > 64 {
+			fmt.Fprintf(&b, " … (+%d)", len(w.Packet)-i-1)
+			break
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,386 @@
+// Package verify implements the paper's two-step compositional
+// dataplane verification — the primary contribution of "Toward a
+// Verifiable Software Dataplane" (Dobrescu & Argyraki, HotNets 2013).
+//
+// Step 1 (element verification): every element of a pipeline is
+// symbolically executed once, in isolation, with an unconstrained
+// symbolic packet. The result is a set of segment summaries — path
+// constraint C, symbolic state transformer S, instruction count, crash
+// tag. Summaries are cached by element class and configuration, so an
+// element appearing at several pipeline positions (or in several
+// pipelines) is processed once. Segments that can violate the target
+// property in isolation are tagged "suspect".
+//
+// Step 2 (composition): element-level paths through the pipeline DAG are
+// stitched by substitution — the upstream segment's output packet array
+// and metadata replace the downstream segment's input variables, exactly
+// the C1(in) ∧ C2(S1(in)) construction of the paper — and each stitched
+// path's feasibility is decided by the solver without re-executing any
+// code. Suspect segments whose stitched constraint is unsatisfiable are
+// discharged (the paper's e3/p1/p4 example); feasible ones yield
+// concrete witness packets.
+//
+// The package also provides the monolithic baseline (symbolic execution
+// of the whole inlined pipeline, the paper's >12-hour comparison point)
+// and the data-structure refinement for stateful elements (the
+// "bad value" analysis).
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"vsd/internal/bv"
+	"vsd/internal/click"
+	"vsd/internal/expr"
+	"vsd/internal/ir"
+	"vsd/internal/smt"
+	"vsd/internal/symbex"
+)
+
+// Options configures a Verifier.
+type Options struct {
+	// MinLen and MaxLen bound the symbolic packet length (defaults:
+	// packet.MinFrame and packet.MaxFrame are typical; zero values become
+	// 14 and 1514).
+	MinLen, MaxLen uint64
+	// Engine options forwarded to the symbolic executor.
+	Symbex symbex.Options
+	// DisableSummaryCache re-runs Step 1 for every pipeline position
+	// (ablation: the paper processes each element once).
+	DisableSummaryCache bool
+	// MaxComposedPaths bounds Step-2 exploration (0 = default).
+	MaxComposedPaths int
+}
+
+// DefaultMaxComposedPaths bounds Step-2 path enumeration.
+const DefaultMaxComposedPaths = 1 << 18
+
+// Stats describes the work a verification performed.
+type Stats struct {
+	ElementsSummarized int   // Step-1 runs (cache misses)
+	SummaryCacheHits   int   // Step-1 cache hits
+	SegmentsTotal      int   // segments across all summaries used
+	Suspects           int   // crash-tagged segments before composition
+	ComposedPaths      int   // stitched paths explored in Step 2
+	ComposedInfeasible int   // stitched paths discharged as infeasible
+	SolverQueries      int64 // feasibility queries in Step 2
+	SymbexStats        symbex.Stats
+}
+
+// Verifier runs compositional verification over pipelines.
+type Verifier struct {
+	solver  *smt.Solver
+	session *smt.Session
+	engine  *symbex.Engine
+	opts    Options
+	cache   map[string][]*symbex.Segment
+	stats   Stats
+}
+
+// New returns a Verifier with fresh solver and engine.
+func New(opts Options) *Verifier {
+	if opts.MinLen == 0 {
+		opts.MinLen = 14
+	}
+	if opts.MaxLen == 0 {
+		opts.MaxLen = 1514
+	}
+	solver := smt.New(smt.Options{})
+	return &Verifier{
+		solver:  solver,
+		session: solver.NewSession(),
+		engine:  symbex.New(solver, opts.Symbex),
+		opts:    opts,
+		cache:   map[string][]*symbex.Segment{},
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (v *Verifier) Stats() Stats {
+	s := v.stats
+	s.SymbexStats = v.engine.Stats()
+	return s
+}
+
+// input returns the Step-1 symbolic input specification.
+func (v *Verifier) input() symbex.Input {
+	return symbex.DefaultInput(v.opts.MinLen, v.opts.MaxLen)
+}
+
+// Pre returns the global assumptions (packet length bounds) under which
+// all verdicts hold.
+func (v *Verifier) Pre() []*expr.Expr { return v.input().Pre }
+
+// Summarize runs Step 1 for one element, with caching by class+config.
+func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
+	key := e.SummaryKey()
+	if !v.opts.DisableSummaryCache {
+		if segs, ok := v.cache[key]; ok {
+			v.stats.SummaryCacheHits++
+			return segs, nil
+		}
+	}
+	segs, err := v.engine.Run(e.Program(), v.input())
+	if err != nil {
+		return nil, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
+	}
+	v.stats.ElementsSummarized++
+	v.stats.SegmentsTotal += len(segs)
+	for _, s := range segs {
+		if s.IsSuspect() {
+			v.stats.Suspects++
+		}
+	}
+	if !v.opts.DisableSummaryCache {
+		v.cache[key] = segs
+	}
+	return segs, nil
+}
+
+// composed is the symbolic state of a stitched path prefix: the
+// pipeline-level analogue of a segment.
+type composed struct {
+	// elems and ports record the element-level path so far.
+	elems []int
+	ports []int
+	conds []*expr.Expr
+	pkt   *expr.Array
+	meta  map[string]*expr.Expr
+	steps int64
+	// reads and writes accumulate state accesses with globally unique
+	// variable names and instance-qualified store names.
+	reads  []symbex.StateAccess
+	writes []symbex.StateUpdate
+	model  *expr.Assignment // cached witness, nil if unknown
+}
+
+func (c *composed) fork() *composed {
+	n := &composed{
+		elems: append([]int{}, c.elems...),
+		ports: append([]int{}, c.ports...),
+		conds: append([]*expr.Expr{}, c.conds...),
+		pkt:   c.pkt,
+		meta:  make(map[string]*expr.Expr, len(c.meta)),
+		steps: c.steps,
+		reads: append([]symbex.StateAccess{}, c.reads...),
+		writes: append([]symbex.StateUpdate{},
+			c.writes...),
+		model: c.model,
+	}
+	for k, val := range c.meta {
+		n.meta[k] = val
+	}
+	return n
+}
+
+// entryState builds the composed state at pipeline ingress: a fresh
+// packet array and zeroed metadata annotations, matching the runtime.
+func entryState(p *click.Pipeline) *composed {
+	meta := map[string]*expr.Expr{}
+	for _, e := range p.Elements {
+		for slot, w := range e.Program().MetaSlots {
+			if _, ok := meta[slot]; !ok {
+				meta[slot] = expr.Const(w, 0)
+			}
+		}
+	}
+	return &composed{
+		pkt:  expr.BaseArray(symbex.PktArrayName),
+		meta: meta,
+	}
+}
+
+// stitch applies segment seg of element pos (instance name inst) to the
+// composed prefix, returning the extended state, or nil when the
+// stitched constraint is infeasible. This is the paper's Step-2
+// substitution: Cp(in) = C_prefix(in) ∧ C_seg(S_prefix(in)).
+func (v *Verifier) stitch(st *composed, seg *symbex.Segment, pos int, inst string, extraPre []*expr.Expr) (*composed, error) {
+	sub := expr.NewSubst()
+	sub.BindArr(symbex.PktArrayName, st.pkt)
+	for slot, val := range st.meta {
+		sub.BindVar(symbex.MetaVarPrefix+slot, val)
+	}
+	// State reads get globally unique names; stores are qualified by the
+	// instance so the bad-value analysis can find the owning writes.
+	for _, rd := range seg.Reads {
+		sub.BindVar(rd.Var.Name, expr.Var(fmt.Sprintf("p%d.%s", pos, rd.Var.Name), rd.Var.Width()))
+	}
+	out := st.fork()
+	out.elems = append(out.elems, pos)
+	var newConds []*expr.Expr
+	for _, c := range seg.Cond {
+		ic := sub.Apply(c)
+		if ic.IsTrue() {
+			continue
+		}
+		if ic.IsFalse() {
+			v.stats.ComposedInfeasible++
+			return nil, nil
+		}
+		newConds = append(newConds, ic)
+	}
+	if len(newConds) > 0 {
+		feasible, m := v.feasible(st, newConds, extraPre)
+		if !feasible {
+			v.stats.ComposedInfeasible++
+			return nil, nil
+		}
+		out.conds = append(out.conds, newConds...)
+		out.model = m
+	}
+	out.pkt = sub.ApplyArray(seg.Pkt)
+	for slot, val := range seg.Meta {
+		out.meta[slot] = sub.Apply(val)
+	}
+	out.steps += seg.Steps
+	for _, rd := range seg.Reads {
+		out.reads = append(out.reads, symbex.StateAccess{
+			Store: inst + "." + rd.Store,
+			Key:   sub.Apply(rd.Key),
+			Var:   sub.Apply(rd.Var),
+		})
+	}
+	for _, wr := range seg.Writes {
+		out.writes = append(out.writes, symbex.StateUpdate{
+			Store: inst + "." + wr.Store,
+			Key:   sub.Apply(wr.Key),
+			Val:   sub.Apply(wr.Val),
+		})
+	}
+	return out, nil
+}
+
+// feasible decides whether the prefix extended by newConds is
+// satisfiable, using the cached witness first.
+func (v *Verifier) feasible(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
+	if st.model != nil {
+		ok := true
+		for _, c := range newConds {
+			if !expr.Eval(c, st.model).IsTrue() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, st.model
+		}
+	}
+	pre := v.Pre()
+	cons := make([]*expr.Expr, 0, len(pre)+len(extraPre)+len(st.conds)+len(newConds))
+	cons = append(cons, pre...)
+	cons = append(cons, extraPre...)
+	cons = append(cons, st.conds...)
+	cons = append(cons, newConds...)
+	v.stats.SolverQueries++
+	r, m := v.session.Check(cons)
+	if r == smt.Unsat {
+		return false, nil
+	}
+	if r == smt.Unknown {
+		return true, nil
+	}
+	return true, m
+}
+
+// pathEnd describes how a composed path terminated.
+type pathEnd struct {
+	state  *composed
+	disp   ir.Disposition
+	crash  *symbex.CrashRecord
+	egress int // valid when disp == Emitted (pipeline egress id)
+}
+
+// walk explores every feasible composed path of the pipeline, invoking
+// visit for each terminating path (crash, drop, or egress). extraPre
+// adds property-specific input assumptions (e.g. reachability
+// preconditions).
+func (v *Verifier) walk(p *click.Pipeline, extraPre []*expr.Expr, visit func(pathEnd) error) error {
+	limit := v.opts.MaxComposedPaths
+	if limit <= 0 {
+		limit = DefaultMaxComposedPaths
+	}
+	summaries := make([][]*symbex.Segment, len(p.Elements))
+	for i, e := range p.Elements {
+		segs, err := v.Summarize(e)
+		if err != nil {
+			return err
+		}
+		summaries[i] = segs
+	}
+	explored := 0
+	var dfs func(elem int, st *composed) error
+	dfs = func(elem int, st *composed) error {
+		inst := p.Elements[elem].Name()
+		for _, seg := range summaries[elem] {
+			next, err := v.stitch(st, seg, elem, inst, extraPre)
+			if err != nil {
+				return err
+			}
+			if next == nil {
+				continue
+			}
+			switch seg.Disposition {
+			case ir.Crashed, ir.Dropped:
+				explored++
+				v.stats.ComposedPaths++
+				end := pathEnd{state: next, disp: seg.Disposition, crash: seg.Crash, egress: -1}
+				if err := visit(end); err != nil {
+					return err
+				}
+			case ir.Emitted:
+				next.ports = append(next.ports, seg.Port)
+				edge := p.Edges[elem][seg.Port]
+				if edge.To < 0 {
+					explored++
+					v.stats.ComposedPaths++
+					end := pathEnd{state: next, disp: ir.Emitted, egress: p.EgressID(elem, seg.Port)}
+					if err := visit(end); err != nil {
+						return err
+					}
+					continue
+				}
+				if err := dfs(edge.To, next); err != nil {
+					return err
+				}
+			}
+			if explored > limit {
+				return fmt.Errorf("verify: more than %d composed paths", limit)
+			}
+		}
+		return nil
+	}
+	return dfs(p.Entry, entryState(p))
+}
+
+// pathName renders a composed path for reports.
+func pathName(p *click.Pipeline, st *composed) string {
+	out := ""
+	for i, e := range st.elems {
+		if i > 0 {
+			out += " -> "
+		}
+		out += p.Elements[e].Name()
+		if i < len(st.ports) {
+			out += fmt.Sprintf("[%d]", st.ports[i])
+		}
+	}
+	return out
+}
+
+// sortedMetaSlots returns the pipeline's metadata slots in stable order,
+// for deterministic reports.
+func sortedMetaSlots(p *click.Pipeline) []string {
+	set := map[string]bv.Width{}
+	for _, e := range p.Elements {
+		for s, w := range e.Program().MetaSlots {
+			set[s] = w
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
