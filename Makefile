@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: tier1 build test race bench bench-json
+
+# tier1 is the repo's gate: everything must build and every test pass.
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the concurrent solver and the parallel verifier under
+# the race detector (slow; the parallel walk tests fan out real work).
+race:
+	$(GO) test -race ./internal/smt ./internal/verify
+
+# bench regenerates the paper's evaluation as Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-json emits BENCH_*.json-compatible records on stdout.
+bench-json:
+	$(GO) run ./cmd/vsdbench -json

@@ -16,6 +16,7 @@ import (
 	"vsd/internal/dataplane"
 	"vsd/internal/elements"
 	"vsd/internal/experiments"
+	"vsd/internal/expr"
 	"vsd/internal/packet"
 	"vsd/internal/smt"
 	"vsd/internal/symbex"
@@ -71,7 +72,7 @@ func BenchmarkF2ToyPipeline(b *testing.B) {
 // consists of these elements will not crash for any input").
 func BenchmarkE1CrashFreedomIPRouter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E1CrashFreedom(benchMaxLen)
+		rows, err := experiments.E1CrashFreedom(benchMaxLen, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,6 +83,15 @@ func BenchmarkE1CrashFreedomIPRouter(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(len(rows)), "pipelines")
+			var solves, reused, sessions int64
+			for _, r := range rows {
+				solves += r.Solver.AssumptionSolves
+				reused += r.Solver.ClausesReused
+				sessions += r.Solver.SessionsOpened
+			}
+			b.ReportMetric(float64(solves), "assumption-solves")
+			b.ReportMetric(float64(reused), "reused-clauses")
+			b.ReportMetric(float64(sessions), "sessions")
 		}
 	}
 }
@@ -97,7 +107,7 @@ const benchMaxLen = 48
 // about 3600 instructions per packet").
 func BenchmarkE2InstructionBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.E2InstructionBound(benchMaxLen)
+		res, err := experiments.E2InstructionBound(benchMaxLen, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +125,7 @@ func BenchmarkE2InstructionBound(b *testing.B) {
 // under a path budget; the "x" suffix benchmarks report its blow-up.
 func BenchmarkE3ComposedVsMonolithic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E3ComposedVsMonolithic(4, 5, 1<<14)
+		rows, err := experiments.E3ComposedVsMonolithic(4, 5, 1<<14, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,6 +134,8 @@ func BenchmarkE3ComposedVsMonolithic(b *testing.B) {
 			b.ReportMetric(float64(last.ComposedTime.Microseconds()), "composed-us")
 			b.ReportMetric(float64(last.MonoTime.Microseconds()), "mono-us")
 			b.ReportMetric(last.Speedup, "speedup")
+			b.ReportMetric(float64(last.Solver.AssumptionSolves), "assumption-solves")
+			b.ReportMetric(float64(last.Solver.ClausesReused), "reused-clauses")
 		}
 	}
 }
@@ -134,7 +146,7 @@ func BenchmarkA1PathScaling(b *testing.B) {
 	for k := 1; k <= 4; k++ {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rows, err := experiments.A1PathScaling(3, k)
+				rows, err := experiments.A1PathScaling(3, k, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -192,7 +204,7 @@ func BenchmarkA2LoopDecomposition(b *testing.B) {
 // NAT, counters) through the data-structure model.
 func BenchmarkA3StatefulElements(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.A3StatefulElements(benchMaxLen)
+		rows, err := experiments.A3StatefulElements(benchMaxLen, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,6 +276,96 @@ func BenchmarkAblationSummaryCache(b *testing.B) {
 				}
 				if i == 0 {
 					b.ReportMetric(float64(v.Stats().ElementsSummarized), "summarized")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalSAT replays a stitching-shaped query log —
+// monotonically growing constraint prefixes with a fresh branch atom per
+// step, exactly the pattern segment composition produces — through the
+// one-shot Solver.Check and through an IncrementalSession. The custom
+// metrics expose what the session reuses: assumption solves instead of
+// CNF rebuilds, and learnt clauses carried across queries.
+func BenchmarkAblationIncrementalSAT(b *testing.B) {
+	queries := stitchingQueryLog(40)
+	b.Run("oneshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver := smt.New(smt.Options{DisableIntervals: true})
+			for _, q := range queries {
+				solver.Check(q)
+			}
+			if i == 0 {
+				st := solver.Stats()
+				b.ReportMetric(float64(st.SatCalls), "sat-calls")
+				b.ReportMetric(float64(st.SatConflicts), "conflicts")
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver := smt.New(smt.Options{DisableIntervals: true})
+			sess := solver.NewSession()
+			for _, q := range queries {
+				sess.Check(q)
+			}
+			if i == 0 {
+				st := solver.Stats()
+				b.ReportMetric(float64(st.AssumptionSolves), "assumption-solves")
+				b.ReportMetric(float64(st.ClausesReused), "reused-clauses")
+				b.ReportMetric(float64(st.SessionsOpened), "sessions")
+				b.ReportMetric(float64(st.SatConflicts), "conflicts")
+			}
+		}
+	})
+}
+
+// stitchingQueryLog builds n queries over a shared symbolic packet: each
+// extends a common prefix by one parser-style byte constraint and adds a
+// query-specific branch atom (so the verdict cache cannot short-circuit
+// the comparison).
+func stitchingQueryLog(n int) [][]*expr.Expr {
+	pkt := expr.BaseArray(symbex.PktArrayName)
+	var prefix []*expr.Expr
+	queries := make([][]*expr.Expr, 0, n)
+	for i := 0; i < n; i++ {
+		byteI := expr.Select(pkt, expr.Const(32, uint64(i)))
+		prefix = append(prefix, expr.Ult(byteI, expr.Const(8, uint64(200-(i%64)))))
+		sum := expr.Add(byteI, expr.Select(pkt, expr.Const(32, uint64((i+1)%16))))
+		branch := expr.Eq(sum, expr.Const(8, uint64(3*i%251)))
+		q := append(append([]*expr.Expr{}, prefix...), branch)
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// BenchmarkAblationParallelism verifies the full router with a single
+// walker versus one per core. On multicore hosts the gap is the point;
+// on single-core hosts the two coincide (the pool degrades to a DFS).
+func BenchmarkAblationParallelism(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := fmt.Sprintf("parallel=%d", par)
+		if par == 0 {
+			name = "parallel=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := experiments.MustParse(experiments.IPRouterConfig(false))
+				v := verify.New(verify.Options{
+					MinLen: packet.MinFrame, MaxLen: benchMaxLen, Parallelism: par,
+				})
+				rep, err := v.CrashFreedom(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Verified {
+					b.Fatal("router must verify")
+				}
+				if i == 0 {
+					st := v.Stats()
+					b.ReportMetric(float64(st.Solver.AssumptionSolves), "assumption-solves")
+					b.ReportMetric(float64(st.Solver.SessionsOpened), "sessions")
 				}
 			}
 		})

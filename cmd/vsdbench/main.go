@@ -3,48 +3,97 @@
 //
 // Usage:
 //
-//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3 [-maxlen N]
+//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3 [-maxlen N] [-parallel N] [-json]
+//
+// With -json the results are emitted as a JSON array of records — one
+// per benchmark row — in the BENCH_*.json shape: benchmark name, wall
+// time, and a flat map of custom metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"vsd/internal/experiments"
+	"vsd/internal/smt"
 )
+
+// benchRecord is one BENCH_*.json-compatible result row.
+type benchRecord struct {
+	Name       string             `json:"name"`
+	WallTimeNS int64              `json:"wall_time_ns"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func solverMetrics(m map[string]float64, st smt.Stats) {
+	m["sat-calls"] = float64(st.SatCalls)
+	m["sat-conflicts"] = float64(st.SatConflicts)
+	m["cache-hits"] = float64(st.CacheHits)
+	m["interval-decided"] = float64(st.IntervalDecided)
+	m["sessions-opened"] = float64(st.SessionsOpened)
+	m["assumption-solves"] = float64(st.AssumptionSolves)
+	m["reused-clauses"] = float64(st.ClausesReused)
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, or all")
 	maxLen := flag.Uint64("maxlen", 48, "maximum packet length for the symbolic packet")
+	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array of benchmark records")
 	flag.Parse()
 
+	switch *experiment {
+	case "all", "e1", "e2", "e3", "a1", "a2", "a3":
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want e1, e2, e3, a1, a2, a3, or all)", *experiment))
+	}
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	records := []benchRecord{}
+	quiet := *jsonOut
+	printf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Printf(format, args...)
+		}
+	}
 
 	if run("e1") {
-		fmt.Println("== E1: crash freedom of IP-router pipelines ==")
-		fmt.Println("paper: \"any pipeline that consists of these elements will not crash for any input\"")
-		rows, err := experiments.E1CrashFreedom(*maxLen)
+		printf("== E1: crash freedom of IP-router pipelines ==\n")
+		printf("paper: \"any pipeline that consists of these elements will not crash for any input\"\n")
+		rows, err := experiments.E1CrashFreedom(*maxLen, *parallel)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-22s %-9s %9s %9s %11s %12s\n",
-			"pipeline", "verdict", "suspects", "composed", "infeasible", "time")
+		printf("%-22s %-9s %9s %9s %11s %13s %13s %12s\n",
+			"pipeline", "verdict", "suspects", "composed", "infeasible", "assume-solve", "reused-cls", "time")
 		for _, r := range rows {
 			verdict := "VERIFIED"
 			if !r.Verified {
 				verdict = "FAILED"
 			}
-			fmt.Printf("%-22s %-9s %9d %9d %11d %12v\n",
-				r.Pipeline, verdict, r.Suspects, r.Composed, r.Infeasib, r.Duration.Round(1e6))
+			printf("%-22s %-9s %9d %9d %11d %13d %13d %12v\n",
+				r.Pipeline, verdict, r.Suspects, r.Composed, r.Infeasib,
+				r.Solver.AssumptionSolves, r.Solver.ClausesReused, r.Duration.Round(1e6))
+			m := map[string]float64{
+				"suspects":   float64(r.Suspects),
+				"composed":   float64(r.Composed),
+				"infeasible": float64(r.Infeasib),
+				"verified":   b2f(r.Verified),
+			}
+			solverMetrics(m, r.Solver)
+			records = append(records, benchRecord{
+				Name: "e1/" + r.Pipeline, WallTimeNS: int64(r.Duration), Metrics: m,
+			})
 		}
-		fmt.Println()
+		printf("\n")
 	}
 
 	if run("e2") {
-		fmt.Println("== E2: per-packet instruction bound of the full router ==")
-		fmt.Println("paper: \"executes up to about 3600 instructions per packet, and we also identified the packet\"")
-		res, err := experiments.E2InstructionBound(*maxLen)
+		printf("== E2: per-packet instruction bound of the full router ==\n")
+		printf("paper: \"executes up to about 3600 instructions per packet, and we also identified the packet\"\n")
+		res, err := experiments.E2InstructionBound(*maxLen, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -52,81 +101,142 @@ func main() {
 		if res.Exact {
 			kind = "exact maximum"
 		}
-		fmt.Printf("bound: %d IR statements per packet (%s)\n", res.MaxSteps, kind)
-		fmt.Printf("static worst case of the inlined pipeline: %d\n", res.StaticBound)
-		fmt.Printf("witness packet: %d bytes, concretely executes %d statements\n", res.WitnessLen, res.WitnessSteps)
-		fmt.Printf("computed in %v\n\n", res.Duration.Round(1e6))
+		printf("bound: %d IR statements per packet (%s)\n", res.MaxSteps, kind)
+		printf("static worst case of the inlined pipeline: %d\n", res.StaticBound)
+		printf("witness packet: %d bytes, concretely executes %d statements\n", res.WitnessLen, res.WitnessSteps)
+		printf("computed in %v\n\n", res.Duration.Round(1e6))
+		records = append(records, benchRecord{
+			Name: "e2/instruction-bound", WallTimeNS: int64(res.Duration),
+			Metrics: map[string]float64{
+				"bound-stmts":   float64(res.MaxSteps),
+				"static-max":    float64(res.StaticBound),
+				"witness-stmts": float64(res.WitnessSteps),
+				"exact":         b2f(res.Exact),
+			},
+		})
 	}
 
 	if run("e3") {
-		fmt.Println("== E3: compositional vs monolithic verification ==")
-		fmt.Println("paper: \"verification time was about 18 minutes; [monolithic] did not complete within 12 hours\"")
-		rows, err := experiments.E3ComposedVsMonolithic(4, 6, 1<<14)
+		printf("== E3: compositional vs monolithic verification ==\n")
+		printf("paper: \"verification time was about 18 minutes; [monolithic] did not complete within 12 hours\"\n")
+		rows, err := experiments.E3ComposedVsMonolithic(4, 6, 1<<14, *parallel)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%3s %14s %14s %12s %10s\n", "k", "composed", "monolithic", "mono-paths", "speedup")
+		printf("%3s %14s %14s %12s %10s\n", "k", "composed", "monolithic", "mono-paths", "speedup")
 		for _, r := range rows {
 			done := ""
 			if !r.MonoDone {
 				done = " (budget!)"
 			}
-			fmt.Printf("%3d %14v %14v %12d %9.1fx%s\n",
+			printf("%3d %14v %14v %12d %9.1fx%s\n",
 				r.Elements, r.ComposedTime.Round(1e5), r.MonoTime.Round(1e5), r.MonoPaths, r.Speedup, done)
+			m := map[string]float64{
+				"elements":   float64(r.Elements),
+				"mono-ns":    float64(r.MonoTime),
+				"mono-paths": float64(r.MonoPaths),
+				"speedup":    r.Speedup,
+			}
+			solverMetrics(m, r.Solver)
+			records = append(records, benchRecord{
+				Name: fmt.Sprintf("e3/k=%d", r.Elements), WallTimeNS: int64(r.ComposedTime), Metrics: m,
+			})
 		}
-		fmt.Println()
+		printf("\n")
 	}
 
 	if run("a1") {
-		fmt.Println("== A1: path scaling (paper §3: k·2^n composed vs 2^(k·n) monolithic) ==")
-		rows, err := experiments.A1PathScaling(3, 5)
+		printf("== A1: path scaling (paper §3: k·2^n composed vs 2^(k·n) monolithic) ==\n")
+		start := time.Now()
+		rows, err := experiments.A1PathScaling(3, 5, *parallel)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%3s %6s %15s %15s %12s\n", "k", "n", "composed-segs", "composed-paths", "mono-paths")
+		dur := time.Since(start)
+		printf("%3s %6s %15s %15s %12s\n", "k", "n", "composed-segs", "composed-paths", "mono-paths")
 		for _, r := range rows {
-			fmt.Printf("%3d %6d %15d %15d %12d\n",
+			printf("%3d %6d %15d %15d %12d\n",
 				r.Elements, r.Branches, r.ComposedSegs, r.ComposedPaths, r.MonoPaths)
 		}
-		fmt.Println()
+		printf("\n")
+		last := rows[len(rows)-1]
+		records = append(records, benchRecord{
+			Name: "a1/path-scaling", WallTimeNS: int64(dur),
+			Metrics: map[string]float64{
+				"composed-segs":  float64(last.ComposedSegs),
+				"composed-paths": float64(last.ComposedPaths),
+				"mono-paths":     float64(last.MonoPaths),
+			},
+		})
 	}
 
 	if run("a2") {
-		fmt.Println("== A2: loop decomposition on the IP options element ==")
-		fmt.Println("paper: unrolled \"millions of segments ... months\"; decomposed: minutes")
+		printf("== A2: loop decomposition on the IP options element ==\n")
+		printf("paper: unrolled \"millions of segments ... months\"; decomposed: minutes\n")
 		rows, err := experiments.A2LoopDecomposition([]uint64{40, *maxLen}, 1<<9)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-8s %8s %10s %12s %10s %12s %s\n",
+		printf("%-8s %8s %10s %12s %10s %12s %s\n",
 			"mode", "maxlen", "segments", "sym-stmts", "checks", "time", "")
 		for _, r := range rows {
 			note := ""
 			if r.Aborted {
 				note = "ABORTED (budget)"
 			}
-			fmt.Printf("%-8s %8d %10d %12d %10d %12v %s\n",
+			printf("%-8s %8d %10d %12d %10d %12v %s\n",
 				r.Mode, r.MaxLen, r.Segments, r.Steps, r.Checks, r.Duration.Round(1e6), note)
+			records = append(records, benchRecord{
+				Name: fmt.Sprintf("a2/%s/maxlen=%d", r.Mode, r.MaxLen), WallTimeNS: int64(r.Duration),
+				Metrics: map[string]float64{
+					"segments":  float64(r.Segments),
+					"sym-stmts": float64(r.Steps),
+					"checks":    float64(r.Checks),
+					"aborted":   b2f(r.Aborted),
+				},
+			})
 		}
-		fmt.Println()
+		printf("\n")
 	}
 
 	if run("a3") {
-		fmt.Println("== A3: stateful elements through the data-structure model ==")
-		rows, err := experiments.A3StatefulElements(*maxLen)
+		printf("== A3: stateful elements through the data-structure model ==\n")
+		rows, err := experiments.A3StatefulElements(*maxLen, *parallel)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-20s %-9s %11s %12s\n", "pipeline", "verdict", "discharged", "time")
+		printf("%-20s %-9s %11s %12s\n", "pipeline", "verdict", "discharged", "time")
 		for _, r := range rows {
 			verdict := "VERIFIED"
 			if !r.Verified {
 				verdict = "REJECTED"
 			}
-			fmt.Printf("%-20s %-9s %11d %12v\n", r.Pipeline, verdict, r.Discharged, r.Duration.Round(1e6))
+			printf("%-20s %-9s %11d %12v\n", r.Pipeline, verdict, r.Discharged, r.Duration.Round(1e6))
+			records = append(records, benchRecord{
+				Name: "a3/" + r.Pipeline, WallTimeNS: int64(r.Duration),
+				Metrics: map[string]float64{
+					"verified":   b2f(r.Verified),
+					"discharged": float64(r.Discharged),
+				},
+			})
 		}
-		fmt.Println()
+		printf("\n")
 	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 //
 //	-property crash|bound|all   property to verify (default all)
 //	-maxlen N                   maximum packet length considered
+//	-parallel N                 verification worker pool size (0 = GOMAXPROCS)
 //	-monolithic                 also run the whole-pipeline baseline
 //	-dump-ir                    print each element's IR before verifying
 //	-stats                      print verification statistics
@@ -29,6 +30,7 @@ import (
 func main() {
 	property := flag.String("property", "all", "property to verify: crash, bound, or all")
 	maxLen := flag.Uint64("maxlen", 256, "maximum packet length considered")
+	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	monolithic := flag.Bool("monolithic", false, "also run the whole-pipeline baseline")
 	dumpIR := flag.Bool("dump-ir", false, "print each element's IR")
 	stats := flag.Bool("stats", false, "print verification statistics")
@@ -53,7 +55,7 @@ func main() {
 		}
 	}
 
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen})
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel})
 	failed := false
 
 	if *property == "crash" || *property == "all" {

@@ -1,0 +1,3 @@
+module vsd
+
+go 1.22

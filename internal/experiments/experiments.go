@@ -72,13 +72,16 @@ type E1Row struct {
 	Infeasib  int
 	Duration  time.Duration
 	MaxLength uint64
+	// Solver carries the solver-side counters for the row, including the
+	// incremental-session metrics (assumption solves, reused clauses).
+	Solver smt.Stats
 }
 
 // E1CrashFreedom verifies crash freedom for pipelines assembled from the
 // IP-router element set, reproducing "any pipeline that consists of
 // these elements will not crash for any input". Prefixes of the full
 // pipeline stand in for "pipelines that combine elements".
-func E1CrashFreedom(maxLen uint64) ([]E1Row, error) {
+func E1CrashFreedom(maxLen uint64, parallelism int) ([]E1Row, error) {
 	configs := []struct{ name, src string }{
 		{"classifier-only", `
 			src :: InfiniteSource;
@@ -109,7 +112,7 @@ func E1CrashFreedom(maxLen uint64) ([]E1Row, error) {
 	var rows []E1Row
 	for _, c := range configs {
 		p := MustParse(c.src)
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen})
+		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
 		start := time.Now()
 		rep, err := v.CrashFreedom(p)
 		if err != nil {
@@ -124,6 +127,7 @@ func E1CrashFreedom(maxLen uint64) ([]E1Row, error) {
 			Infeasib:  st.ComposedInfeasible,
 			Duration:  time.Since(start),
 			MaxLength: maxLen,
+			Solver:    st.Solver,
 		})
 	}
 	return rows, nil
@@ -142,9 +146,9 @@ type E2Result struct {
 // E2InstructionBound reproduces "the longest pipeline executes up to
 // about 3600 instructions per packet, and we also identified the packet
 // that yields this maximum result".
-func E2InstructionBound(maxLen uint64) (*E2Result, error) {
+func E2InstructionBound(maxLen uint64, parallelism int) (*E2Result, error) {
 	p := MustParse(IPRouterConfig(false))
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen})
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
 	start := time.Now()
 	rep, err := v.BoundedInstructions(p)
 	if err != nil {
@@ -181,6 +185,8 @@ type E3Row struct {
 	MonoPaths    int
 	MonoDone     bool
 	Speedup      float64
+	// Solver carries the compositional side's solver counters.
+	Solver smt.Stats
 }
 
 // E3ComposedVsMonolithic sweeps chains of synthetic n-branch elements,
@@ -188,14 +194,14 @@ type E3Row struct {
 // [the monolithic baseline] did not complete within 12 hours": the
 // compositional time grows roughly linearly in pipeline length while
 // the baseline grows exponentially and hits its budget.
-func E3ComposedVsMonolithic(branches, maxElems int, monoBudget int) ([]E3Row, error) {
+func E3ComposedVsMonolithic(branches, maxElems int, monoBudget int, parallelism int) ([]E3Row, error) {
 	var rows []E3Row
 	for k := 1; k <= maxElems; k++ {
 		pipe, err := syntheticChain(k, branches)
 		if err != nil {
 			return nil, err
 		}
-		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64})
+		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism})
 		start := time.Now()
 		rep, err := v.CrashFreedom(pipe)
 		if err != nil {
@@ -219,6 +225,7 @@ func E3ComposedVsMonolithic(branches, maxElems int, monoBudget int) ([]E3Row, er
 			MonoTime:     monoTime,
 			MonoPaths:    mono.Paths,
 			MonoDone:     mono.Completed,
+			Solver:       v.Stats().Solver,
 		}
 		if composedTime > 0 {
 			row.Speedup = float64(monoTime) / float64(composedTime)
@@ -277,14 +284,14 @@ type A1Row struct {
 
 // A1PathScaling measures the §3 claim directly: composed work ≈ k·2^n,
 // monolithic work ≈ 2^(k·n).
-func A1PathScaling(branches, maxElems int) ([]A1Row, error) {
+func A1PathScaling(branches, maxElems int, parallelism int) ([]A1Row, error) {
 	var rows []A1Row
 	for k := 1; k <= maxElems; k++ {
 		pipe, err := syntheticChain(k, branches)
 		if err != nil {
 			return nil, err
 		}
-		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64})
+		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism})
 		if _, err := v.CrashFreedom(pipe); err != nil {
 			return nil, err
 		}
@@ -367,7 +374,7 @@ type A3Row struct {
 // A3StatefulElements verifies the stateful pipelines: the flow table and
 // NAT map via the data-structure model, the overflow counter as the
 // reachable-bad-value counterexample, and its saturating fix.
-func A3StatefulElements(maxLen uint64) ([]A3Row, error) {
+func A3StatefulElements(maxLen uint64, parallelism int) ([]A3Row, error) {
 	configs := []struct{ name, src string }{
 		{"netflow", `
 			src :: InfiniteSource;
@@ -387,7 +394,7 @@ func A3StatefulElements(maxLen uint64) ([]A3Row, error) {
 	var rows []A3Row
 	for _, c := range configs {
 		p := MustParse(c.src)
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen})
+		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
 		start := time.Now()
 		rep, err := v.CrashFreedom(p)
 		if err != nil {

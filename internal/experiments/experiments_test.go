@@ -7,7 +7,7 @@ import (
 func TestSyntheticChainScaling(t *testing.T) {
 	// The synthetic chain must exhibit the paper's §3 shape: composed
 	// segments grow linearly with k, monolithic paths exponentially.
-	rows, err := A1PathScaling(3, 3)
+	rows, err := A1PathScaling(3, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestSyntheticChainScaling(t *testing.T) {
 }
 
 func TestE3RowsProduceSpeedup(t *testing.T) {
-	rows, err := E3ComposedVsMonolithic(3, 3, 1<<12)
+	rows, err := E3ComposedVsMonolithic(3, 3, 1<<12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestE3RowsProduceSpeedup(t *testing.T) {
 }
 
 func TestA3RowsShape(t *testing.T) {
-	rows, err := A3StatefulElements(40)
+	rows, err := A3StatefulElements(40, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

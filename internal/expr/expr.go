@@ -108,6 +108,12 @@ type Expr struct {
 // order-insensitive hashing of term sets (e.g. the solver query cache).
 func (e *Expr) ID() uint64 { return e.id }
 
+// Hash returns the node's structural hash, memoized at construction.
+// Interning makes it as exact as pointer identity for most purposes, and
+// callers hashing large term sets (the solver's verdict cache) use it to
+// avoid re-walking DAGs.
+func (e *Expr) Hash() uint64 { return e.hash }
+
 // Width returns the bitvector width of the expression's value.
 func (e *Expr) Width() bv.Width { return e.W }
 

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"math/bits"
+	"sync"
 
 	"vsd/internal/bv"
 	"vsd/internal/expr"
@@ -57,8 +58,18 @@ type intervalAnalysis struct {
 	changed bool // set by narrow when some range shrinks
 }
 
-func newIntervalAnalysis() *intervalAnalysis {
+// iaPool recycles analyses: one runs per solver query, and the two maps
+// were a measurable share of per-query allocation churn.
+var iaPool = sync.Pool{New: func() any {
 	return &intervalAnalysis{leaves: map[*expr.Expr]interval{}, memo: map[*expr.Expr]interval{}}
+}}
+
+func newIntervalAnalysis() *intervalAnalysis {
+	ia := iaPool.Get().(*intervalAnalysis)
+	clear(ia.leaves)
+	clear(ia.memo)
+	ia.changed = false
+	return ia
 }
 
 // rangeOf computes a sound over-approximation of e's value range given
@@ -363,6 +374,7 @@ const (
 // a model from the refined ranges.
 func preAnalyze(atoms []*expr.Expr) (intervalVerdict, *expr.Assignment) {
 	ia := newIntervalAnalysis()
+	defer iaPool.Put(ia)
 	// Refine to fixpoint (ranges only shrink; cap rounds defensively).
 	for round := 0; round < 8; round++ {
 		ia.changed = false

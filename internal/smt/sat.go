@@ -39,23 +39,19 @@ func (l Lit) Neg() bool { return l&1 == 1 }
 // Flip returns the complementary literal.
 func (l Lit) Flip() Lit { return l ^ 1 }
 
-type lbool int8
+// lbool follows the MiniSat encoding: true and false differ only in the
+// low bit, so value(l) is a single xor with the literal's sign — the
+// hottest operation in unit propagation. The assignment array stores
+// only lTrue/lFalse/lUndef; xor against a negated literal can surface
+// lUndef as 3, so undefined results must be tested with >= lUndef (or by
+// falling through a lTrue/lFalse switch), never ==.
+type lbool uint8
 
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
-
-func (b lbool) flip() lbool {
-	switch b {
-	case lTrue:
-		return lFalse
-	case lFalse:
-		return lTrue
-	}
-	return lUndef
-}
 
 type clause struct {
 	lits    []Lit
@@ -142,33 +138,32 @@ func (s *SatSolver) NewVar() int32 {
 // NumVars returns the number of variables allocated.
 func (s *SatSolver) NumVars() int { return len(s.assign) }
 
+// NumLearnts returns the number of learnt clauses currently retained.
+// Incremental sessions report this as "clauses reused": conflict clauses
+// carried into a later assumption solve.
+func (s *SatSolver) NumLearnts() int { return len(s.learnts) }
+
 // Stats returns the number of decisions, propagations and conflicts seen.
 func (s *SatSolver) Stats() (decisions, propagations, conflicts int64) {
 	return s.decisions, s.propags, s.conflicts
 }
 
-func (s *SatSolver) value(l Lit) lbool {
-	v := s.assign[l.Var()]
-	if v == lUndef {
-		return lUndef
-	}
-	if l.Neg() {
-		return v.flip()
-	}
-	return v
-}
+func (s *SatSolver) value(l Lit) lbool { return s.assign[l.Var()] ^ lbool(l&1) }
 
 // AddClause adds a clause; it returns false if the formula is already
 // unsatisfiable at the top level. Clauses may be added between Solve
 // calls (the incremental Session does); the trail is first rewound to
 // level 0 so simplification never consults stale search assignments.
+// The solver takes ownership of the literal slice (bit-blasting emits
+// millions of small clauses; the in-place simplify avoids a second
+// allocation per clause).
 func (s *SatSolver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
 	s.cancelUntil(0)
 	// Simplify: remove duplicates and false literals; detect tautology.
-	out := lits[:0:0]
+	out := lits[:0]
 	for _, l := range lits {
 		switch s.value(l) {
 		case lTrue:
@@ -226,11 +221,7 @@ func (s *SatSolver) enqueue(l Lit, from *clause) bool {
 		return false
 	}
 	v := l.Var()
-	if l.Neg() {
-		s.assign[v] = lFalse
-	} else {
-		s.assign[v] = lTrue
-	}
+	s.assign[v] = lbool(l & 1) // positive literal -> lTrue(0), negated -> lFalse(1)
 	s.level[v] = int32(len(s.trailLim))
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -242,6 +233,7 @@ func (s *SatSolver) propagate() *clause {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.propags++
+		pf := p.Flip()
 		ws := s.watches[p]
 		kept := ws[:0]
 		for i := 0; i < len(ws); i++ {
@@ -255,20 +247,21 @@ func (s *SatSolver) propagate() *clause {
 				continue
 			}
 			// Ensure the false literal is lits[1].
-			if c.lits[0] == p.Flip() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			lits := c.lits
+			if lits[0] == pf {
+				lits[0], lits[1] = lits[1], lits[0]
 			}
-			first := c.lits[0]
+			first := lits[0]
 			if first != w.blocker && s.value(first) == lTrue {
 				kept = append(kept, watcher{c, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Flip()] = append(s.watches[c.lits[1].Flip()], watcher{c, first})
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Flip()] = append(s.watches[lits[1].Flip()], watcher{c, first})
 					found = true
 					break
 				}
@@ -512,24 +505,27 @@ func (s *SatSolver) pickBranchVar() int32 {
 // Unassigned variables (possible after elimination) read as false.
 func (s *SatSolver) ModelValue(v int32) bool { return s.assign[v] == lTrue }
 
-// varHeap is a max-heap on variable activity with lazy deletion.
+// varHeap is a max-heap on variable activity with lazy deletion. The
+// position index is a dense slice (variables are small consecutive
+// integers): heap maintenance runs on every propagate/backtrack cycle,
+// and a map here dominated whole-verification profiles.
 type varHeap struct {
 	act   *[]float64
 	items []int32
-	pos   map[int32]int
+	pos   []int32 // pos[v] = index of v in items, -1 when absent
 }
 
 func (h *varHeap) less(a, b int32) bool { return (*h.act)[a] > (*h.act)[b] }
 
 func (h *varHeap) push(v int32) {
-	if h.pos == nil {
-		h.pos = map[int32]int{}
+	for int32(len(h.pos)) <= v {
+		h.pos = append(h.pos, -1)
 	}
-	if _, in := h.pos[v]; in {
+	if h.pos[v] >= 0 {
 		return
 	}
 	h.items = append(h.items, v)
-	h.pos[v] = len(h.items) - 1
+	h.pos[v] = int32(len(h.items) - 1)
 	h.up(len(h.items) - 1)
 }
 
@@ -542,7 +538,7 @@ func (h *varHeap) pop() (int32, bool) {
 	h.items[0] = h.items[last]
 	h.pos[h.items[0]] = 0
 	h.items = h.items[:last]
-	delete(h.pos, top)
+	h.pos[top] = -1
 	if len(h.items) > 0 {
 		h.down(0)
 	}
@@ -550,8 +546,8 @@ func (h *varHeap) pop() (int32, bool) {
 }
 
 func (h *varHeap) update(v int32) {
-	if i, in := h.pos[v]; in {
-		h.up(i)
+	if int32(len(h.pos)) > v && h.pos[v] >= 0 {
+		h.up(int(h.pos[v]))
 	}
 }
 
@@ -562,8 +558,8 @@ func (h *varHeap) up(i int) {
 			break
 		}
 		h.items[i], h.items[p] = h.items[p], h.items[i]
-		h.pos[h.items[i]] = i
-		h.pos[h.items[p]] = p
+		h.pos[h.items[i]] = int32(i)
+		h.pos[h.items[p]] = int32(p)
 		i = p
 	}
 }
@@ -583,8 +579,8 @@ func (h *varHeap) down(i int) {
 			return
 		}
 		h.items[i], h.items[m] = h.items[m], h.items[i]
-		h.pos[h.items[i]] = i
-		h.pos[h.items[m]] = m
+		h.pos[h.items[i]] = int32(i)
+		h.pos[h.items[m]] = int32(m)
 		i = m
 	}
 }

@@ -6,18 +6,28 @@ import (
 	"vsd/internal/expr"
 )
 
-// Session is an incremental solving context: one persistent SAT
-// instance into which constraint atoms are asserted once, guarded by
+// IncrementalSession is an incremental solving context: one persistent
+// SAT instance into which constraint atoms are asserted once, guarded by
 // activation literals, and queried under assumption sets. Conflict
 // clauses learnt by one query accelerate the next — essential for
 // symbolic execution and composition, which issue thousands of queries
 // over monotonically growing constraint prefixes.
 //
-// A Session is not safe for concurrent use (each exploration owns one).
-// Cheap per-query passes (constant folding, the interval analysis, the
-// owning Solver's verdict cache) still run first; the incremental core
-// only sees queries those passes cannot decide.
-type Session struct {
+// Queries need NOT be supersets of each other: an atom asserted for one
+// query is disabled in the next simply by omitting its activation
+// literal from the assumption set, so no invalidation pass is required
+// when the atom set shrinks or diverges. What does grow monotonically is
+// the underlying CNF; sessions therefore recycle their SAT instance when
+// the guarded-atom count exceeds sessionMaxGuards, which bounds memory
+// at the cost of relearning.
+//
+// An IncrementalSession is not safe for concurrent use — each worker
+// owns one (the owning Solver hands them out via NewSession, and the
+// verifier pools them per walker goroutine). Cheap per-query passes
+// (constant folding, the interval analysis, the owning Solver's verdict
+// cache) still run first; the incremental core only sees queries those
+// passes cannot decide.
+type IncrementalSession struct {
 	owner         *Solver
 	bl            *blaster
 	lastConflicts int64
@@ -30,32 +40,49 @@ type Session struct {
 	selInfo []selectInfo
 	selVars []string
 	rwMemo  map[*expr.Expr]*expr.Expr
+	// varsMemo caches the free-variable list of each queried atom: model
+	// extraction runs per Sat verdict over the whole (mostly unchanged)
+	// atom set, and re-walking the DAGs dominated profiles.
+	varsMemo map[*expr.Expr][]*expr.Expr
 }
+
+// sessionMaxGuards bounds a session's guarded-atom count before its SAT
+// instance is recycled (fresh CNF, learnt clauses dropped). Exploration
+// along one path rarely needs more than a few thousand distinct atoms;
+// the bound exists so a long-lived session cannot grow without limit.
+const sessionMaxGuards = 1 << 14
 
 // NewSession returns an incremental context backed by this solver's
 // options, statistics, and verdict cache.
-func (s *Solver) NewSession() *Session {
-	sess := &Session{
-		owner:   s,
-		bl:      newBlaster(),
-		guards:  map[*expr.Expr]Lit{},
-		selRepl: map[*expr.Expr]*expr.Expr{},
-		rwMemo:  map[*expr.Expr]*expr.Expr{},
-	}
-	sess.bl.sat.MaxConflicts = s.Opts.MaxConflicts
-	if sess.bl.sat.MaxConflicts == 0 {
-		sess.bl.sat.MaxConflicts = DefaultMaxConflicts
-	}
+func (s *Solver) NewSession() *IncrementalSession {
+	sess := &IncrementalSession{owner: s}
+	sess.recycle()
 	return sess
 }
 
-// lastConflicts tracks the SAT core's conflict counter so Check can
-// report deltas to the owner's statistics.
+// recycle (re)initializes the SAT instance and every piece of state tied
+// to it. Counted under SessionsOpened: a recycle opens a fresh
+// underlying solver instance.
+func (sess *IncrementalSession) recycle() {
+	sess.owner.stats.sessions.Add(1)
+	sess.bl = newBlaster()
+	sess.bl.sat.MaxConflicts = sess.owner.Opts.MaxConflicts
+	if sess.bl.sat.MaxConflicts == 0 {
+		sess.bl.sat.MaxConflicts = DefaultMaxConflicts
+	}
+	sess.lastConflicts = 0
+	sess.guards = map[*expr.Expr]Lit{}
+	sess.selRepl = map[*expr.Expr]*expr.Expr{}
+	sess.selInfo = sess.selInfo[:0]
+	sess.selVars = sess.selVars[:0]
+	sess.rwMemo = map[*expr.Expr]*expr.Expr{}
+	sess.varsMemo = map[*expr.Expr][]*expr.Expr{}
+}
 
 // rewriteSelects rewrites an expression replacing every select node by
 // its session variable, registering new selects (and their pairwise
 // functional-consistency axioms) as they appear.
-func (sess *Session) rewriteSelects(e *expr.Expr) *expr.Expr {
+func (sess *IncrementalSession) rewriteSelects(e *expr.Expr) *expr.Expr {
 	if r, ok := sess.rwMemo[e]; ok {
 		return r
 	}
@@ -113,7 +140,7 @@ func (sess *Session) rewriteSelects(e *expr.Expr) *expr.Expr {
 
 // guardFor asserts the atom (guarded) if new and returns its activation
 // literal.
-func (sess *Session) guardFor(atom *expr.Expr) Lit {
+func (sess *IncrementalSession) guardFor(atom *expr.Expr) Lit {
 	if g, ok := sess.guards[atom]; ok {
 		return g
 	}
@@ -125,40 +152,31 @@ func (sess *Session) guardFor(atom *expr.Expr) Lit {
 	return g
 }
 
+// varsOf returns the free variables of a queried atom, memoized for the
+// session's lifetime.
+func (sess *IncrementalSession) varsOf(a *expr.Expr) []*expr.Expr {
+	if vs, ok := sess.varsMemo[a]; ok {
+		return vs
+	}
+	vs := expr.Vars(a, nil)
+	sess.varsMemo[a] = vs
+	return vs
+}
+
 // Check decides satisfiability of the conjunction incrementally. The
 // result contract matches Solver.Check.
-func (sess *Session) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
+func (sess *IncrementalSession) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	s := sess.owner
-	s.stats.queries.Add(1)
-	atoms, early := flattenAtoms(constraints)
-	if early != Unknown {
-		s.stats.folded.Add(1)
-		if early == Sat {
-			return Sat, expr.NewAssignment()
-		}
-		return Unsat, nil
-	}
-	sortAtoms(atoms)
-	atoms = dedupAtoms(atoms)
-	key := cacheKey(atoms)
-	atomsCopy := append([]*expr.Expr{}, atoms...)
-	if res, m, ok := s.cacheGet(key, atomsCopy); ok {
-		s.stats.cacheHits.Add(1)
+	atoms, key, res, m, done := s.preSolve(constraints)
+	if done {
 		return res, m
 	}
-	if !s.Opts.DisableIntervals {
-		switch verdict, model := preAnalyze(atoms); verdict {
-		case intervalUnsat:
-			s.stats.interval.Add(1)
-			s.cachePut(key, atomsCopy, Unsat, nil)
-			return Unsat, nil
-		case intervalSat:
-			s.stats.interval.Add(1)
-			s.cachePut(key, atomsCopy, Sat, model)
-			return Sat, model
-		}
+	if len(sess.guards)+len(atoms) > sessionMaxGuards {
+		sess.recycle()
 	}
 	s.stats.satCalls.Add(1)
+	s.stats.assumptionSolves.Add(1)
+	s.stats.clausesReused.Add(int64(sess.bl.sat.NumLearnts()))
 	assumptions := make([]Lit, len(atoms))
 	for i, a := range atoms {
 		assumptions[i] = sess.guardFor(a)
@@ -169,13 +187,13 @@ func (sess *Session) Check(constraints []*expr.Expr) (Result, *expr.Assignment) 
 	sess.lastConflicts = conflicts
 	switch verdict {
 	case SatUnsat:
-		s.cachePut(key, atomsCopy, Unsat, nil)
+		s.cachePut(key, atoms, Unsat, nil)
 		return Unsat, nil
 	case SatUnknown:
 		return Unknown, nil
 	}
 	asn := sess.extractModel(atoms)
-	s.cachePut(key, atomsCopy, Sat, asn)
+	s.cachePut(key, atoms, Sat, asn)
 	return Sat, asn
 }
 
@@ -183,27 +201,26 @@ func (sess *Session) Check(constraints []*expr.Expr) (Result, *expr.Assignment) 
 // and array bytes for every select the session has seen. Including all
 // session selects (not just the queried ones) is harmless: extra bytes
 // only make the witness more concrete.
-func (sess *Session) extractModel(atoms []*expr.Expr) *expr.Assignment {
+func (sess *IncrementalSession) extractModel(atoms []*expr.Expr) *expr.Assignment {
 	asn := expr.NewAssignment()
-	var vars []*expr.Expr
 	for _, a := range atoms {
-		vars = expr.Vars(a, vars)
-	}
-	for _, v := range vars {
-		asn.Vars[v.Name] = sess.bl.modelVar(v.Name, v.Width())
+		for _, v := range sess.varsOf(a) {
+			if _, ok := asn.Vars[v.Name]; !ok {
+				asn.Vars[v.Name] = sess.bl.modelVar(v.Name, v.Width())
+			}
+		}
 	}
 	// Select variables referenced by the queried atoms' rewrites are
 	// found transitively; simply materialize every session select whose
 	// guard context makes it meaningful. Unconstrained ones read as 0,
 	// which is a valid completion.
 	const maxModelIndex = 1 << 20
+	tmp := expr.NewAssignment()
 	for i, info := range sess.selInfo {
 		name := info.sel.Arr.BaseName()
 		// The index may mention select variables; resolve them through
 		// the blaster's model too.
-		idxVars := expr.Vars(info.idx, nil)
-		tmp := expr.NewAssignment()
-		for _, v := range idxVars {
+		for _, v := range sess.varsOf(info.idx) {
 			tmp.Vars[v.Name] = sess.bl.modelVar(v.Name, v.Width())
 		}
 		idx := expr.Eval(info.idx, tmp).Int()

@@ -50,6 +50,10 @@ type Stats struct {
 	SatCalls        int64 // queries that reached the SAT core
 	SatConflicts    int64 // conflicts accumulated across SAT calls
 	CacheHits       int64 // queries answered from the verdict cache
+	// Incremental-session counters.
+	SessionsOpened   int64 // IncrementalSession instances created (incl. recycles)
+	AssumptionSolves int64 // SAT calls made under assumptions by sessions
+	ClausesReused    int64 // learnt clauses carried into assumption solves
 }
 
 // Solver decides satisfiability of conjunctions of 1-bit bitvector
@@ -65,6 +69,7 @@ type Solver struct {
 	Opts  Options
 	stats struct {
 		queries, folded, interval, satCalls, satConflicts, cacheHits atomic.Int64
+		sessions, assumptionSolves, clausesReused                    atomic.Int64
 	}
 	mu    sync.Mutex
 	cache map[uint64][]cacheEntry
@@ -81,12 +86,13 @@ func New(opts Options) *Solver {
 	return &Solver{Opts: opts, cache: map[uint64][]cacheEntry{}}
 }
 
-// cacheKey hashes the atom set; atoms must be sorted by ID so the key
-// is order-insensitive.
+// cacheKey hashes the atom set from the per-node structural hashes
+// memoized at construction (no DAG re-walking); atoms must be sorted by
+// ID so the key is order-insensitive.
 func cacheKey(atoms []*expr.Expr) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	for _, a := range atoms {
-		h ^= a.ID() * 0x100000001b3
+		h ^= (a.Hash() ^ a.ID()) * 0x100000001b3
 		h *= 0xff51afd7ed558ccd
 	}
 	return h
@@ -124,96 +130,84 @@ func (s *Solver) cacheGet(key uint64, atoms []*expr.Expr) (Result, *expr.Assignm
 const cacheMaxEntries = 1 << 16
 
 func (s *Solver) cachePut(key uint64, atoms []*expr.Expr, res Result, m *expr.Assignment) {
+	// Copy here, on the insert path only: callers reuse their atom slices
+	// and the hit path must not pay for a defensive copy.
+	stored := append([]*expr.Expr{}, atoms...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.cache) >= cacheMaxEntries {
 		s.cache = map[uint64][]cacheEntry{}
 	}
-	s.cache[key] = append(s.cache[key], cacheEntry{atoms: atoms, res: res, model: m})
+	s.cache[key] = append(s.cache[key], cacheEntry{atoms: stored, res: res, model: m})
 }
 
 // Stats returns a snapshot of the work counters.
 func (s *Solver) Stats() Stats {
 	return Stats{
-		Queries:         s.stats.queries.Load(),
-		FoldedDecided:   s.stats.folded.Load(),
-		IntervalDecided: s.stats.interval.Load(),
-		SatCalls:        s.stats.satCalls.Load(),
-		SatConflicts:    s.stats.satConflicts.Load(),
-		CacheHits:       s.stats.cacheHits.Load(),
+		Queries:          s.stats.queries.Load(),
+		FoldedDecided:    s.stats.folded.Load(),
+		IntervalDecided:  s.stats.interval.Load(),
+		SatCalls:         s.stats.satCalls.Load(),
+		SatConflicts:     s.stats.satConflicts.Load(),
+		CacheHits:        s.stats.cacheHits.Load(),
+		SessionsOpened:   s.stats.sessions.Load(),
+		AssumptionSolves: s.stats.assumptionSolves.Load(),
+		ClausesReused:    s.stats.clausesReused.Load(),
 	}
+}
+
+// preSolve runs the cheap per-query passes shared by the one-shot Check
+// and the incremental session: flattening and constant folding,
+// canonical ordering and deduplication, the verdict cache, and the
+// interval pre-analysis. When done is true the query is decided and
+// res/m hold the verdict; otherwise atoms is the canonical undecided
+// atom set and key its cache key (the caller must cachePut its verdict).
+// The returned atoms slice may alias the caller's scratch space — it is
+// only valid until the next preSolve call on the same goroutine.
+func (s *Solver) preSolve(constraints []*expr.Expr) (atoms []*expr.Expr, key uint64, res Result, m *expr.Assignment, done bool) {
+	s.stats.queries.Add(1)
+	atoms, early := flattenAtoms(constraints)
+	if early != Unknown {
+		s.stats.folded.Add(1)
+		if early == Sat {
+			return nil, 0, Sat, expr.NewAssignment(), true
+		}
+		return nil, 0, Unsat, nil, true
+	}
+	sortAtoms(atoms)
+	atoms = dedupAtoms(atoms)
+	key = cacheKey(atoms)
+	if r, cm, ok := s.cacheGet(key, atoms); ok {
+		s.stats.cacheHits.Add(1)
+		return nil, 0, r, cm, true
+	}
+	if !s.Opts.DisableIntervals {
+		switch verdict, model := preAnalyze(atoms); verdict {
+		case intervalUnsat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atoms, Unsat, nil)
+			return nil, 0, Unsat, nil, true
+		case intervalSat:
+			s.stats.interval.Add(1)
+			s.cachePut(key, atoms, Sat, model)
+			return nil, 0, Sat, model, true
+		}
+	}
+	return atoms, key, Unknown, nil, false
 }
 
 // Check decides whether the conjunction of the given 1-bit expressions is
 // satisfiable. On Sat it returns a model assigning every free variable
 // and the bytes of every base array mentioned by the constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
-	s.stats.queries.Add(1)
-	// 1. Flatten conjunctions and fold constants.
-	atoms := make([]*expr.Expr, 0, len(constraints))
-	var flatten func(e *expr.Expr)
-	flatten = func(e *expr.Expr) {
-		if e.Kind == expr.KBin && e.Op == expr.OpAnd && e.Width() == 1 {
-			flatten(e.A)
-			flatten(e.B)
-			return
-		}
-		atoms = append(atoms, e)
-	}
-	for _, c := range constraints {
-		if c.Width() != 1 {
-			panic(fmt.Sprintf("smt: non-boolean constraint %s", c))
-		}
-		flatten(c)
-	}
-	out := atoms[:0]
-	for _, a := range atoms {
-		if a.IsTrue() {
-			continue
-		}
-		if a.IsFalse() {
-			s.stats.folded.Add(1)
-			return Unsat, nil
-		}
-		out = append(out, a)
-	}
-	atoms = out
-	if len(atoms) == 0 {
-		s.stats.folded.Add(1)
-		return Sat, expr.NewAssignment()
-	}
-	// Deduplicate and canonically order the atom set, then consult the
-	// verdict cache.
-	sortAtoms(atoms)
-	dedup := atoms[:0]
-	for i, a := range atoms {
-		if i == 0 || atoms[i-1] != a {
-			dedup = append(dedup, a)
-		}
-	}
-	atoms = dedup
-	key := cacheKey(atoms)
-	atomsCopy := append([]*expr.Expr{}, atoms...)
-	if res, m, ok := s.cacheGet(key, atomsCopy); ok {
-		s.stats.cacheHits.Add(1)
+	// 1.-2. Flattening, folding, dedup, verdict cache, intervals.
+	atoms, key, res, m, done := s.preSolve(constraints)
+	if done {
 		return res, m
 	}
 
-	// 2. Interval pre-analysis.
-	if !s.Opts.DisableIntervals {
-		switch verdict, model := preAnalyze(atoms); verdict {
-		case intervalUnsat:
-			s.stats.interval.Add(1)
-			s.cachePut(key, atomsCopy, Unsat, nil)
-			return Unsat, nil
-		case intervalSat:
-			s.stats.interval.Add(1)
-			s.cachePut(key, atomsCopy, Sat, model)
-			return Sat, model
-		}
-	}
-
 	// 3. Ackermannize packet-array reads.
+	queryAtoms := atoms
 	atoms, selects, selVars := ackermannize(atoms)
 
 	// 4. Bit-blast and solve.
@@ -231,7 +225,7 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	s.stats.satConflicts.Add(conflicts)
 	switch verdict {
 	case SatUnsat:
-		s.cachePut(key, atomsCopy, Unsat, nil)
+		s.cachePut(key, queryAtoms, Unsat, nil)
 		return Unsat, nil
 	case SatUnknown:
 		return Unknown, nil
@@ -272,7 +266,7 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	for _, n := range selVars {
 		delete(asn.Vars, n)
 	}
-	s.cachePut(key, atomsCopy, Sat, asn)
+	s.cachePut(key, queryAtoms, Sat, asn)
 	return Sat, asn
 }
 

@@ -186,6 +186,16 @@ type Stats struct {
 	Merged bool
 }
 
+// Add accumulates o into s. The verifier aggregates per-engine counters
+// across its worker pool with this.
+func (s *Stats) Add(o Stats) {
+	s.Segments += o.Segments
+	s.ForksCut += o.ForksCut
+	s.StepsSymbex += o.StepsSymbex
+	s.SolverChecks += o.SolverChecks
+	s.Merged = s.Merged || o.Merged
+}
+
 // Input describes the symbolic environment an element starts from. The
 // zero value is completed by Run: a fresh packet array, symbolic length,
 // and symbolic metadata.
@@ -221,7 +231,7 @@ type Engine struct {
 
 	stats    Stats
 	loopMemo map[*ir.Stmt][]*bodySummary
-	session  *smt.Session
+	session  *smt.IncrementalSession
 }
 
 // New returns an engine using the given solver.

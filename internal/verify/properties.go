@@ -38,12 +38,14 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 	// Step-1 fast path: if no element has a suspect segment, the
 	// pipeline cannot crash — no composition needed (the paper's "if
 	// this step does not yield any suspect segments, we are done").
+	// Summarization fans out across the worker pool; when the check
+	// fails, walk reuses every summary from the cache.
+	summaries, err := v.summarizeAll(p.Elements)
+	if err != nil {
+		return nil, err
+	}
 	anySuspect := false
-	for _, e := range p.Elements {
-		segs, err := v.Summarize(e)
-		if err != nil {
-			return nil, err
-		}
+	for _, segs := range summaries {
 		for _, s := range segs {
 			if s.IsSuspect() {
 				anySuspect = true
@@ -58,7 +60,7 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 	if !anySuspect {
 		return rep, nil
 	}
-	err := v.walk(p, nil, func(end pathEnd) error {
+	err = v.walk(p, nil, func(end pathEnd) error {
 		if end.disp != ir.Crashed {
 			return nil
 		}
@@ -85,6 +87,7 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	sortWitnesses(rep.Witnesses)
 	return rep, nil
 }
 
@@ -118,10 +121,17 @@ func (v *Verifier) BoundedInstructions(p *click.Pipeline) (*BoundReport, error) 
 			}
 			return nil
 		}
-		if end.state.steps > rep.MaxSteps {
-			rep.MaxSteps = end.state.steps
-			maxState = end.state
+		// Ties break on path name so the reported witness does not
+		// depend on the parallel walk's schedule.
+		if end.state.steps < rep.MaxSteps {
+			return nil
 		}
+		if end.state.steps == rep.MaxSteps && maxState != nil &&
+			pathName(p, end.state) >= pathName(p, maxState) {
+			return nil
+		}
+		rep.MaxSteps = end.state.steps
+		maxState = end.state
 		return nil
 	})
 	if err != nil {
@@ -195,14 +205,17 @@ func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport
 	if err != nil {
 		return nil, err
 	}
+	sortWitnesses(rep.Witnesses)
 	return rep, nil
 }
 
-// witness turns a feasible composed path into a concrete packet.
+// witness turns a feasible composed path into a concrete packet. It
+// queries the root session, so it must only run under visitMu (visit
+// callbacks) or after the walk has completed.
 func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (Witness, error) {
 	m := st.model
 	if m == nil {
-		ok, got := v.feasible(&composed{}, append(append([]*expr.Expr{}, extraPre...), st.conds...), nil)
+		ok, got := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), st.conds...), nil)
 		if !ok || got == nil {
 			return Witness{}, fmt.Errorf("verify: cannot produce witness for feasible path %s", pathName(p, st))
 		}

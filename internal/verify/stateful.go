@@ -180,8 +180,8 @@ func (v *Verifier) anyCombinationFeasible(st *composed, used []symbex.StateAcces
 		for _, c := range st.conds {
 			cons = append(cons, sub.Apply(c))
 		}
-		v.stats.SolverQueries++
-		r, _ := v.session.Check(cons)
+		v.solverQueries.Add(1)
+		r, _ := v.rootSession.Check(cons)
 		return r != smt.Unsat, nil
 	}
 	for _, src := range sources[idx] {

@@ -20,6 +20,13 @@
 // discharged (the paper's e3/p1/p4 example); feasible ones yield
 // concrete witness packets.
 //
+// Both steps exploit the problem's embarrassing parallelism (see
+// DESIGN.md): distinct element classes are summarized concurrently, and
+// the composed-path walk fans subtrees out to a bounded worker pool,
+// each worker discharging suspect paths on its own incremental solver
+// session. Options.Parallelism bounds the pool; every verdict is
+// independent of the schedule.
+//
 // The package also provides the monolithic baseline (symbolic execution
 // of the whole inlined pipeline, the paper's >12-hour comparison point)
 // and the data-structure refinement for stateful elements (the
@@ -28,7 +35,10 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vsd/internal/bv"
 	"vsd/internal/click"
@@ -51,6 +61,11 @@ type Options struct {
 	DisableSummaryCache bool
 	// MaxComposedPaths bounds Step-2 exploration (0 = default).
 	MaxComposedPaths int
+	// Parallelism bounds the worker pool for Step-1 summarization and
+	// the Step-2 composed-path walk. 0 uses GOMAXPROCS; 1 disables
+	// concurrency. Verdicts and statistics are schedule-independent;
+	// witness ordering is canonicalized by path name.
+	Parallelism int
 }
 
 // DefaultMaxComposedPaths bounds Step-2 path enumeration.
@@ -66,19 +81,49 @@ type Stats struct {
 	ComposedInfeasible int   // stitched paths discharged as infeasible
 	SolverQueries      int64 // feasibility queries in Step 2
 	SymbexStats        symbex.Stats
+	// Solver carries the shared solver's counters, including the
+	// incremental-session ones (assumption solves, reused clauses).
+	Solver smt.Stats
 }
 
-// Verifier runs compositional verification over pipelines.
+// Verifier runs compositional verification over pipelines. All methods
+// are safe for concurrent use; a single verification also fans its own
+// work out across Options.Parallelism goroutines.
 type Verifier struct {
-	solver  *smt.Solver
-	session *smt.Session
-	engine  *symbex.Engine
-	opts    Options
-	cache   map[string][]*symbex.Segment
-	stats   Stats
+	solver *smt.Solver
+	opts   Options
+
+	// mu guards the summary cache, the statistics, and the idle pools.
+	// The per-query counters below are atomics instead: every walker
+	// bumps them on the hot path, and a shared mutex there serializes
+	// the pool.
+	mu       sync.Mutex
+	cache    map[string]*summaryEntry
+	stats    Stats
+	engines  []*symbex.Engine
+	sessions []*smt.IncrementalSession
+
+	composedPaths      atomic.Int64
+	composedInfeasible atomic.Int64
+	solverQueries      atomic.Int64
+
+	// visitMu serializes walk visit callbacks; rootSession backs the
+	// solver queries made from inside them (witnesses, the stateful
+	// refinement) and from post-walk report construction.
+	visitMu     sync.Mutex
+	rootSession *smt.IncrementalSession
 }
 
-// New returns a Verifier with fresh solver and engine.
+// summaryEntry is a once-filled summary cache slot: concurrent walkers
+// requesting the same element class block on the first computation
+// instead of duplicating it.
+type summaryEntry struct {
+	once sync.Once
+	segs []*symbex.Segment
+	err  error
+}
+
+// New returns a Verifier with fresh solver and engine pool.
 func New(opts Options) *Verifier {
 	if opts.MinLen == 0 {
 		opts.MinLen = 14
@@ -88,19 +133,77 @@ func New(opts Options) *Verifier {
 	}
 	solver := smt.New(smt.Options{})
 	return &Verifier{
-		solver:  solver,
-		session: solver.NewSession(),
-		engine:  symbex.New(solver, opts.Symbex),
-		opts:    opts,
-		cache:   map[string][]*symbex.Segment{},
+		solver:      solver,
+		rootSession: solver.NewSession(),
+		opts:        opts,
+		cache:       map[string]*summaryEntry{},
 	}
 }
 
-// Stats returns the accumulated statistics.
+// parallelism resolves Options.Parallelism.
+func (v *Verifier) parallelism() int {
+	if v.opts.Parallelism > 0 {
+		return v.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns a snapshot of the accumulated statistics. It is safe to
+// call concurrently with a running verification; engine counters are
+// folded in as workers finish with their engines.
 func (v *Verifier) Stats() Stats {
+	v.mu.Lock()
 	s := v.stats
-	s.SymbexStats = v.engine.Stats()
+	v.mu.Unlock()
+	s.ComposedPaths = int(v.composedPaths.Load())
+	s.ComposedInfeasible = int(v.composedInfeasible.Load())
+	s.SolverQueries = v.solverQueries.Load()
+	s.Solver = v.solver.Stats()
 	return s
+}
+
+// getEngine checks an idle symbolic-execution engine out of the pool
+// (or creates one sharing the verifier's solver).
+func (v *Verifier) getEngine() *symbex.Engine {
+	v.mu.Lock()
+	if n := len(v.engines); n > 0 {
+		e := v.engines[n-1]
+		v.engines = v.engines[:n-1]
+		v.mu.Unlock()
+		return e
+	}
+	v.mu.Unlock()
+	return symbex.New(v.solver, v.opts.Symbex)
+}
+
+// putEngine folds the engine's counters into the aggregate statistics
+// and returns it to the pool (warm loop memo and solver session).
+func (v *Verifier) putEngine(e *symbex.Engine) {
+	st := e.Stats()
+	e.ResetStats()
+	v.mu.Lock()
+	v.stats.SymbexStats.Add(st)
+	v.engines = append(v.engines, e)
+	v.mu.Unlock()
+}
+
+// getSession checks an idle incremental solver session out of the pool.
+func (v *Verifier) getSession() *smt.IncrementalSession {
+	v.mu.Lock()
+	if n := len(v.sessions); n > 0 {
+		s := v.sessions[n-1]
+		v.sessions = v.sessions[:n-1]
+		v.mu.Unlock()
+		return s
+	}
+	v.mu.Unlock()
+	return v.solver.NewSession()
+}
+
+func (v *Verifier) putSession(s *smt.IncrementalSession) {
+	v.mu.Lock()
+	v.sessions = append(v.sessions, s)
+	v.mu.Unlock()
 }
 
 // input returns the Step-1 symbolic input specification.
@@ -113,18 +216,34 @@ func (v *Verifier) input() symbex.Input {
 func (v *Verifier) Pre() []*expr.Expr { return v.input().Pre }
 
 // Summarize runs Step 1 for one element, with caching by class+config.
+// Concurrent calls for the same class share one computation.
 func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
-	key := e.SummaryKey()
-	if !v.opts.DisableSummaryCache {
-		if segs, ok := v.cache[key]; ok {
-			v.stats.SummaryCacheHits++
-			return segs, nil
-		}
+	if v.opts.DisableSummaryCache {
+		return v.summarize(e)
 	}
-	segs, err := v.engine.Run(e.Program(), v.input())
+	key := e.SummaryKey()
+	v.mu.Lock()
+	ent, ok := v.cache[key]
+	if ok {
+		v.stats.SummaryCacheHits++
+	} else {
+		ent = &summaryEntry{}
+		v.cache[key] = ent
+	}
+	v.mu.Unlock()
+	ent.once.Do(func() { ent.segs, ent.err = v.summarize(e) })
+	return ent.segs, ent.err
+}
+
+// summarize is the uncached Step-1 run.
+func (v *Verifier) summarize(e *click.Instance) ([]*symbex.Segment, error) {
+	eng := v.getEngine()
+	segs, err := eng.Run(e.Program(), v.input())
+	v.putEngine(eng)
 	if err != nil {
 		return nil, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
 	}
+	v.mu.Lock()
 	v.stats.ElementsSummarized++
 	v.stats.SegmentsTotal += len(segs)
 	for _, s := range segs {
@@ -132,10 +251,61 @@ func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
 			v.stats.Suspects++
 		}
 	}
-	if !v.opts.DisableSummaryCache {
-		v.cache[key] = segs
-	}
+	v.mu.Unlock()
 	return segs, nil
+}
+
+// summarizeAll runs Step 1 for every pipeline element, fanning distinct
+// element classes out across the worker pool.
+func (v *Verifier) summarizeAll(elems []*click.Instance) ([][]*symbex.Segment, error) {
+	out := make([][]*symbex.Segment, len(elems))
+	par := v.parallelism()
+	if par > len(elems) {
+		par = len(elems)
+	}
+	if par <= 1 {
+		for i, e := range elems {
+			segs, err := v.Summarize(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = segs
+		}
+		return out, nil
+	}
+	var (
+		wg    sync.WaitGroup
+		next  atomic.Int64
+		errMu sync.Mutex
+		first error
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(elems) {
+					return
+				}
+				segs, err := v.Summarize(elems[i])
+				if err != nil {
+					errMu.Lock()
+					if first == nil {
+						first = err
+					}
+					errMu.Unlock()
+					return
+				}
+				out[i] = segs
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
 }
 
 // composed is the symbolic state of a stitched path prefix: the
@@ -194,8 +364,9 @@ func entryState(p *click.Pipeline) *composed {
 // stitch applies segment seg of element pos (instance name inst) to the
 // composed prefix, returning the extended state, or nil when the
 // stitched constraint is infeasible. This is the paper's Step-2
-// substitution: Cp(in) = C_prefix(in) ∧ C_seg(S_prefix(in)).
-func (v *Verifier) stitch(st *composed, seg *symbex.Segment, pos int, inst string, extraPre []*expr.Expr) (*composed, error) {
+// substitution: Cp(in) = C_prefix(in) ∧ C_seg(S_prefix(in)). sess is
+// the calling walker's incremental solver session.
+func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbex.Segment, pos int, inst string, extraPre []*expr.Expr) (*composed, error) {
 	sub := expr.NewSubst()
 	sub.BindArr(symbex.PktArrayName, st.pkt)
 	for slot, val := range st.meta {
@@ -215,15 +386,15 @@ func (v *Verifier) stitch(st *composed, seg *symbex.Segment, pos int, inst strin
 			continue
 		}
 		if ic.IsFalse() {
-			v.stats.ComposedInfeasible++
+			v.countInfeasible()
 			return nil, nil
 		}
 		newConds = append(newConds, ic)
 	}
 	if len(newConds) > 0 {
-		feasible, m := v.feasible(st, newConds, extraPre)
+		feasible, m := v.feasible(sess, st, newConds, extraPre)
 		if !feasible {
-			v.stats.ComposedInfeasible++
+			v.countInfeasible()
 			return nil, nil
 		}
 		out.conds = append(out.conds, newConds...)
@@ -251,9 +422,11 @@ func (v *Verifier) stitch(st *composed, seg *symbex.Segment, pos int, inst strin
 	return out, nil
 }
 
+func (v *Verifier) countInfeasible() { v.composedInfeasible.Add(1) }
+
 // feasible decides whether the prefix extended by newConds is
-// satisfiable, using the cached witness first.
-func (v *Verifier) feasible(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
+// satisfiable on the given session, using the cached witness first.
+func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
 	if st.model != nil {
 		ok := true
 		for _, c := range newConds {
@@ -272,8 +445,8 @@ func (v *Verifier) feasible(st *composed, newConds, extraPre []*expr.Expr) (bool
 	cons = append(cons, extraPre...)
 	cons = append(cons, st.conds...)
 	cons = append(cons, newConds...)
-	v.stats.SolverQueries++
-	r, m := v.session.Check(cons)
+	v.solverQueries.Add(1)
+	r, m := sess.Check(cons)
 	if r == smt.Unsat {
 		return false, nil
 	}
@@ -281,6 +454,13 @@ func (v *Verifier) feasible(st *composed, newConds, extraPre []*expr.Expr) (bool
 		return true, nil
 	}
 	return true, m
+}
+
+// feasibleRoot is feasible on the root session: only for use under
+// visitMu (visit callbacks, the stateful refinement) or after walk
+// returns (report construction).
+func (v *Verifier) feasibleRoot(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
+	return v.feasible(v.rootSession, st, newConds, extraPre)
 }
 
 // pathEnd describes how a composed path terminated.
@@ -291,66 +471,174 @@ type pathEnd struct {
 	egress int // valid when disp == Emitted (pipeline egress id)
 }
 
+// walker drives one composed-path exploration: a bounded pool of
+// workers, each with its own incremental solver session, cooperating
+// through a task queue. Subtrees are offloaded to the queue when a
+// worker slot may be idle and explored inline otherwise, so the walk
+// degrades to a plain DFS at Parallelism=1.
+type walker struct {
+	v         *Verifier
+	p         *click.Pipeline
+	extraPre  []*expr.Expr
+	summaries [][]*symbex.Segment
+	limit     int64
+	visit     func(pathEnd) error
+
+	tasks    chan walkTask
+	pending  sync.WaitGroup
+	explored atomic.Int64
+	stopped  atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+type walkTask struct {
+	elem int
+	st   *composed
+}
+
+func (w *walker) recordErr(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+	w.stopped.Store(true)
+}
+
+// trySpawn offloads a subtree to the pool without blocking; the caller
+// explores it inline when the queue is full (or the walk is sequential).
+func (w *walker) trySpawn(elem int, st *composed) bool {
+	if w.tasks == nil {
+		return false
+	}
+	w.pending.Add(1)
+	select {
+	case w.tasks <- walkTask{elem, st}:
+		return true
+	default:
+		w.pending.Done()
+		return false
+	}
+}
+
+// doVisit serializes terminal-path callbacks (they mutate report state
+// and may query the verifier's root session).
+func (w *walker) doVisit(end pathEnd) error {
+	w.v.visitMu.Lock()
+	defer w.v.visitMu.Unlock()
+	return w.visit(end)
+}
+
+// dfs explores the subtree rooted at (elem, st) on the worker's session.
+func (w *walker) dfs(sess *smt.IncrementalSession, elem int, st *composed) error {
+	if w.stopped.Load() {
+		return nil
+	}
+	inst := w.p.Elements[elem].Name()
+	for _, seg := range w.summaries[elem] {
+		next, err := w.v.stitch(sess, st, seg, elem, inst, w.extraPre)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			continue
+		}
+		terminal := false
+		end := pathEnd{state: next, egress: -1}
+		switch seg.Disposition {
+		case ir.Crashed, ir.Dropped:
+			terminal = true
+			end.disp = seg.Disposition
+			end.crash = seg.Crash
+		case ir.Emitted:
+			next.ports = append(next.ports, seg.Port)
+			edge := w.p.Edges[elem][seg.Port]
+			if edge.To < 0 {
+				terminal = true
+				end.disp = ir.Emitted
+				end.egress = w.p.EgressID(elem, seg.Port)
+			} else if !w.trySpawn(edge.To, next) {
+				if err := w.dfs(sess, edge.To, next); err != nil {
+					return err
+				}
+			}
+		}
+		if terminal {
+			n := w.explored.Add(1)
+			w.v.composedPaths.Add(1)
+			if err := w.doVisit(end); err != nil {
+				return err
+			}
+			if n > w.limit {
+				return fmt.Errorf("verify: more than %d composed paths", w.limit)
+			}
+		}
+		if w.stopped.Load() {
+			return nil
+		}
+	}
+	return nil
+}
+
 // walk explores every feasible composed path of the pipeline, invoking
 // visit for each terminating path (crash, drop, or egress). extraPre
 // adds property-specific input assumptions (e.g. reachability
-// preconditions).
+// preconditions). Visit callbacks are serialized; path order is
+// unspecified when Parallelism > 1.
 func (v *Verifier) walk(p *click.Pipeline, extraPre []*expr.Expr, visit func(pathEnd) error) error {
 	limit := v.opts.MaxComposedPaths
 	if limit <= 0 {
 		limit = DefaultMaxComposedPaths
 	}
-	summaries := make([][]*symbex.Segment, len(p.Elements))
-	for i, e := range p.Elements {
-		segs, err := v.Summarize(e)
+	summaries, err := v.summarizeAll(p.Elements)
+	if err != nil {
+		return err
+	}
+	w := &walker{
+		v:         v,
+		p:         p,
+		extraPre:  extraPre,
+		summaries: summaries,
+		limit:     int64(limit),
+		visit:     visit,
+	}
+	root := entryState(p)
+	par := v.parallelism()
+	if par <= 1 {
+		sess := v.getSession()
+		err := w.dfs(sess, p.Entry, root)
+		v.putSession(sess)
 		if err != nil {
 			return err
 		}
-		summaries[i] = segs
+		return w.err
 	}
-	explored := 0
-	var dfs func(elem int, st *composed) error
-	dfs = func(elem int, st *composed) error {
-		inst := p.Elements[elem].Name()
-		for _, seg := range summaries[elem] {
-			next, err := v.stitch(st, seg, elem, inst, extraPre)
-			if err != nil {
-				return err
-			}
-			if next == nil {
-				continue
-			}
-			switch seg.Disposition {
-			case ir.Crashed, ir.Dropped:
-				explored++
-				v.stats.ComposedPaths++
-				end := pathEnd{state: next, disp: seg.Disposition, crash: seg.Crash, egress: -1}
-				if err := visit(end); err != nil {
-					return err
+	w.tasks = make(chan walkTask, 4*par)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := v.getSession()
+			defer v.putSession(sess)
+			for t := range w.tasks {
+				if err := w.dfs(sess, t.elem, t.st); err != nil {
+					w.recordErr(err)
 				}
-			case ir.Emitted:
-				next.ports = append(next.ports, seg.Port)
-				edge := p.Edges[elem][seg.Port]
-				if edge.To < 0 {
-					explored++
-					v.stats.ComposedPaths++
-					end := pathEnd{state: next, disp: ir.Emitted, egress: p.EgressID(elem, seg.Port)}
-					if err := visit(end); err != nil {
-						return err
-					}
-					continue
-				}
-				if err := dfs(edge.To, next); err != nil {
-					return err
-				}
+				w.pending.Done()
 			}
-			if explored > limit {
-				return fmt.Errorf("verify: more than %d composed paths", limit)
-			}
-		}
-		return nil
+		}()
 	}
-	return dfs(p.Entry, entryState(p))
+	w.pending.Add(1)
+	w.tasks <- walkTask{p.Entry, root}
+	go func() {
+		w.pending.Wait()
+		close(w.tasks)
+	}()
+	wg.Wait()
+	return w.err
 }
 
 // pathName renders a composed path for reports.
@@ -366,6 +654,17 @@ func pathName(p *click.Pipeline, st *composed) string {
 		}
 	}
 	return out
+}
+
+// sortWitnesses canonicalizes report order: parallel walks discover
+// paths in schedule order, and reports must not depend on the schedule.
+func sortWitnesses(ws []Witness) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Path != ws[j].Path {
+			return ws[i].Path < ws[j].Path
+		}
+		return ws[i].Detail < ws[j].Detail
+	})
 }
 
 // sortedMetaSlots returns the pipeline's metadata slots in stable order,
