@@ -21,6 +21,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# bench-json emits BENCH_*.json-compatible records on stdout.
+# bench-json records the benchmark trajectory: one BENCH_<n>.json per
+# PR, so regressions are visible across the history. Override BENCH_OUT
+# for the next snapshot.
+BENCH_OUT ?= BENCH_2.json
 bench-json:
-	$(GO) run ./cmd/vsdbench -json
+	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

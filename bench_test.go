@@ -83,15 +83,35 @@ func BenchmarkE1CrashFreedomIPRouter(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(len(rows)), "pipelines")
-			var solves, reused, sessions int64
+			var agg smt.Stats
 			for _, r := range rows {
-				solves += r.Solver.AssumptionSolves
-				reused += r.Solver.ClausesReused
-				sessions += r.Solver.SessionsOpened
+				agg.AssumptionSolves += r.Solver.AssumptionSolves
+				agg.ClausesReused += r.Solver.ClausesReused
+				agg.SessionsOpened += r.Solver.SessionsOpened
+				agg.SatCalls += r.Solver.SatCalls
+				agg.CNFVars += r.Solver.CNFVars
+				agg.CNFClauses += r.Solver.CNFClauses
+				agg.GateCacheHits += r.Solver.GateCacheHits
+				agg.MinimizedLits += r.Solver.MinimizedLits
+				agg.BinaryProps += r.Solver.BinaryProps
+				agg.GlueSum += r.Solver.GlueSum
+				agg.LearntClauses += r.Solver.LearntClauses
 			}
-			b.ReportMetric(float64(solves), "assumption-solves")
-			b.ReportMetric(float64(reused), "reused-clauses")
-			b.ReportMetric(float64(sessions), "sessions")
+			b.ReportMetric(float64(agg.AssumptionSolves), "assumption-solves")
+			b.ReportMetric(float64(agg.ClausesReused), "reused-clauses")
+			b.ReportMetric(float64(agg.SessionsOpened), "sessions")
+			// CNF shrink per query and SAT-core heuristic counters (the
+			// PR-2 minimization stack).
+			if agg.SatCalls > 0 {
+				b.ReportMetric(float64(agg.CNFVars)/float64(agg.SatCalls), "cnf-vars/query")
+				b.ReportMetric(float64(agg.CNFClauses)/float64(agg.SatCalls), "cnf-clauses/query")
+			}
+			b.ReportMetric(float64(agg.GateCacheHits), "gate-cache-hits")
+			b.ReportMetric(float64(agg.MinimizedLits), "minimized-lits")
+			b.ReportMetric(float64(agg.BinaryProps), "binary-props")
+			if agg.LearntClauses > 0 {
+				b.ReportMetric(float64(agg.GlueSum)/float64(agg.LearntClauses), "avg-glue")
+			}
 		}
 	}
 }

@@ -36,6 +36,25 @@ func solverMetrics(m map[string]float64, st smt.Stats) {
 	m["sessions-opened"] = float64(st.SessionsOpened)
 	m["assumption-solves"] = float64(st.AssumptionSolves)
 	m["reused-clauses"] = float64(st.ClausesReused)
+	// CNF-minimization counters: emitted formula size, structural gate
+	// cache, equality substitution (per-query averages are size/sat-calls).
+	m["cnf-vars"] = float64(st.CNFVars)
+	m["cnf-clauses"] = float64(st.CNFClauses)
+	m["gate-cache-hits"] = float64(st.GateCacheHits)
+	m["eq-atoms-rewritten"] = float64(st.EqAtomsRewritten)
+	m["eq-decided-unsat"] = float64(st.EqDecidedUnsat)
+	// SAT-core heuristics: learnt-clause minimization, glue distribution,
+	// binary-clause propagation, Luby restarts.
+	m["minimized-lits"] = float64(st.MinimizedLits)
+	m["learnt-clauses"] = float64(st.LearntClauses)
+	m["learnt-lits"] = float64(st.LearntLits)
+	m["glue-sum"] = float64(st.GlueSum)
+	m["low-glue"] = float64(st.LowGlue)
+	m["binary-props"] = float64(st.BinaryProps)
+	m["propagations"] = float64(st.Propagations)
+	m["assum-levels"] = float64(st.AssumLevels)
+	m["decisions"] = float64(st.Decisions)
+	m["restarts"] = float64(st.Restarts)
 }
 
 func main() {

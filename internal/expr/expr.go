@@ -402,6 +402,13 @@ func Bin(op Op, a, b *Expr) *Expr {
 				return Not(b)
 			}
 		}
+		// Addition cancellation (valid in modular arithmetic: x+y = x+z
+		// iff y = z). Packet-parsing code compares base+offset indices
+		// constantly — the solver's Ackermann consistency axioms hinge on
+		// these equalities folding when the offsets differ.
+		if r, ok := cancelAddEq(a, b); ok {
+			return r
+		}
 	case OpNe:
 		if a == b {
 			return False()
@@ -425,6 +432,44 @@ func Bin(op Op, a, b *Expr) *Expr {
 		}
 	}
 	return intern(&Expr{Kind: KBin, Op: op, W: w, A: a, B: b})
+}
+
+// cancelAddEq simplifies equalities between sums sharing an operand:
+// (x+y == x+z) -> (y == z), (x+y == x) -> (y == 0), and the symmetric
+// variants. Sound for any width because bitvector addition is a group
+// (cancel by adding -x to both sides). Reports ok=false when no shared
+// operand exists.
+func cancelAddEq(a, b *Expr) (*Expr, bool) {
+	aAdd := a.Kind == KBin && a.Op == OpAdd
+	bAdd := b.Kind == KBin && b.Op == OpAdd
+	switch {
+	case aAdd && bAdd:
+		switch {
+		case a.A == b.A:
+			return Bin(OpEq, a.B, b.B), true
+		case a.A == b.B:
+			return Bin(OpEq, a.B, b.A), true
+		case a.B == b.A:
+			return Bin(OpEq, a.A, b.B), true
+		case a.B == b.B:
+			return Bin(OpEq, a.A, b.A), true
+		}
+	case aAdd:
+		if a.A == b {
+			return Bin(OpEq, a.B, Const(a.W, 0)), true
+		}
+		if a.B == b {
+			return Bin(OpEq, a.A, Const(a.W, 0)), true
+		}
+	case bAdd:
+		if b.A == a {
+			return Bin(OpEq, b.B, Const(b.W, 0)), true
+		}
+		if b.B == a {
+			return Bin(OpEq, b.A, Const(b.W, 0)), true
+		}
+	}
+	return nil, false
 }
 
 // Convenience binary constructors.

@@ -2,34 +2,88 @@ package smt
 
 import (
 	"fmt"
+	"sync"
 
 	"vsd/internal/bv"
 	"vsd/internal/expr"
 )
 
+// gateKey identifies a Tseitin gate structurally: operator plus the
+// canonicalized operand pair. AND and XOR cover every gate the blaster
+// emits (OR is AND over flipped literals, IFF is flipped XOR, MUX lowers
+// to AND/OR), so two gates with equal keys always denote the same
+// function and may share one output literal.
+type gateKey struct {
+	xor  bool
+	x, y Lit
+}
+
 // blaster translates bitvector expressions into CNF over a SatSolver.
 // Each expression node maps to a little-endian vector of literals (bit 0
 // first). Variable 0 of the solver is pinned true so that constant bits
 // are ordinary literals.
+//
+// Gates are hash-consed (AIG style): before allocating a fresh Tseitin
+// variable, mkAnd/mkXor canonicalize their operand pair and look it up
+// in the gate cache, so syntactically repeated structure — parallel
+// adders over shared inputs, the equality ladders that segment stitching
+// emits — reaches the SAT core as one gate instead of many.
 type blaster struct {
-	sat     *SatSolver
-	tru     Lit // literal that is always true
-	exprMem map[*expr.Expr][]Lit
-	varBits map[string][]Lit
-	divMem  map[divModKey]divModResult
+	sat      *SatSolver
+	tru      Lit // literal that is always true
+	exprMem  map[*expr.Expr][]Lit
+	varBits  map[string][]Lit
+	divMem   map[divModKey]divModResult
+	gates    map[gateKey]Lit
+	gateHits int64
 }
 
+// blasterPool recycles blasters (and their SAT instances) across
+// queries: one-shot Solver.Check used to rebuild variable 0, the
+// constant clauses, and every per-variable slice per query; a pooled
+// blaster resets in place and keeps its allocations warm.
+var blasterPool sync.Pool
+
 func newBlaster() *blaster {
+	if v := blasterPool.Get(); v != nil {
+		b := v.(*blaster)
+		b.reset()
+		return b
+	}
 	b := &blaster{
 		sat:     NewSatSolver(),
 		exprMem: map[*expr.Expr][]Lit{},
 		varBits: map[string][]Lit{},
 		divMem:  map[divModKey]divModResult{},
+		gates:   map[gateKey]Lit{},
 	}
+	b.pinConstants()
+	return b
+}
+
+// release returns the blaster to the pool. The caller must not use it
+// (or literals/models read from it) afterwards.
+func (b *blaster) release() {
+	blasterPool.Put(b)
+}
+
+func (b *blaster) reset() {
+	b.sat.reset()
+	b.sat.MaxConflicts = 0
+	clear(b.exprMem)
+	clear(b.varBits)
+	clear(b.divMem)
+	clear(b.gates)
+	b.gateHits = 0
+	b.pinConstants()
+}
+
+// pinConstants allocates variable 0 and pins it true so constant bits
+// are ordinary literals.
+func (b *blaster) pinConstants() {
 	v := b.sat.NewVar()
 	b.tru = MkLit(v, false)
 	b.sat.AddClause(b.tru)
-	return b
 }
 
 func (b *blaster) fls() Lit { return b.tru.Flip() }
@@ -46,7 +100,7 @@ func (b *blaster) isConst(l Lit) (bool, bool) {
 
 func (b *blaster) fresh() Lit { return MkLit(b.sat.NewVar(), false) }
 
-// gate constructors with constant propagation
+// gate constructors with constant propagation and structural hashing
 
 func (b *blaster) mkAnd(x, y Lit) Lit {
 	if v, ok := b.isConst(x); ok {
@@ -61,16 +115,26 @@ func (b *blaster) mkAnd(x, y Lit) Lit {
 		}
 		return b.fls()
 	}
-	if x == y {
+	if x == y { // idempotence: x ∧ x → x
 		return x
 	}
-	if x == y.Flip() {
+	if x == y.Flip() { // complement: x ∧ ¬x → ⊥
 		return b.fls()
+	}
+	// Canonical operand order, then the structural cache.
+	if y < x {
+		x, y = y, x
+	}
+	key := gateKey{false, x, y}
+	if z, ok := b.gates[key]; ok {
+		b.gateHits++
+		return z
 	}
 	z := b.fresh()
 	b.sat.AddClause(z.Flip(), x)
 	b.sat.AddClause(z.Flip(), y)
 	b.sat.AddClause(z, x.Flip(), y.Flip())
+	b.gates[key] = z
 	return z
 }
 
@@ -95,11 +159,38 @@ func (b *blaster) mkXor(x, y Lit) Lit {
 	if x == y.Flip() {
 		return b.tru
 	}
+	// XOR absorbs operand complements into an output flip, so the cache
+	// key uses sign-stripped operands: x⊕y, ¬x⊕y, x⊕¬y, ¬x⊕¬y all share
+	// one gate.
+	flip := false
+	if x.Neg() {
+		flip = !flip
+		x = x.Flip()
+	}
+	if y.Neg() {
+		flip = !flip
+		y = y.Flip()
+	}
+	if y < x {
+		x, y = y, x
+	}
+	key := gateKey{true, x, y}
+	if z, ok := b.gates[key]; ok {
+		b.gateHits++
+		if flip {
+			return z.Flip()
+		}
+		return z
+	}
 	z := b.fresh()
 	b.sat.AddClause(z.Flip(), x, y)
 	b.sat.AddClause(z.Flip(), x.Flip(), y.Flip())
 	b.sat.AddClause(z, x.Flip(), y)
 	b.sat.AddClause(z, x, y.Flip())
+	b.gates[key] = z
+	if flip {
+		return z.Flip()
+	}
 	return z
 }
 

@@ -1,0 +1,206 @@
+package smt
+
+import "vsd/internal/expr"
+
+// This file implements the word-level equality-substitution pre-pass:
+// var = const and var = var atoms are propagated through the remaining
+// atom set before bit-blasting, using the interned-expression rewriter
+// (expr.Subst). Constraints produced by segment stitching are full of
+// such atoms — branch conditions pin metadata and state-read variables
+// to constants — and substituting them lets the expression layer's
+// constant folding collapse whole atoms that would otherwise reach the
+// SAT core as word-wide equality ladders.
+//
+// The pass is shared by the one-shot Solver.Check and the incremental
+// session (both call it from preSolve). Defining atoms (the equalities
+// the bindings came from) are kept unsubstituted so the blasted formula
+// stays logically equivalent to the original conjunction and models
+// remain complete.
+
+// maxEqSubstRounds bounds propagation to fixpoint: substituting one
+// binding can fold another atom into var = const shape, which the next
+// round picks up. Chains longer than this are not worth chasing.
+const maxEqSubstRounds = 8
+
+// eqUnionFind tracks equality classes of variables (by name) with an
+// optional constant binding per class. Roots are the lexicographically
+// smallest member, so representatives — and therefore the rewritten
+// atoms — are deterministic regardless of atom order.
+type eqUnionFind struct {
+	parent map[string]string
+	vars   map[string]*expr.Expr // name -> variable node
+	consts map[string]*expr.Expr // root name -> bound constant
+}
+
+func newEqUnionFind() *eqUnionFind {
+	return &eqUnionFind{
+		parent: map[string]string{},
+		vars:   map[string]*expr.Expr{},
+		consts: map[string]*expr.Expr{},
+	}
+}
+
+func (u *eqUnionFind) addVar(v *expr.Expr) {
+	if _, ok := u.parent[v.Name]; !ok {
+		u.parent[v.Name] = v.Name
+		u.vars[v.Name] = v
+	}
+}
+
+func (u *eqUnionFind) find(n string) string {
+	for u.parent[n] != n {
+		u.parent[n] = u.parent[u.parent[n]] // path halving
+		n = u.parent[n]
+	}
+	return n
+}
+
+// union merges the classes of variables a and b. It reports false when
+// the merged class would carry two different constants — the query is
+// unsatisfiable.
+func (u *eqUnionFind) union(a, b *expr.Expr) bool {
+	u.addVar(a)
+	u.addVar(b)
+	ra, rb := u.find(a.Name), u.find(b.Name)
+	if ra == rb {
+		return true
+	}
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	ca, okA := u.consts[ra]
+	cb, okB := u.consts[rb]
+	if okA && okB && ca != cb {
+		return false
+	}
+	u.parent[rb] = ra
+	if okB {
+		u.consts[ra] = cb
+		delete(u.consts, rb)
+	}
+	return true
+}
+
+// bindConst pins v's class to the constant c. It reports false when the
+// class already carries a different constant.
+func (u *eqUnionFind) bindConst(v, c *expr.Expr) bool {
+	u.addVar(v)
+	r := u.find(v.Name)
+	if old, ok := u.consts[r]; ok {
+		return old == c
+	}
+	u.consts[r] = c
+	return true
+}
+
+// substEqualities propagates var = const and var = var atoms through the
+// atom set. It returns the rewritten atoms (defining equalities kept, so
+// the conjunction stays equivalent and models complete), the number of
+// atoms rewritten, and whether a contradiction was found (two different
+// constants forced on one class, or an atom folding to false) — in which
+// case the query is unsatisfiable and the returned atoms are nil.
+//
+// The input slice is not modified; atoms must already be flattened (each
+// 1-bit, no top-level conjunctions).
+func substEqualities(atoms []*expr.Expr) (out []*expr.Expr, rewritten int64, contradiction bool) {
+	out = atoms
+	for round := 0; round < maxEqSubstRounds; round++ {
+		// Gather bindings. Both structures allocate lazily: most queries
+		// in the non-stitching paths carry no equality atoms at all.
+		var uf *eqUnionFind
+		var defining map[*expr.Expr]bool
+		mark := func(a *expr.Expr) {
+			if uf == nil {
+				uf = newEqUnionFind()
+				defining = map[*expr.Expr]bool{}
+			}
+			defining[a] = true
+		}
+		for _, a := range out {
+			switch {
+			case a.Kind == expr.KVar:
+				// A bare 1-bit variable asserted true (1-bit v == 1 folds
+				// to v at construction).
+				mark(a)
+				if !uf.bindConst(a, expr.True()) {
+					return nil, rewritten, true
+				}
+			case a.Kind == expr.KNot && a.A.Kind == expr.KVar:
+				mark(a)
+				if !uf.bindConst(a.A, expr.False()) {
+					return nil, rewritten, true
+				}
+			case a.Kind == expr.KBin && a.Op == expr.OpEq:
+				x, y := a.A, a.B
+				switch {
+				case x.Kind == expr.KVar && y.Kind == expr.KConst:
+					mark(a)
+					if !uf.bindConst(x, y) {
+						return nil, rewritten, true
+					}
+				case y.Kind == expr.KVar && x.Kind == expr.KConst:
+					mark(a)
+					if !uf.bindConst(y, x) {
+						return nil, rewritten, true
+					}
+				case x.Kind == expr.KVar && y.Kind == expr.KVar:
+					mark(a)
+					if !uf.union(x, y) {
+						return nil, rewritten, true
+					}
+				}
+			}
+		}
+		if uf == nil {
+			return out, rewritten, false
+		}
+		// Build the substitution: every variable in a class maps to the
+		// class constant, or to the class representative when no constant
+		// is known.
+		sub := expr.NewSubst()
+		bindings := 0
+		for name, v := range uf.vars {
+			root := uf.find(name)
+			target, ok := uf.consts[root]
+			if !ok {
+				target = uf.vars[root]
+			}
+			if target != v {
+				sub.BindVar(name, target)
+				bindings++
+			}
+		}
+		if bindings == 0 {
+			return out, rewritten, false
+		}
+		// Apply to every non-defining atom; the expression constructors
+		// re-simplify, so substituted atoms often fold to constants.
+		changed := false
+		next := make([]*expr.Expr, 0, len(out))
+		for _, a := range out {
+			if defining[a] {
+				next = append(next, a)
+				continue
+			}
+			r := sub.Apply(a)
+			if r.IsTrue() {
+				changed = true
+				rewritten++
+				continue
+			}
+			if r.IsFalse() {
+				return nil, rewritten + 1, true
+			}
+			if r != a {
+				changed = true
+				rewritten++
+			}
+			next = append(next, r)
+		}
+		out = next
+		if !changed {
+			return out, rewritten, false
+		}
+	}
+	return out, rewritten, false
+}

@@ -28,9 +28,9 @@ import (
 // cache) still run first; the incremental core only sees queries those
 // passes cannot decide.
 type IncrementalSession struct {
-	owner         *Solver
-	bl            *blaster
-	lastConflicts int64
+	owner    *Solver
+	bl       *blaster
+	lastCnts blasterCounters
 	// guards maps an asserted (select-free, rewritten) atom to its
 	// activation literal.
 	guards map[*expr.Expr]Lit
@@ -65,12 +65,12 @@ func (s *Solver) NewSession() *IncrementalSession {
 // underlying solver instance.
 func (sess *IncrementalSession) recycle() {
 	sess.owner.stats.sessions.Add(1)
-	sess.bl = newBlaster()
-	sess.bl.sat.MaxConflicts = sess.owner.Opts.MaxConflicts
-	if sess.bl.sat.MaxConflicts == 0 {
-		sess.bl.sat.MaxConflicts = DefaultMaxConflicts
+	if sess.bl != nil {
+		sess.bl.release()
 	}
-	sess.lastConflicts = 0
+	sess.bl = newBlaster()
+	sess.bl.sat.MaxConflicts = sess.owner.Opts.maxConflicts()
+	sess.lastCnts = blasterCounters{}
 	sess.guards = map[*expr.Expr]Lit{}
 	sess.selRepl = map[*expr.Expr]*expr.Expr{}
 	sess.selInfo = sess.selInfo[:0]
@@ -167,33 +167,34 @@ func (sess *IncrementalSession) varsOf(a *expr.Expr) []*expr.Expr {
 // result contract matches Solver.Check.
 func (sess *IncrementalSession) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	s := sess.owner
-	atoms, key, res, m, done := s.preSolve(constraints)
+	pq, res, m, done := s.preSolve(constraints)
 	if done {
 		return res, m
 	}
-	if len(sess.guards)+len(atoms) > sessionMaxGuards {
+	if len(sess.guards)+len(pq.atoms) > sessionMaxGuards {
 		sess.recycle()
 	}
 	s.stats.satCalls.Add(1)
 	s.stats.assumptionSolves.Add(1)
 	s.stats.clausesReused.Add(int64(sess.bl.sat.NumLearnts()))
-	assumptions := make([]Lit, len(atoms))
-	for i, a := range atoms {
+	assumptions := make([]Lit, len(pq.atoms))
+	for i, a := range pq.atoms {
 		assumptions[i] = sess.guardFor(a)
 	}
 	verdict := sess.bl.sat.Solve(assumptions...)
-	_, _, conflicts := sess.bl.sat.Stats()
-	s.stats.satConflicts.Add(conflicts - sess.lastConflicts)
-	sess.lastConflicts = conflicts
+	sess.lastCnts = s.foldBlasterCounters(sess.bl, sess.lastCnts)
 	switch verdict {
 	case SatUnsat:
-		s.cachePut(key, atoms, Unsat, nil)
+		s.cachePut(pq.key, pq.cacheAtoms, Unsat, nil)
 		return Unsat, nil
 	case SatUnknown:
 		return Unknown, nil
 	}
-	asn := sess.extractModel(atoms)
-	s.cachePut(key, atoms, Sat, asn)
+	// Models are extracted over the original atoms: equality substitution
+	// can fold a variable out of the solved set, and the witness must
+	// still assign it.
+	asn := sess.extractModel(pq.cacheAtoms)
+	s.cachePut(pq.key, pq.cacheAtoms, Sat, asn)
 	return Sat, asn
 }
 

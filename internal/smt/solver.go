@@ -35,12 +35,25 @@ type Options struct {
 	// DisableIntervals turns off the interval/constant pre-analysis, so
 	// every query goes through bit-blasting.
 	DisableIntervals bool
+	// DisableEqSubst turns off the word-level equality-substitution
+	// pre-pass (var = const / var = var propagation before blasting).
+	DisableEqSubst bool
 	// MaxConflicts bounds each SAT search; 0 means the default budget.
 	MaxConflicts int64
 }
 
 // DefaultMaxConflicts bounds a single SAT search unless overridden.
 const DefaultMaxConflicts = 2_000_000
+
+// maxConflicts resolves the per-search conflict budget: 0 selects the
+// default, negative values mean unbounded. Shared by the one-shot Check
+// and IncrementalSession so the two paths cannot drift.
+func (o Options) maxConflicts() int64 {
+	if o.MaxConflicts != 0 {
+		return o.MaxConflicts
+	}
+	return DefaultMaxConflicts
+}
 
 // Stats counts solver work, for the evaluation harness.
 type Stats struct {
@@ -54,6 +67,24 @@ type Stats struct {
 	SessionsOpened   int64 // IncrementalSession instances created (incl. recycles)
 	AssumptionSolves int64 // SAT calls made under assumptions by sessions
 	ClausesReused    int64 // learnt clauses carried into assumption solves
+	// CNF-minimization counters: the equality-substitution pre-pass, the
+	// blaster's structural gate cache, and the emitted formula size.
+	EqAtomsRewritten int64 // atoms rewritten by equality substitution
+	EqDecidedUnsat   int64 // queries decided unsat by equality substitution alone
+	GateCacheHits    int64 // Tseitin gates served from the structural cache
+	CNFVars          int64 // SAT variables allocated, summed over blasted queries
+	CNFClauses       int64 // problem clauses emitted, summed over blasted queries
+	// SAT-core heuristics counters.
+	MinimizedLits int64 // literals removed by recursive learnt-clause minimization
+	LearntLits    int64 // literals in recorded learnt clauses (after minimization)
+	LearntClauses int64 // learnt clauses recorded
+	GlueSum       int64 // sum of learnt-clause LBDs; avg glue = GlueSum/LearntClauses
+	LowGlue       int64 // learnt clauses with LBD <= 2 ("glue" clauses)
+	BinaryProps   int64 // unit propagations served by the binary watch lists
+	Propagations  int64 // trail literals propagated by the SAT core
+	AssumLevels   int64 // assumption literals passed to SAT solves, summed
+	Decisions     int64 // decisions made by the SAT core
+	Restarts      int64 // Luby restarts performed
 }
 
 // Solver decides satisfiability of conjunctions of 1-bit bitvector
@@ -70,6 +101,9 @@ type Solver struct {
 	stats struct {
 		queries, folded, interval, satCalls, satConflicts, cacheHits atomic.Int64
 		sessions, assumptionSolves, clausesReused                    atomic.Int64
+		eqRewritten, eqUnsat, gateHits, cnfVars, cnfClauses          atomic.Int64
+		minimizedLits, learntLits, learnts, glueSum, lowGlue         atomic.Int64
+		binaryProps, propagations, decisions, restarts, assumLevels  atomic.Int64
 	}
 	mu    sync.Mutex
 	cache map[uint64][]cacheEntry
@@ -153,92 +187,170 @@ func (s *Solver) Stats() Stats {
 		SessionsOpened:   s.stats.sessions.Load(),
 		AssumptionSolves: s.stats.assumptionSolves.Load(),
 		ClausesReused:    s.stats.clausesReused.Load(),
+		EqAtomsRewritten: s.stats.eqRewritten.Load(),
+		EqDecidedUnsat:   s.stats.eqUnsat.Load(),
+		GateCacheHits:    s.stats.gateHits.Load(),
+		CNFVars:          s.stats.cnfVars.Load(),
+		CNFClauses:       s.stats.cnfClauses.Load(),
+		MinimizedLits:    s.stats.minimizedLits.Load(),
+		LearntLits:       s.stats.learntLits.Load(),
+		LearntClauses:    s.stats.learnts.Load(),
+		GlueSum:          s.stats.glueSum.Load(),
+		LowGlue:          s.stats.lowGlue.Load(),
+		BinaryProps:      s.stats.binaryProps.Load(),
+		Propagations:     s.stats.propagations.Load(),
+		AssumLevels:      s.stats.assumLevels.Load(),
+		Decisions:        s.stats.decisions.Load(),
+		Restarts:         s.stats.restarts.Load(),
 	}
+}
+
+// blasterCounters snapshots a blaster's CNF and SAT-core counters so
+// interleaved solves on a shared instance (incremental sessions) can
+// attribute deltas to individual queries.
+type blasterCounters struct {
+	sat      SatCounters
+	gateHits int64
+	vars     int64
+}
+
+// foldBlasterCounters adds the blaster's counter growth since prev to
+// the solver statistics and returns the new snapshot. Safe for
+// concurrent use (the statistics are atomics).
+func (s *Solver) foldBlasterCounters(b *blaster, prev blasterCounters) blasterCounters {
+	cur := blasterCounters{
+		sat:      b.sat.Counters(),
+		gateHits: b.gateHits,
+		vars:     int64(b.sat.NumVars()),
+	}
+	s.stats.satConflicts.Add(cur.sat.Conflicts - prev.sat.Conflicts)
+	s.stats.minimizedLits.Add(cur.sat.MinimizedLits - prev.sat.MinimizedLits)
+	s.stats.learntLits.Add(cur.sat.LearntLits - prev.sat.LearntLits)
+	s.stats.learnts.Add(cur.sat.Learnts - prev.sat.Learnts)
+	s.stats.glueSum.Add(cur.sat.GlueSum - prev.sat.GlueSum)
+	s.stats.lowGlue.Add(cur.sat.LowGlue - prev.sat.LowGlue)
+	s.stats.binaryProps.Add(cur.sat.BinaryProps - prev.sat.BinaryProps)
+	s.stats.propagations.Add(cur.sat.Propagations - prev.sat.Propagations)
+	s.stats.assumLevels.Add(cur.sat.AssumLevels - prev.sat.AssumLevels)
+	s.stats.decisions.Add(cur.sat.Decisions - prev.sat.Decisions)
+	s.stats.restarts.Add(cur.sat.Restarts - prev.sat.Restarts)
+	s.stats.cnfVars.Add(cur.vars - prev.vars)
+	s.stats.cnfClauses.Add(cur.sat.ClausesAdded - prev.sat.ClausesAdded)
+	s.stats.gateHits.Add(cur.gateHits - prev.gateHits)
+	return cur
+}
+
+// preQuery is the outcome of preSolve for an undecided query: the atom
+// set to solve (equality-substituted) and the canonical original atom
+// set with its cache key (the caller must cachePut its verdict under
+// cacheAtoms/key, never under the substituted atoms).
+type preQuery struct {
+	atoms      []*expr.Expr // atoms to blast and solve
+	cacheAtoms []*expr.Expr // canonical original atoms (cache identity)
+	key        uint64
 }
 
 // preSolve runs the cheap per-query passes shared by the one-shot Check
 // and the incremental session: flattening and constant folding,
-// canonical ordering and deduplication, the verdict cache, and the
-// interval pre-analysis. When done is true the query is decided and
-// res/m hold the verdict; otherwise atoms is the canonical undecided
-// atom set and key its cache key (the caller must cachePut its verdict).
-// The returned atoms slice may alias the caller's scratch space — it is
-// only valid until the next preSolve call on the same goroutine.
-func (s *Solver) preSolve(constraints []*expr.Expr) (atoms []*expr.Expr, key uint64, res Result, m *expr.Assignment, done bool) {
+// canonical ordering and deduplication, the verdict cache, the
+// equality-substitution pass, and the interval pre-analysis. When done
+// is true the query is decided and res/m hold the verdict; otherwise pq
+// describes the undecided query. The returned slices may alias the
+// caller's scratch space — they are only valid until the next preSolve
+// call on the same goroutine.
+func (s *Solver) preSolve(constraints []*expr.Expr) (pq preQuery, res Result, m *expr.Assignment, done bool) {
 	s.stats.queries.Add(1)
 	atoms, early := flattenAtoms(constraints)
 	if early != Unknown {
 		s.stats.folded.Add(1)
 		if early == Sat {
-			return nil, 0, Sat, expr.NewAssignment(), true
+			return preQuery{}, Sat, expr.NewAssignment(), true
 		}
-		return nil, 0, Unsat, nil, true
+		return preQuery{}, Unsat, nil, true
 	}
 	sortAtoms(atoms)
 	atoms = dedupAtoms(atoms)
-	key = cacheKey(atoms)
+	key := cacheKey(atoms)
 	if r, cm, ok := s.cacheGet(key, atoms); ok {
 		s.stats.cacheHits.Add(1)
-		return nil, 0, r, cm, true
+		return preQuery{}, r, cm, true
+	}
+	solveAtoms := atoms
+	if !s.Opts.DisableEqSubst {
+		sub, rewritten, contradiction := substEqualities(atoms)
+		s.stats.eqRewritten.Add(rewritten)
+		if contradiction {
+			s.stats.eqUnsat.Add(1)
+			s.cachePut(key, atoms, Unsat, nil)
+			return preQuery{}, Unsat, nil, true
+		}
+		solveAtoms = sub
 	}
 	if !s.Opts.DisableIntervals {
-		switch verdict, model := preAnalyze(atoms); verdict {
+		// Running intervals after substitution lets the analysis see the
+		// propagated constants, which decides strictly more queries.
+		switch verdict, model := preAnalyze(solveAtoms); verdict {
 		case intervalUnsat:
 			s.stats.interval.Add(1)
 			s.cachePut(key, atoms, Unsat, nil)
-			return nil, 0, Unsat, nil, true
+			return preQuery{}, Unsat, nil, true
 		case intervalSat:
 			s.stats.interval.Add(1)
 			s.cachePut(key, atoms, Sat, model)
-			return nil, 0, Sat, model, true
+			return preQuery{}, Sat, model, true
 		}
 	}
-	return atoms, key, Unknown, nil, false
+	return preQuery{atoms: solveAtoms, cacheAtoms: atoms, key: key}, Unknown, nil, false
 }
 
 // Check decides whether the conjunction of the given 1-bit expressions is
 // satisfiable. On Sat it returns a model assigning every free variable
 // and the bytes of every base array mentioned by the constraints.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
-	// 1.-2. Flattening, folding, dedup, verdict cache, intervals.
-	atoms, key, res, m, done := s.preSolve(constraints)
+	// 1.-2. Flattening, folding, dedup, verdict cache, equality
+	// substitution, intervals.
+	pq, res, m, done := s.preSolve(constraints)
 	if done {
 		return res, m
 	}
 
 	// 3. Ackermannize packet-array reads.
-	queryAtoms := atoms
-	atoms, selects, selVars := ackermannize(atoms)
+	atoms, selects, selVars := ackermannize(pq.atoms)
 
-	// 4. Bit-blast and solve.
+	// 4. Bit-blast and solve on a pooled blaster.
 	s.stats.satCalls.Add(1)
 	b := newBlaster()
-	b.sat.MaxConflicts = s.Opts.MaxConflicts
-	if b.sat.MaxConflicts == 0 {
-		b.sat.MaxConflicts = DefaultMaxConflicts
-	}
+	defer b.release()
+	b.sat.MaxConflicts = s.Opts.maxConflicts()
 	for _, a := range atoms {
 		b.assertTrue(a)
 	}
 	verdict := b.sat.Solve()
-	_, _, conflicts := b.sat.Stats()
-	s.stats.satConflicts.Add(conflicts)
+	s.foldBlasterCounters(b, blasterCounters{})
 	switch verdict {
 	case SatUnsat:
-		s.cachePut(key, queryAtoms, Unsat, nil)
+		s.cachePut(pq.key, pq.cacheAtoms, Unsat, nil)
 		return Unsat, nil
 	case SatUnknown:
 		return Unknown, nil
 	}
 
-	// 5. Reconstruct the model.
+	// 5. Reconstruct the model. Variables are collected from the
+	// original atoms as well: equality substitution can fold a variable
+	// out of every solved atom, and the model must still assign it (its
+	// kept defining equality pins the value).
 	asn := expr.NewAssignment()
 	var vars []*expr.Expr
 	for _, a := range atoms {
 		vars = expr.Vars(a, vars)
 	}
+	for _, a := range pq.cacheAtoms {
+		vars = expr.Vars(a, vars)
+	}
 	for _, v := range vars {
-		asn.Vars[v.Name] = b.modelVar(v.Name, v.Width())
+		if _, ok := asn.Vars[v.Name]; !ok {
+			asn.Vars[v.Name] = b.modelVar(v.Name, v.Width())
+		}
 	}
 	// Array contents: evaluate each select's (rewritten) index under the
 	// model, then place the select variable's value at that index. The
@@ -266,7 +378,7 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	for _, n := range selVars {
 		delete(asn.Vars, n)
 	}
-	s.cachePut(key, queryAtoms, Sat, asn)
+	s.cachePut(pq.key, pq.cacheAtoms, Sat, asn)
 	return Sat, asn
 }
 
