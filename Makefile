@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json
+.PHONY: tier1 build test race bench bench-json examples
 
 # tier1 is the repo's gate: everything must build and every test pass.
 tier1:
@@ -21,9 +21,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# examples runs every example binary end to end: they are executable
+# documentation, each one log.Fatals if a proof or replay misbehaves,
+# so this doubles as an integration smoke test (CI runs it).
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/iprouter
+	$(GO) run ./examples/natgateway
+	$(GO) run ./examples/appmarket
+
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT
 # for the next snapshot.
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_3.json
 bench-json:
 	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

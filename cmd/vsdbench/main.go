@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3 [-maxlen N] [-parallel N] [-json]
+//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3|f1 [-maxlen N] [-parallel N] [-json]
 //
 // With -json the results are emitted as a JSON array of records — one
 // per benchmark row — in the BENCH_*.json shape: benchmark name, wall
@@ -58,16 +58,16 @@ func solverMetrics(m map[string]float64, st smt.Stats) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, f1, or all")
 	maxLen := flag.Uint64("maxlen", 48, "maximum packet length for the symbolic packet")
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array of benchmark records")
 	flag.Parse()
 
 	switch *experiment {
-	case "all", "e1", "e2", "e3", "a1", "a2", "a3":
+	case "all", "e1", "e2", "e3", "a1", "a2", "a3", "f1":
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want e1, e2, e3, a1, a2, a3, or all)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want e1, e2, e3, a1, a2, a3, f1, or all)", *experiment))
 	}
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	records := []benchRecord{}
@@ -237,6 +237,45 @@ func main() {
 					"verified":   b2f(r.Verified),
 					"discharged": float64(r.Discharged),
 				},
+			})
+		}
+		printf("\n")
+	}
+
+	if run("f1") {
+		printf("== F1: functional property specs (DESIGN.md §6) ==\n")
+		printf("paper: \"bounded execution or filtering correctness\" — input/output contracts per spec family\n")
+		rows, err := experiments.F1FunctionalSpecs(*maxLen, *parallel)
+		if err != nil {
+			fatal(err)
+		}
+		printf("%-22s %-14s %-9s %12s %8s %8s %10s %12s\n",
+			"spec", "pipeline", "verdict", "obligations", "proved", "trivial", "witnesses", "time")
+		for _, r := range rows {
+			verdict := "VERIFIED"
+			if !r.Verified {
+				verdict = "FAILED"
+			}
+			// Rows always match their designed verdict — F1FunctionalSpecs
+			// errors out otherwise — so a FAILED row is a demonstration.
+			note := ""
+			if !r.Verified {
+				note = " (as designed)"
+			}
+			printf("%-22s %-14s %-9s %12d %8d %8d %10d %12v%s\n",
+				r.Spec, r.Pipeline, verdict, r.Obligations, r.Proved, r.Trivial,
+				r.Witnesses, r.Duration.Round(1e6), note)
+			m := map[string]float64{
+				"verified":    b2f(r.Verified),
+				"expected":    b2f(r.Expected),
+				"obligations": float64(r.Obligations),
+				"proved":      float64(r.Proved),
+				"trivial":     float64(r.Trivial),
+				"witnesses":   float64(r.Witnesses),
+			}
+			solverMetrics(m, r.Solver)
+			records = append(records, benchRecord{
+				Name: fmt.Sprintf("f1/%s/%s", r.Spec, r.Pipeline), WallTimeNS: int64(r.Duration), Metrics: m,
 			})
 		}
 		printf("\n")

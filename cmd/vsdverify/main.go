@@ -1,34 +1,114 @@
 // Command vsdverify is the dataplane verification tool the paper
 // proposes: it reads a Click configuration and proves (or refutes, with
-// witness packets) crash freedom, bounded execution, and optional
-// reachability properties.
+// witness packets) crash freedom, bounded execution, and functional
+// properties.
 //
 // Usage:
 //
 //	vsdverify [flags] config.click
 //
 //	-property crash|bound|all   property to verify (default all)
+//	-spec LIST                  functional specs to verify (see below)
+//	-ipoff N                    IPv4 header offset assumed by -spec (default 14)
 //	-maxlen N                   maximum packet length considered
 //	-parallel N                 verification worker pool size (0 = GOMAXPROCS)
 //	-monolithic                 also run the whole-pipeline baseline
 //	-dump-ir                    print each element's IR before verifying
 //	-stats                      print verification statistics
+//
+// -spec takes a comma-separated list of kind@element entries from the
+// functional-spec library (internal/specs, DESIGN.md §6):
+//
+//	ttl@ELEM        TTL decremented by one on packets emitted at ELEM
+//	checksum@ELEM   RFC 1624 checksum patch holds on packets emitted at ELEM
+//	filter@ELEM     drop-iff-filter-match for the IPFilter instance ELEM
+//	nat@ELEM        source-rewrite consistency for the IPRewriter instance ELEM
+//	roundtrip@ELEM  header offset restored at egress ELEM, and every byte
+//	                past the fixed IPv4 header untouched
+//
+// e.g. vsdverify -spec ttl@encap,filter@flt router.click
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"vsd/internal/click"
 	"vsd/internal/elements"
 	"vsd/internal/packet"
+	"vsd/internal/specs"
 	"vsd/internal/verify"
 )
 
+// buildSpecs parses the -spec list against the pipeline: kinds that
+// state an element's contract (filter, nat) read that instance's
+// configuration, so the spec always matches what was actually deployed.
+func buildSpecs(p *click.Pipeline, list string, ipOff, maxLen uint64) ([]verify.FuncSpec, error) {
+	find := func(name string) (*click.Instance, error) {
+		for _, e := range p.Elements {
+			if e.Name() == name {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("pipeline has no element named %q", name)
+	}
+	var out []verify.FuncSpec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, elem, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -spec entry %q (want kind@element)", entry)
+		}
+		inst, err := find(elem)
+		if err != nil {
+			return nil, fmt.Errorf("-spec %s: %w", entry, err)
+		}
+		switch kind {
+		case "ttl":
+			out = append(out, specs.TTLDecrement(ipOff, elem))
+		case "checksum":
+			out = append(out, specs.ChecksumPatched(ipOff, elem))
+		case "filter":
+			if inst.Class() != "IPFilter" {
+				return nil, fmt.Errorf("-spec %s: %s is a %s, want IPFilter", entry, elem, inst.Class())
+			}
+			s, err := specs.DropIffFilter(inst.Config(), ipOff, elem)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case "nat":
+			if inst.Class() != "IPRewriter" {
+				return nil, fmt.Errorf("-spec %s: %s is a %s, want IPRewriter", entry, elem, inst.Class())
+			}
+			s, err := specs.NATRewrite(inst.Config(), ipOff, elem)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		case "roundtrip":
+			// The unchanged window starts past the fixed IPv4 header: the
+			// pipeline may legitimately rewrite header fields (TTL,
+			// checksum, NAT addresses), and the spec's claim is that the
+			// encapsulation round-trip leaves the rest of the packet alone.
+			out = append(out, specs.StripRoundTrip(ipOff+packet.IPv4MinHeaderLen, maxLen, elem))
+		default:
+			return nil, fmt.Errorf("unknown spec kind %q (want ttl, checksum, filter, nat, or roundtrip)", kind)
+		}
+	}
+	return out, nil
+}
+
 func main() {
 	property := flag.String("property", "all", "property to verify: crash, bound, or all")
+	specList := flag.String("spec", "", "comma-separated functional specs to verify (kind@element; see package doc)")
+	ipOff := flag.Uint64("ipoff", packet.EthernetHeaderLen, "IPv4 header offset assumed by -spec entries")
 	maxLen := flag.Uint64("maxlen", 256, "maximum packet length considered")
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	monolithic := flag.Bool("monolithic", false, "also run the whole-pipeline baseline")
@@ -94,6 +174,31 @@ func main() {
 		if rep.Witness.Packet != nil {
 			fmt.Println("  worst-case packet:")
 			fmt.Print(verify.FormatWitness(rep.Witness))
+		}
+	}
+
+	if *specList != "" {
+		fspecs, err := buildSpecs(pipeline, *specList, *ipOff, *maxLen)
+		if err != nil {
+			fatal(err)
+		}
+		for _, spec := range fspecs {
+			start := time.Now()
+			rep, err := v.VerifyFunc(pipeline, spec)
+			if err != nil {
+				fatal(err)
+			}
+			if rep.Verified {
+				fmt.Printf("spec %s: VERIFIED in %v (%d obligation(s) proved, %d trivially)\n",
+					rep.Spec, time.Since(start).Round(time.Millisecond), rep.Proved, rep.Trivial)
+			} else {
+				failed = true
+				fmt.Printf("spec %s: FAILED in %v — %d witness(es):\n",
+					rep.Spec, time.Since(start).Round(time.Millisecond), len(rep.Witnesses))
+				for _, w := range rep.Witnesses {
+					fmt.Print(verify.FormatWitness(w))
+				}
+			}
 		}
 	}
 

@@ -9,10 +9,14 @@
 //   - submission 1 reads at a fixed offset with no length check; the
 //     verifier rejects it with a concrete witness packet, which this
 //     example replays to demonstrate the fault the customer was spared;
-//   - submission 2 adds the missing check; the verifier certifies it and
-//     additionally reports the latency impact (the instruction-bound
-//     delta), the "maximum increase in latency" assessment the paper
-//     describes for operators.
+//   - submission 2 adds the missing check; the verifier certifies it —
+//     including a transparency spec (DESIGN.md §6) proving the probe
+//     cannot modify traffic — and additionally reports the latency
+//     impact (the instruction-bound delta), the "maximum increase in
+//     latency" assessment the paper describes for operators;
+//   - submission 3 is an element that secretly rewrites packet bytes: it
+//     is perfectly crash-free, so only the transparency spec catches it,
+//     with a concrete before/after packet pair as rejection evidence.
 //
 // Run with: go run ./examples/appmarket
 package main
@@ -27,6 +31,7 @@ import (
 	"vsd/internal/elements"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
+	"vsd/internal/specs"
 	"vsd/internal/verify"
 )
 
@@ -45,7 +50,6 @@ const customerPipeline = `
 	cls [1] -> Discard;
 	chk [0] -> probe -> rt;
 	chk [1] -> Discard;
-	rt [0] -> Discard;
 	rt [1] -> Discard;
 `
 
@@ -63,6 +67,19 @@ func certify(candidate string) (bool, *click.Pipeline, *verify.CrashReport, erro
 		return false, nil, nil, err
 	}
 	return rep.Verified, pipeline, rep, nil
+}
+
+// certifyTransparent runs the market's second gate: a telemetry probe
+// must be a pure observer. The transparency spec proves the packet
+// bytes survive the probe unchanged on every feasible path.
+func certifyTransparent(candidate string) (*verify.FuncReport, error) {
+	cfg := fmt.Sprintf(customerPipeline, candidate)
+	pipeline, err := click.Parse(elements.Default(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
+	return v.VerifyFunc(pipeline, specs.Transparent(0, 64, "probe"))
 }
 
 // baselineBound computes the customer pipeline's instruction bound
@@ -118,6 +135,18 @@ func main() {
 	fmt.Printf("certification PASSED in %v: no packet can crash the pipeline.\n",
 		time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	trep, err := certifyTransparent("FixedReader(60)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !trep.Verified {
+		fmt.Print(verify.FormatWitness(trep.Witnesses[0]))
+		log.Fatal("FixedReader failed the transparency gate")
+	}
+	fmt.Printf("transparency PASSED in %v: the probe provably cannot modify traffic.\n",
+		time.Since(start).Round(time.Millisecond))
+
 	// Latency impact: instruction bound with and without the probe —
 	// the operator-facing assessment the paper motivates.
 	with, err := boundOf(fmt.Sprintf(customerPipeline, "FixedReader(60)"))
@@ -131,4 +160,28 @@ func main() {
 	fmt.Printf("latency impact: worst case %d IR statements with the probe vs %d with a no-op (+%d)\n",
 		with, without, with-without)
 	fmt.Println("\nTelemetryProbe v2 is listed on the market.")
+
+	// Submission 3: a "probe" that covertly rewrites the source address.
+	// It never crashes, so the paper's crash gate alone would list it —
+	// the transparency spec is what catches the tampering.
+	fmt.Println("\n== submission 3: TelemetryProbe v3 (covert rewriter) ==")
+	ok, _, _, err = certify("IPRewriter(SNAT 192.0.2.9)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("the rewriter should be crash-free — that gate alone is not enough")
+	}
+	fmt.Println("crash gate: PASSED (the element is perfectly crash-free)")
+	start = time.Now()
+	trep, err = certifyTransparent("IPRewriter(SNAT 192.0.2.9)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if trep.Verified {
+		log.Fatal("transparency gate certified a tampering element — soundness bug")
+	}
+	fmt.Printf("transparency FAILED in %v; rejection evidence (before/after):\n%s",
+		time.Since(start).Round(time.Millisecond), verify.FormatWitness(trep.Witnesses[0]))
+	fmt.Println("\nTelemetryProbe v3 is rejected: it rewrites customer traffic.")
 }

@@ -7,6 +7,12 @@
 // without E1 yields a concrete witness packet that provably — and, as
 // the replay shows, actually — crashes the dataplane.
 //
+// The last section goes beyond crash freedom: a functional spec
+// (verify.FuncSpec, DESIGN.md §6) proves what the pipeline *computes* —
+// every packet leaves with its first byte clamped to at least 10 — and
+// refutes the same claim about E1 alone, with a concrete input/output
+// witness pair.
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -17,6 +23,7 @@ import (
 	"vsd/internal/click"
 	"vsd/internal/dataplane"
 	"vsd/internal/elements"
+	"vsd/internal/expr"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
 	"vsd/internal/verify"
@@ -80,4 +87,47 @@ func main() {
 	} else {
 		log.Fatalf("witness did not crash the runtime: %+v", res)
 	}
+
+	fmt.Println()
+	fmt.Println("== Step 3: a functional spec — what does the pipeline compute? ==")
+	// E1 clamps negatives to 0 and E2 raises anything below 10 to 10, so
+	// the composed pipeline guarantees out[0] >= 10 (signed). State that
+	// as a FuncSpec postcondition over the symbolic output packet.
+	clamp := verify.FuncSpec{
+		Name: "clamp-to-10",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() {
+				return nil
+			}
+			return expr.Bin(expr.OpSle, expr.Const(8, 10), pi.Out(0, 1))
+		},
+	}
+	chain, err := click.Parse(reg, `src :: InfiniteSource; src -> ToyE1 -> ToyE2;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep3, err := verify.New(verify.Options{MinLen: 1, MaxLen: 64}).VerifyFunc(chain, clamp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep3.Verified {
+		log.Fatalf("clamp spec failed on E1 -> E2:\n%s", verify.FormatWitness(rep3.Witnesses[0]))
+	}
+	fmt.Printf("spec %s on E1 -> E2: VERIFIED (%d obligation(s) proved)\n", rep3.Spec, rep3.Proved)
+
+	// The same claim about E1 alone is false — E1 only clamps to 0 — and
+	// the verifier refutes it with an input/output pair.
+	e1only, err := click.Parse(reg, `src :: InfiniteSource; src -> ToyE1;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep4, err := verify.New(verify.Options{MinLen: 1, MaxLen: 64}).VerifyFunc(e1only, clamp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep4.Verified {
+		log.Fatal("clamp spec verified on E1 alone — that would be a soundness bug")
+	}
+	fmt.Printf("spec %s on E1 alone: refuted, as expected —\n%s",
+		rep4.Spec, verify.FormatWitness(rep4.Witnesses[0]))
 }

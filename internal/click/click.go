@@ -1,14 +1,3 @@
-// Package click implements the pipeline framework: a Click-style
-// directed graph of packet-processing elements, a parser for a subset of
-// the Click configuration language, and the program transformations the
-// verifier needs (path enumeration for compositional verification,
-// whole-pipeline inlining for the monolithic baseline).
-//
-// The paper's pipeline structure rules are enforced here: elements
-// exchange only packet state (the packet buffer and its metadata
-// annotations, handed off port-to-port), private state never leaves an
-// element (state stores are namespaced per instance), and static state
-// is read-only by construction (ir.StaticTable).
 package click
 
 import (

@@ -1,0 +1,22 @@
+// Package elements implements the element library: the default Click
+// IP-router elements the paper's evaluation verifies (Classifier,
+// Strip/EtherEncap, CheckIPHeader, LookupIPRoute, DecIPTTL, IPOptions),
+// the stateful elements its discussion motivates (Counter, NetFlow, a
+// NAT rewriter), and supporting elements (Paint, CheckLength, sources
+// and sinks, the toy elements of the paper's Fig. 1 and 2, and the
+// deliberately broken BuggyDecIPTTL used to demonstrate functional-spec
+// witnesses).
+//
+// Every element is written once in the element IR (internal/ir) and is
+// therefore both executable (internal/dataplane) and verifiable
+// (internal/symbex, internal/verify). Element configurations follow
+// Click's flavor: "Strip(14)", "Classifier(12/0800, 12/0806, -)",
+// "LookupIPRoute(10.0.0.0/8 0, 0.0.0.0/0 1)".
+//
+// Beyond the IR, elements expose their transform semantics as symbolic
+// expressions (specs.go: FilterAllowExpr, SNATNewSrc,
+// ChecksumPatchExpr) — declarative restatements of what a configuration
+// means, precise enough for the functional-spec layer (internal/specs,
+// DESIGN.md §6) to prove the IR and the declared behavior agree on
+// every feasible pipeline path.
+package elements

@@ -82,16 +82,11 @@ func CheckIPHeader(cfg string) (*ir.Program, error) {
 	return b.Build()
 }
 
-// DecIPTTL decrements the IPv4 TTL and incrementally updates the header
-// checksum (RFC 1624). Packets whose TTL is 0 or 1 leave on output 1
-// (for ICMP time-exceeded handling); the rest leave on output 0. The
-// element reads and writes the header without bounds checks — it is
-// only safe after CheckIPHeader, and the verifier proves exactly that.
-func DecIPTTL(cfg string) (*ir.Program, error) {
-	if cfg != "" {
-		return nil, fmt.Errorf("DecIPTTL takes no configuration")
-	}
-	b := ir.NewBuilder("DecIPTTL", 1, 2)
+// decTTLBody is the shared body of DecIPTTL and BuggyDecIPTTL: guard
+// low TTLs out to port 1, subtract dec from the ttl|protocol halfword,
+// and patch the checksum for the value actually written.
+func decTTLBody(name string, dec uint64) (*ir.Program, error) {
+	b := ir.NewBuilder(name, 1, 2)
 	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
 	ttl := b.LoadPkt(b.BinC(ir.Add, hoff, 8), 1)
 	b.If(b.BinC(ir.Ule, ttl, 1), func() { b.Emit(1) }, nil)
@@ -99,7 +94,7 @@ func DecIPTTL(cfg string) (*ir.Program, error) {
 	// Decrement TTL within the ttl|protocol halfword and patch the
 	// checksum: sum' = ~(~sum + ~old + new), end-around.
 	oldHW := b.LoadPkt(b.BinC(ir.Add, hoff, 8), 2)
-	newHW := b.BinC(ir.Sub, oldHW, 0x0100)
+	newHW := b.BinC(ir.Sub, oldHW, dec<<8)
 	b.StorePkt(b.BinC(ir.Add, hoff, 8), newHW, 2)
 
 	ck := b.LoadPkt(b.BinC(ir.Add, hoff, 10), 2)
@@ -112,6 +107,31 @@ func DecIPTTL(cfg string) (*ir.Program, error) {
 	b.StorePkt(b.BinC(ir.Add, hoff, 10), newCk, 2)
 	b.Emit(0)
 	return b.Build()
+}
+
+// DecIPTTL decrements the IPv4 TTL and incrementally updates the header
+// checksum (RFC 1624). Packets whose TTL is 0 or 1 leave on output 1
+// (for ICMP time-exceeded handling); the rest leave on output 0. The
+// element reads and writes the header without bounds checks — it is
+// only safe after CheckIPHeader, and the verifier proves exactly that.
+func DecIPTTL(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("DecIPTTL takes no configuration")
+	}
+	return decTTLBody("DecIPTTL", 1)
+}
+
+// BuggyDecIPTTL is a deliberately broken DecIPTTL for the functional-
+// spec demonstrations: it decrements the TTL by TWO instead of one. Its
+// checksum patch is internally consistent (it patches for the value it
+// actually wrote), so the pipeline stays crash-free and checksum-correct
+// — only the TTL-decrement functional spec catches the bug, with a
+// concrete input/output witness pair.
+func BuggyDecIPTTL(cfg string) (*ir.Program, error) {
+	if cfg != "" {
+		return nil, fmt.Errorf("BuggyDecIPTTL takes no configuration")
+	}
+	return decTTLBody("BuggyDecIPTTL", 2)
 }
 
 // maxIPOptionIters bounds the option walk: at most 40 option bytes, and

@@ -119,6 +119,7 @@ func Default() *click.Registry {
 	r.Register("Paint", Paint)
 	r.Register("CheckIPHeader", CheckIPHeader)
 	r.Register("DecIPTTL", DecIPTTL)
+	r.Register("BuggyDecIPTTL", BuggyDecIPTTL)
 	r.Register("IPOptions", IPOptions)
 	r.Register("LookupIPRoute", LookupIPRoute)
 	r.Register("IPFilter", IPFilter)

@@ -1,0 +1,96 @@
+package elements
+
+import (
+	"fmt"
+
+	"vsd/internal/expr"
+)
+
+// This file exposes element transform semantics as symbolic expressions
+// (DESIGN.md §6): declarative restatements of what an element's IR
+// computes, precise enough for the functional-spec layer
+// (internal/specs) to prove input/output contracts against. The helpers
+// deliberately re-derive behavior from the same parsed configuration the
+// element compiles, so a divergence between an element's IR and its
+// declared semantics surfaces as a verification failure with a concrete
+// input/output witness — not as a silently vacuous spec.
+
+// FilterAllowExpr re-derives IPFilter's first-match allow predicate over
+// a symbolic packet: the same field reads the element compiles to IR —
+// including the guarded transport-port loads, where ports read as zero
+// when no L4 header fits the packet — and the same first-match fold with
+// default deny. cfg is the element's rule string; in and plen are the
+// packet array and 32-bit length to read from; ipOff is the concrete
+// offset of the IPv4 header.
+func FilterAllowExpr(cfg string, in *expr.Array, plen *expr.Expr, ipOff uint64) (*expr.Expr, error) {
+	rules, err := parseFilterRules(cfg)
+	if err != nil {
+		return nil, err
+	}
+	at := func(off uint64, n int) *expr.Expr {
+		return expr.SelectWide(in, expr.Const(32, off), n)
+	}
+	proto := at(ipOff+9, 1)
+	src := at(ipOff+12, 4)
+	dst := at(ipOff+16, 4)
+	b0 := at(ipOff, 1)
+	ihl := expr.ZExt(expr.BvAnd(b0, expr.Const(8, 0x0f)), 32)
+	l4 := expr.Add(expr.Const(32, ipOff), expr.Mul(ihl, expr.Const(32, 4)))
+	hasL4 := expr.Ule(expr.Add(l4, expr.Const(32, 4)), plen)
+	sport := expr.Ite(hasL4, expr.SelectWide(in, l4, 2), expr.Const(16, 0))
+	dport := expr.Ite(hasL4, expr.SelectWide(in, expr.Add(l4, expr.Const(32, 2)), 2), expr.Const(16, 0))
+
+	// First matching rule decides; no match is a deny.
+	verdict := expr.False()
+	for i := len(rules) - 1; i >= 0; i-- {
+		r := rules[i]
+		cond := expr.True()
+		if r.proto >= 0 {
+			cond = expr.And(cond, expr.Eq(proto, expr.Const(8, uint64(r.proto))))
+		}
+		for _, m := range []struct {
+			c    *cidr
+			addr *expr.Expr
+		}{{r.src, src}, {r.dst, dst}} {
+			if m.c == nil {
+				continue
+			}
+			lo, hi := m.c.Range()
+			cond = expr.And(cond,
+				expr.Ule(expr.Const(32, uint64(lo)), m.addr),
+				expr.Ule(m.addr, expr.Const(32, uint64(hi))))
+		}
+		if r.sport >= 0 {
+			cond = expr.And(cond, expr.Eq(sport, expr.Const(16, uint64(r.sport))))
+		}
+		if r.dport >= 0 {
+			cond = expr.And(cond, expr.Eq(dport, expr.Const(16, uint64(r.dport))))
+		}
+		verdict = expr.Ite(cond, expr.Bool(r.allow), verdict)
+	}
+	return verdict, nil
+}
+
+// SNATNewSrc parses an IPRewriter configuration ("SNAT NEWSRC") and
+// returns the source address the element rewrites packets to — the
+// element's declared transform, for the NAT consistency spec.
+func SNATNewSrc(cfg string) (uint32, error) {
+	f := fields(cfg)
+	if len(f) != 2 || f[0] != "SNAT" {
+		return 0, fmt.Errorf("SNATNewSrc wants an IPRewriter config (SNAT NEWSRC), got %q", cfg)
+	}
+	return parseIP4(f[1])
+}
+
+// ChecksumPatchExpr is the RFC 1624 incremental checksum update as an
+// expression: the new checksum implied by rewriting one header halfword
+// from oldHW to newHW under old checksum oldCk (all 16-bit).
+// CheckIPHeader's validation, DecIPTTL's patch, and the checksum
+// functional spec all agree on this arithmetic.
+func ChecksumPatchExpr(oldCk, oldHW, newHW *expr.Expr) *expr.Expr {
+	t := expr.Add(expr.ZExt(expr.Not(oldCk), 32), expr.ZExt(expr.Not(oldHW), 32))
+	t = expr.Add(t, expr.ZExt(newHW, 32))
+	t = expr.Add(expr.BvAnd(t, expr.Const(32, 0xffff)), expr.LShr(t, expr.Const(32, 16)))
+	t = expr.Add(expr.BvAnd(t, expr.Const(32, 0xffff)), expr.LShr(t, expr.Const(32, 16)))
+	return expr.Not(expr.Trunc(t, 16))
+}

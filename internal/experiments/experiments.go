@@ -15,6 +15,7 @@ import (
 	"vsd/internal/ir"
 	"vsd/internal/packet"
 	"vsd/internal/smt"
+	"vsd/internal/specs"
 	"vsd/internal/symbex"
 	"vsd/internal/verify"
 )
@@ -128,6 +129,134 @@ func E1CrashFreedom(maxLen uint64, parallelism int) ([]E1Row, error) {
 			Duration:  time.Since(start),
 			MaxLength: maxLen,
 			Solver:    st.Solver,
+		})
+	}
+	return rows, nil
+}
+
+// F1Row is one functional-spec verification outcome (DESIGN.md §6).
+type F1Row struct {
+	Spec        string
+	Pipeline    string
+	Verified    bool
+	Expected    bool // the verdict the scenario is designed to produce
+	Obligations int  // postconditions that reached the solver
+	Proved      int  // obligations discharged as valid
+	Trivial     int  // postconditions that folded to true syntactically
+	Witnesses   int
+	Duration    time.Duration
+	Solver      smt.Stats
+}
+
+// funcRouterConfig is the IP-router pipeline without IPOptions (the
+// options loop dominates solver time and is exercised by E1/A2; the
+// functional specs constrain the TTL/checksum/routing elements).
+func funcRouterConfig(ttlClass string) string {
+	return fmt.Sprintf(`
+		src :: InfiniteSource;
+		cls :: Classifier(12/0800, -);
+		strip :: Strip(14);
+		chk :: CheckIPHeader(NOCHECKSUM);
+		rt :: LookupIPRoute(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+		ttl :: %s;
+		encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+		src -> cls;
+		cls [0] -> strip -> chk;
+		cls [1] -> Discard;
+		chk [0] -> rt;
+		chk [1] -> Discard;
+		rt [0] -> ttl;
+		rt [1] -> ttl;
+		rt [2] -> ttl;
+		ttl [0] -> encap;
+		ttl [1] -> Discard;
+	`, ttlClass)
+}
+
+// filterRules is the rule set shared by the filter pipeline and its spec.
+const filterRules = `allow proto udp dport 53, deny dst 10.0.0.0/8, allow proto tcp`
+
+// F1FunctionalSpecs verifies the functional-property library over the
+// example pipelines: one row per spec family, plus the
+// deliberately-broken BuggyDecIPTTL scenario whose TTL spec must FAIL
+// with a concrete input/output witness. Expected records each
+// scenario's designed verdict; a mismatch is returned as an error so
+// regressions fail the bench harness loudly, not just a footnote.
+func F1FunctionalSpecs(maxLen uint64, parallelism int) ([]F1Row, error) {
+	filterPipeline := `
+		src :: InfiniteSource;
+		cls :: Classifier(12/0800, -);
+		strip :: Strip(14);
+		chk :: CheckIPHeader(NOCHECKSUM);
+		flt :: IPFilter(` + filterRules + `);
+
+		src -> cls;
+		cls [0] -> strip -> chk;
+		cls [1] -> Discard;
+		chk [0] -> flt;
+		chk [1] -> Discard;
+	`
+	natPipeline := `
+		src :: InfiniteSource;
+		cls :: Classifier(12/0800, -);
+		strip :: Strip(14);
+		chk :: CheckIPHeader(NOCHECKSUM);
+		nat :: IPRewriter(SNAT 100.64.0.1);
+		encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+		src -> cls;
+		cls [0] -> strip -> chk;
+		cls [1] -> Discard;
+		chk [0] -> nat -> encap;
+		chk [1] -> Discard;
+	`
+	dropIff, err := specs.DropIffFilter(filterRules, 14, "flt")
+	if err != nil {
+		return nil, err
+	}
+	natSpec, err := specs.NATRewrite("SNAT 100.64.0.1", 14, "nat")
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		pipeline string
+		src      string
+		spec     verify.FuncSpec
+		expected bool
+	}{
+		{"router", funcRouterConfig("DecIPTTL"), specs.TTLDecrement(14, "encap"), true},
+		{"router", funcRouterConfig("DecIPTTL"), specs.ChecksumPatched(14, "encap"), true},
+		{"router", funcRouterConfig("DecIPTTL"), specs.StripRoundTrip(26, maxLen, "encap"), true},
+		{"filter", filterPipeline, dropIff, true},
+		{"nat", natPipeline, natSpec, true},
+		{"buggy-router", funcRouterConfig("BuggyDecIPTTL"), specs.TTLDecrement(14, "encap"), false},
+		{"buggy-router", funcRouterConfig("BuggyDecIPTTL"), specs.ChecksumPatched(14, "encap"), true},
+	}
+	var rows []F1Row
+	for _, c := range cases {
+		p := MustParse(c.src)
+		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		start := time.Now()
+		rep, err := v.VerifyFunc(p, c.spec)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", c.spec.Name, c.pipeline, err)
+		}
+		if rep.Verified != c.expected {
+			return nil, fmt.Errorf("%s/%s: verified=%v, designed verdict %v",
+				c.spec.Name, c.pipeline, rep.Verified, c.expected)
+		}
+		rows = append(rows, F1Row{
+			Spec:        rep.Spec,
+			Pipeline:    c.pipeline,
+			Verified:    rep.Verified,
+			Expected:    c.expected,
+			Obligations: rep.Obligations,
+			Proved:      rep.Proved,
+			Trivial:     rep.Trivial,
+			Witnesses:   len(rep.Witnesses),
+			Duration:    time.Since(start),
+			Solver:      v.Stats().Solver,
 		})
 	}
 	return rows, nil

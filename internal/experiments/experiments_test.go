@@ -51,6 +51,27 @@ func TestE3RowsProduceSpeedup(t *testing.T) {
 	}
 }
 
+func TestF1RowsMatchExpectedVerdicts(t *testing.T) {
+	rows, err := F1FunctionalSpecs(40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no F1 rows")
+	}
+	for _, r := range rows {
+		if r.Verified != r.Expected {
+			t.Errorf("%s/%s: verified=%v, designed verdict %v", r.Spec, r.Pipeline, r.Verified, r.Expected)
+		}
+		if !r.Verified && r.Witnesses == 0 {
+			t.Errorf("%s/%s: failed without witnesses", r.Spec, r.Pipeline)
+		}
+		if r.Obligations+r.Trivial == 0 {
+			t.Errorf("%s/%s: vacuous spec (no obligations stated)", r.Spec, r.Pipeline)
+		}
+	}
+}
+
 func TestA3RowsShape(t *testing.T) {
 	rows, err := A3StatefulElements(40, 0)
 	if err != nil {

@@ -1,0 +1,183 @@
+// Package specs is the reusable functional-spec library (DESIGN.md §6):
+// for each transform element of the library, a verify.FuncSpec stating
+// its input/output contract — TTL decremented by one, checksum patched
+// per RFC 1624, drop-iff-filter-match, NAT source-rewrite consistency,
+// strip/encap round-trip, paint, and element transparency.
+//
+// Specs are built against element semantics exposed by
+// internal/elements (FilterAllowExpr, SNATNewSrc, ChecksumPatchExpr),
+// so they restate what the configuration *means* independently of the
+// IR the element compiled to; the verifier then proves the two agree on
+// every feasible composed path, or produces a concrete input/output
+// witness pair where they do not (see elements.BuggyDecIPTTL).
+//
+// All constructors take the concrete IPv4 header offset the pipeline
+// establishes before the element runs (14 after the usual Strip(14)).
+// Each spec states obligations only for the paths it constrains —
+// postconditions return nil for unrelated drops and egresses, so those
+// paths stay unconstrained.
+package specs
+
+import (
+	"vsd/internal/elements"
+	"vsd/internal/expr"
+	"vsd/internal/packet"
+	"vsd/internal/symbex"
+	"vsd/internal/verify"
+)
+
+// TTLDecrement states that every packet emitted at egressElem left with
+// its IPv4 TTL decremented by exactly one: out[ttl] = in[ttl] - 1. This
+// is the forwarding-correctness half of DecIPTTL's contract (the
+// checksum half is ChecksumPatched).
+func TTLDecrement(ipOff uint64, egressElem string) verify.FuncSpec {
+	return verify.FuncSpec{
+		Name: "ttl-decrement",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || pi.EgressElem() != egressElem {
+				return nil
+			}
+			ttlOff := ipOff + 8
+			return expr.Eq(pi.Out(ttlOff, 1), expr.Sub(pi.In(ttlOff, 1), expr.Const(8, 1)))
+		},
+	}
+}
+
+// ChecksumPatched states that every packet emitted at egressElem
+// carries the RFC 1624 incremental checksum update for whatever the
+// pipeline did to the TTL/protocol halfword. It constrains the checksum
+// *relation* rather than a concrete value, so it holds for any rewrite
+// of that halfword that patches correctly — including BuggyDecIPTTL,
+// whose bug TTLDecrement catches instead.
+func ChecksumPatched(ipOff uint64, egressElem string) verify.FuncSpec {
+	return verify.FuncSpec{
+		Name: "checksum-patched",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || pi.EgressElem() != egressElem {
+				return nil
+			}
+			want := elements.ChecksumPatchExpr(pi.In(ipOff+10, 2), pi.In(ipOff+8, 2), pi.Out(ipOff+8, 2))
+			return expr.Eq(pi.Out(ipOff+10, 2), want)
+		},
+	}
+}
+
+// DropIffFilter states filtering correctness for the IPFilter instance
+// fltElem (configured with cfg, the same rule string the element was
+// built from): a path that drops inside the filter implies the
+// first-match predicate denies the packet, and a path emitted after
+// traversing the filter implies the predicate allows it — drop iff
+// filter match, the property the paper names.
+func DropIffFilter(cfg string, ipOff uint64, fltElem string) (verify.FuncSpec, error) {
+	// The predicate only mentions the entry packet and length, which are
+	// the same terms on every path — build it once and close over it.
+	allow, err := elements.FilterAllowExpr(cfg,
+		expr.BaseArray(symbex.PktArrayName), expr.Var(symbex.PktLenVar, 32), ipOff)
+	if err != nil {
+		return verify.FuncSpec{}, err
+	}
+	return verify.FuncSpec{
+		Name: "drop-iff-filter-match",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			switch {
+			case pi.Dropped() && pi.LastElem() == fltElem:
+				return expr.Not(allow)
+			case pi.Emitted() && pi.Visited(fltElem):
+				return allow
+			}
+			return nil
+		},
+	}, nil
+}
+
+// NATRewrite states source-NAT consistency for the IPRewriter instance
+// natElem (configured with cfg, "SNAT NEWSRC"): every packet emitted
+// after traversing the rewriter has its source address equal to NEWSRC
+// and its destination address untouched.
+func NATRewrite(cfg string, ipOff uint64, natElem string) (verify.FuncSpec, error) {
+	newSrc, err := elements.SNATNewSrc(cfg)
+	if err != nil {
+		return verify.FuncSpec{}, err
+	}
+	return verify.FuncSpec{
+		Name: "nat-rewrite",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || !pi.Visited(natElem) {
+				return nil
+			}
+			return expr.And(
+				expr.Eq(pi.Out(ipOff+12, 4), expr.Const(32, uint64(newSrc))),
+				expr.Eq(pi.Out(ipOff+16, 4), pi.In(ipOff+16, 4)))
+		},
+	}, nil
+}
+
+// StripRoundTrip states that strip/encap round-trips: every packet
+// emitted at egressElem has its header-offset annotation back at zero
+// and the bytes in [lo, hi) — the region past the rewritten
+// encapsulation header — unchanged. Byte equalities are guarded by the
+// symbolic length, so the window may exceed the shortest packets.
+func StripRoundTrip(lo, hi uint64, egressElem string) verify.FuncSpec {
+	return verify.FuncSpec{
+		Name: "strip-roundtrip",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || pi.EgressElem() != egressElem {
+				return nil
+			}
+			hoff := pi.Meta(packet.MetaHeaderOffset)
+			if hoff == nil {
+				// No element moved the header offset: nothing to round-trip.
+				hoff = expr.Const(32, 0)
+			}
+			conj := []*expr.Expr{expr.Eq(hoff, expr.Const(32, 0))}
+			conj = append(conj, unchangedBytes(pi, lo, hi)...)
+			return expr.And(conj...)
+		},
+	}
+}
+
+// Transparent states that an element is a pure observer: every packet
+// emitted after traversing elem has the bytes in [lo, hi) unchanged.
+// The app-market example uses it to certify that a telemetry probe
+// cannot tamper with traffic.
+func Transparent(lo, hi uint64, elem string) verify.FuncSpec {
+	return verify.FuncSpec{
+		Name: "transparent",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || !pi.Visited(elem) {
+				return nil
+			}
+			return expr.And(unchangedBytes(pi, lo, hi)...)
+		},
+	}
+}
+
+// unchangedBytes builds the guarded per-byte equalities out[i] = in[i]
+// for i in [lo, hi), each conditioned on i being within the packet.
+func unchangedBytes(pi *verify.PathInfo, lo, hi uint64) []*expr.Expr {
+	var conj []*expr.Expr
+	for i := lo; i < hi; i++ {
+		inLen := expr.Ult(expr.Const(32, i), pi.Len())
+		conj = append(conj, expr.Implies(inLen, expr.Eq(pi.Out(i, 1), pi.In(i, 1))))
+	}
+	return conj
+}
+
+// Paint states that every packet emitted at egressElem carries paint
+// annotation color — the paint half of a paint/strip round-trip.
+func Paint(color uint64, egressElem string) verify.FuncSpec {
+	return verify.FuncSpec{
+		Name: "paint",
+		Post: func(pi *verify.PathInfo) *expr.Expr {
+			if !pi.Emitted() || pi.EgressElem() != egressElem {
+				return nil
+			}
+			paint := pi.Meta(packet.MetaPaint)
+			if paint == nil {
+				// No element paints: the annotation keeps its zero default.
+				paint = expr.Const(8, 0)
+			}
+			return expr.Eq(paint, expr.Const(8, color))
+		},
+	}
+}

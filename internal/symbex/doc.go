@@ -1,0 +1,43 @@
+// Package symbex implements symbolic execution of element IR.
+//
+// This is the reproduction's stand-in for the S2E engine the paper used:
+// it executes an ir.Program with a fully symbolic packet (a symbolic bit
+// vector, as in the paper), forking at every data-dependent branch, and
+// produces one Segment per feasible complete path through the element —
+// exactly the per-element artifacts of the paper's Step 1:
+//
+//   - the path constraint C (over the symbolic input packet, packet
+//     length, metadata annotations, and unconstrained state reads);
+//   - the symbolic state S: the output packet as a store chain over the
+//     input array (Segment.Pkt), final metadata (Segment.Meta), and the
+//     output port or drop. The composition layer threads this output
+//     state through stitched paths, which is what lets functional specs
+//     (DESIGN.md §6) relate a pipeline's input packet to its output
+//     packet;
+//   - the dynamic instruction count (for the bounded-execution property);
+//   - a crash tag when the path faults (assert, division by zero,
+//     out-of-bounds packet access) — the "suspect" marker.
+//
+// Loops are handled two ways, selected by Options.LoopMode:
+//
+//   - LoopUnroll inlines the body up to its static bound, the naive
+//     strategy the paper estimates at "millions of segments" for the IP
+//     options element;
+//   - LoopSummarize applies the paper's decomposition: the body is
+//     symbexed once as a "mini-element" with fresh symbolic loop-carried
+//     state, and iterations are composed by substitution with eager
+//     infeasibility pruning, the same mechanism used to compose pipeline
+//     elements;
+//   - LoopMerge (the default) additionally merges per-iteration
+//     continuations into one state with ite-selected values, keeping
+//     loop exploration linear in the bound (loop.go).
+//
+// Mutable data structures (StateRead/StateWrite) follow the paper's
+// modeling: a read returns a fresh unconstrained symbolic value and is
+// logged, a write is logged; the verifier later checks whether any "bad"
+// read value could actually have been written.
+//
+// Feasibility checks run on an incremental solver session per engine
+// (DESIGN.md §2), with per-path witness caching so most forks never
+// reach the solver.
+package symbex

@@ -1,0 +1,55 @@
+// Package verify implements the paper's two-step compositional
+// dataplane verification — the primary contribution of "Toward a
+// Verifiable Software Dataplane" (Dobrescu & Argyraki, HotNets 2013).
+//
+// # Step 1 — element verification
+//
+// Every element of a pipeline is symbolically executed once, in
+// isolation, with an unconstrained symbolic packet. The result is a set
+// of segment summaries — path constraint C, symbolic state transformer
+// S, instruction count, crash tag. Summaries are cached by element
+// class and configuration, so an element appearing at several pipeline
+// positions (or in several pipelines) is processed once. Segments that
+// can violate the target property in isolation are tagged "suspect".
+//
+// # Step 2 — composition
+//
+// Element-level paths through the pipeline DAG are stitched by
+// substitution — the upstream segment's output packet array and
+// metadata replace the downstream segment's input variables, exactly
+// the C1(in) ∧ C2(S1(in)) construction of the paper — and each stitched
+// path's feasibility is decided by the solver without re-executing any
+// code. Suspect segments whose stitched constraint is unsatisfiable are
+// discharged (the paper's e3/p1/p4 example); feasible ones yield
+// concrete witness packets.
+//
+// # Properties
+//
+// Four property families run over the same walk:
+//
+//   - CrashFreedom — no input can crash the pipeline (with the
+//     "bad value" data-structure refinement for stateful elements,
+//     stateful.go);
+//   - BoundedInstructions — the worst-case instruction count and the
+//     packet attaining it;
+//   - Reachability — configuration-specific egress properties under
+//     input assumptions;
+//   - VerifyFunc — declarative functional specs (FuncSpec, funcspec.go):
+//     postconditions relating the symbolic input packet to the symbolic
+//     output packet, egress, and final metadata of every composed path,
+//     discharged per path on the incremental solver sessions. The
+//     reusable spec library lives in internal/specs. See DESIGN.md §6.
+//
+// # Concurrency
+//
+// Both steps exploit the problem's embarrassing parallelism (DESIGN.md
+// §3): distinct element classes are summarized concurrently, and the
+// composed-path walk fans subtrees out to a bounded worker pool, each
+// worker discharging suspect paths on its own incremental solver
+// session (DESIGN.md §2). Options.Parallelism bounds the pool; every
+// verdict is independent of the schedule.
+//
+// The package also provides the monolithic baseline (symbolic execution
+// of the whole inlined pipeline, the paper's >12-hour comparison point,
+// monolithic.go).
+package verify

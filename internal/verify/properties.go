@@ -15,6 +15,10 @@ import (
 // sequences" the paper requires a verifier to produce.
 type Witness struct {
 	Packet []byte
+	// Output is the concrete packet the pipeline produces for Packet.
+	// It is set by functional-spec violations (the properties that relate
+	// input to output; DESIGN.md §6) and nil for the other properties.
+	Output []byte
 	Path   string // element-level path, for the report
 	Detail string
 }
@@ -209,26 +213,40 @@ func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport
 	return rep, nil
 }
 
-// witness turns a feasible composed path into a concrete packet. It
-// queries the root session, so it must only run under visitMu (visit
-// callbacks) or after the walk has completed.
-func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (Witness, error) {
-	m := st.model
+// checkedModel returns a model for the path's stitched constraints plus
+// extra (nil = none): m is reused when the caller already has one, the
+// root session is queried otherwise. Either way the result is
+// cross-checked under evaluation semantics — a failure there indicates
+// a solver or composition bug, not a property violation. It queries the
+// root session, so it must only run under visitMu (visit callbacks) or
+// after the walk has completed.
+func (v *Verifier) checkedModel(p *click.Pipeline, st *composed, m *expr.Assignment, extraPre []*expr.Expr, extra *expr.Expr) (*expr.Assignment, error) {
+	cons := append([]*expr.Expr{}, st.conds...)
+	if extra != nil {
+		cons = append(cons, extra)
+	}
 	if m == nil {
-		ok, got := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), st.conds...), nil)
+		ok, got := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), cons...), nil)
 		if !ok || got == nil {
-			return Witness{}, fmt.Errorf("verify: cannot produce witness for feasible path %s", pathName(p, st))
+			return nil, fmt.Errorf("verify: cannot produce witness for feasible path %s", pathName(p, st))
 		}
 		m = got
 	}
-	// Defensive cross-check: the model must satisfy the stitched
-	// constraints under evaluation semantics. A failure here indicates a
-	// solver or composition bug, not a property violation.
-	for _, c := range st.conds {
+	for _, c := range cons {
 		if !expr.Eval(c, m).IsTrue() {
-			return Witness{}, fmt.Errorf("verify: internal error: witness model violates path constraint %s on %s",
+			return nil, fmt.Errorf("verify: internal error: witness model violates path constraint %s on %s",
 				c, pathName(p, st))
 		}
+	}
+	return m, nil
+}
+
+// witness turns a feasible composed path into a concrete packet (under
+// the same visitMu caveat as checkedModel).
+func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (Witness, error) {
+	m, err := v.checkedModel(p, st, st.model, extraPre, nil)
+	if err != nil {
+		return Witness{}, err
 	}
 	return Witness{Packet: packetFromModel(m, v.opts.MinLen, v.opts.MaxLen), Path: pathName(p, st)}, nil
 }
@@ -250,22 +268,50 @@ func packetFromModel(m *expr.Assignment, minLen, maxLen uint64) []byte {
 	return pkt
 }
 
-// FormatWitness renders a witness for CLI reports.
+// FormatWitness renders a witness for CLI reports. Spec-violation
+// witnesses additionally carry the concrete output packet; the dump
+// marks the bytes that differ from the input with a trailing asterisk.
 func FormatWitness(w Witness) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "  path:   %s\n", w.Path)
 	fmt.Fprintf(&b, "  detail: %s\n", w.Detail)
 	fmt.Fprintf(&b, "  packet: (%d bytes)", len(w.Packet))
-	for i, by := range w.Packet {
+	hexDump(&b, w.Packet, nil)
+	if w.Output != nil {
+		fmt.Fprintf(&b, "  output: (%d bytes, * marks bytes changed by the pipeline)", len(w.Output))
+		hexDump(&b, w.Output, w.Packet)
+	}
+	return b.String()
+}
+
+// hexDump writes the 16-per-line hex dump used by witness reports,
+// truncating past 64 bytes. When ref is non-nil, bytes differing from
+// the same offset in ref are marked with '*' (and matching bytes carry a
+// space so columns stay aligned; line ends are trimmed).
+func hexDump(b *strings.Builder, data, ref []byte) {
+	var line strings.Builder
+	flush := func() {
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		line.Reset()
+	}
+	for i, by := range data {
 		if i%16 == 0 {
-			fmt.Fprintf(&b, "\n    %04x:", i)
+			flush()
+			fmt.Fprintf(&line, "\n    %04x:", i)
 		}
-		fmt.Fprintf(&b, " %02x", by)
-		if i >= 63 && len(w.Packet) > 64 {
-			fmt.Fprintf(&b, " … (+%d)", len(w.Packet)-i-1)
+		mark := ""
+		if ref != nil {
+			mark = " "
+			if i >= len(ref) || ref[i] != by {
+				mark = "*"
+			}
+		}
+		fmt.Fprintf(&line, " %02x%s", by, mark)
+		if i >= 63 && len(data) > 64 {
+			fmt.Fprintf(&line, " … (+%d)", len(data)-i-1)
 			break
 		}
 	}
+	flush()
 	b.WriteByte('\n')
-	return b.String()
 }

@@ -1,36 +1,3 @@
-// Package verify implements the paper's two-step compositional
-// dataplane verification — the primary contribution of "Toward a
-// Verifiable Software Dataplane" (Dobrescu & Argyraki, HotNets 2013).
-//
-// Step 1 (element verification): every element of a pipeline is
-// symbolically executed once, in isolation, with an unconstrained
-// symbolic packet. The result is a set of segment summaries — path
-// constraint C, symbolic state transformer S, instruction count, crash
-// tag. Summaries are cached by element class and configuration, so an
-// element appearing at several pipeline positions (or in several
-// pipelines) is processed once. Segments that can violate the target
-// property in isolation are tagged "suspect".
-//
-// Step 2 (composition): element-level paths through the pipeline DAG are
-// stitched by substitution — the upstream segment's output packet array
-// and metadata replace the downstream segment's input variables, exactly
-// the C1(in) ∧ C2(S1(in)) construction of the paper — and each stitched
-// path's feasibility is decided by the solver without re-executing any
-// code. Suspect segments whose stitched constraint is unsatisfiable are
-// discharged (the paper's e3/p1/p4 example); feasible ones yield
-// concrete witness packets.
-//
-// Both steps exploit the problem's embarrassing parallelism (see
-// DESIGN.md): distinct element classes are summarized concurrently, and
-// the composed-path walk fans subtrees out to a bounded worker pool,
-// each worker discharging suspect paths on its own incremental solver
-// session. Options.Parallelism bounds the pool; every verdict is
-// independent of the schedule.
-//
-// The package also provides the monolithic baseline (symbolic execution
-// of the whole inlined pipeline, the paper's >12-hour comparison point)
-// and the data-structure refinement for stateful elements (the
-// "bad value" analysis).
 package verify
 
 import (
