@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json examples
+.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip
 
 # tier1 is the repo's gate: everything must build and every test pass.
 tier1:
@@ -30,9 +30,31 @@ examples:
 	$(GO) run ./examples/natgateway
 	$(GO) run ./examples/appmarket
 
+# serve-smoke drives the vsdserve admission daemon end to end over real
+# HTTP: it binds an ephemeral port, POSTs every corpus pipeline to
+# itself, and fails unless all come back certified (CI runs it).
+serve-smoke:
+	$(GO) run ./cmd/vsdserve -smoke examples/corpus -maxlen 48 -baseline examples/corpus/router.click
+
+# store-roundtrip is the summary-store correctness gate (DESIGN.md §7):
+# the example corpus is batch-verified twice against one store
+# directory; the second run must perform ZERO Step-1 symbolic-engine
+# runs (pure store hits) and print byte-identical verdicts.
+STORE_CI_DIR ?= .store-ci
+store-roundtrip:
+	rm -rf $(STORE_CI_DIR) && mkdir -p $(STORE_CI_DIR)
+	$(GO) run ./cmd/vsdverify -batch examples/corpus -maxlen 48 \
+		-store $(STORE_CI_DIR)/store -batch-stats $(STORE_CI_DIR)/cold.json > $(STORE_CI_DIR)/cold.jsonl
+	$(GO) run ./cmd/vsdverify -batch examples/corpus -maxlen 48 \
+		-store $(STORE_CI_DIR)/store -batch-stats $(STORE_CI_DIR)/warm.json > $(STORE_CI_DIR)/warm.jsonl
+	diff $(STORE_CI_DIR)/cold.jsonl $(STORE_CI_DIR)/warm.jsonl
+	grep -q '"elements_summarized": 0,' $(STORE_CI_DIR)/warm.json
+	! grep -q '"store_hits": 0,' $(STORE_CI_DIR)/warm.json
+	@echo "store-roundtrip: warm run identical, zero engine runs"
+
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT
 # for the next snapshot.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 bench-json:
 	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

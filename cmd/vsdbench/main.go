@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3|f1 [-maxlen N] [-parallel N] [-json]
+//	vsdbench -experiment all|e1|e2|e3|a1|a2|a3|f1|b1 [-maxlen N] [-parallel N] [-json]
+//	         [-store DIR]
 //
 // With -json the results are emitted as a JSON array of records — one
 // per benchmark row — in the BENCH_*.json shape: benchmark name, wall
@@ -58,16 +59,17 @@ func solverMetrics(m map[string]float64, st smt.Stats) {
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, f1, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: e1, e2, e3, a1, a2, a3, f1, b1, or all")
 	maxLen := flag.Uint64("maxlen", 48, "maximum packet length for the symbolic packet")
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "summary store directory for b1 (empty = fresh temp dir)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array of benchmark records")
 	flag.Parse()
 
 	switch *experiment {
-	case "all", "e1", "e2", "e3", "a1", "a2", "a3", "f1":
+	case "all", "e1", "e2", "e3", "a1", "a2", "a3", "f1", "b1":
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want e1, e2, e3, a1, a2, a3, f1, or all)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want e1, e2, e3, a1, a2, a3, f1, b1, or all)", *experiment))
 	}
 	run := func(name string) bool { return *experiment == "all" || *experiment == name }
 	records := []benchRecord{}
@@ -277,6 +279,50 @@ func main() {
 			records = append(records, benchRecord{
 				Name: fmt.Sprintf("f1/%s/%s", r.Spec, r.Pipeline), WallTimeNS: int64(r.Duration), Metrics: m,
 			})
+		}
+		printf("\n")
+	}
+
+	if run("b1") {
+		printf("== B1: batch admission against the persistent summary store (DESIGN.md §7) ==\n")
+		printf("the example corpus verified twice against one store: warm must do zero Step-1 engine runs\n")
+		rows, err := experiments.B1BatchStore(*maxLen, *parallel, *storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		printf("%-6s %10s %10s %12s %12s %11s %11s %12s\n",
+			"run", "pipelines", "certified", "engine-runs", "store-hits", "cache-hits", "artifacts", "time")
+		var coldNS int64
+		for _, r := range rows {
+			printf("%-6s %10d %10d %12d %12d %11d %11d %12v\n",
+				r.Run, r.Pipelines, r.Certified, r.EngineRuns, r.StoreHits,
+				r.CacheHits, r.StoreFiles, r.Duration.Round(1e6))
+			m := map[string]float64{
+				"pipelines":    float64(r.Pipelines),
+				"certified":    float64(r.Certified),
+				"engine-runs":  float64(r.EngineRuns),
+				"store-hits":   float64(r.StoreHits),
+				"store-misses": float64(r.StoreMisses),
+				"cache-hits":   float64(r.CacheHits),
+				"artifacts":    float64(r.StoreFiles),
+			}
+			if total := r.StoreHits + r.StoreMisses; total > 0 {
+				m["store-hit-rate"] = float64(r.StoreHits) / float64(total)
+			}
+			if r.Run == "cold" {
+				coldNS = int64(r.Duration)
+			} else if r.Duration > 0 {
+				m["warm-speedup"] = float64(coldNS) / float64(r.Duration)
+			}
+			solverMetrics(m, r.Solver)
+			records = append(records, benchRecord{
+				Name: "b1/" + r.Run, WallTimeNS: int64(r.Duration), Metrics: m,
+			})
+		}
+		if len(rows) == 2 && rows[1].Duration > 0 {
+			printf("warm speedup: %.1fx (store hit rate %d/%d)\n",
+				float64(rows[0].Duration)/float64(rows[1].Duration),
+				rows[1].StoreHits, rows[1].StoreHits+rows[1].StoreMisses)
 		}
 		printf("\n")
 	}

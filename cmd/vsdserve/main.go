@@ -1,0 +1,245 @@
+// Command vsdserve is the admission service the paper's element
+// marketplace needs: a daemon that certifies a stream of submitted
+// dataplane configurations. POST a Click config and get back an
+// admission verdict — crash freedom, the worst-case instruction bound,
+// the latency delta against the operator's baseline pipeline, and
+// concrete witness packets for rejections — as JSON.
+//
+// All requests share one verifier: Step-1 summaries, incremental solver
+// sessions, and (with -store) the persistent content-addressed summary
+// store, so a submission reusing known element programs verifies
+// without re-running the symbolic engine (DESIGN.md §7).
+//
+// Usage:
+//
+//	vsdserve [-addr :8847] [-store dir] [-maxlen N] [-parallel N]
+//	         [-baseline config.click] [-smoke dir]
+//
+// Endpoints:
+//
+//	POST /verify    body: a Click configuration (text).
+//	                response: admission verdict JSON (see verify.BatchVerdict),
+//	                plus latency_delta_steps when -baseline is set and wall_ms.
+//	GET  /stats     cumulative verifier statistics JSON.
+//	GET  /healthz   liveness probe ("ok").
+//
+// -smoke dir runs the self-test used by `make serve-smoke`: the server
+// starts on an ephemeral port, submits every .click file in dir to
+// itself over HTTP, prints each verdict line, and exits non-zero if any
+// request fails or any submission is rejected.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"vsd/internal/click"
+	"vsd/internal/elements"
+	"vsd/internal/packet"
+	"vsd/internal/verify"
+)
+
+// maxConfigBytes bounds request bodies; Click configurations are tiny.
+const maxConfigBytes = 1 << 20
+
+// server is the shared admission state.
+type server struct {
+	verifier *verify.Verifier
+	store    *verify.DiskStore // nil without -store
+	// baselineBound is the operator pipeline's instruction bound, for
+	// the latency-delta assessment (nil without -baseline).
+	baselineBound *int64
+}
+
+// response is one admission reply: the batch verdict plus service
+// fields.
+type response struct {
+	verify.BatchVerdict
+	// LatencyDeltaSteps is BoundSteps minus the -baseline pipeline's
+	// bound: the "maximum increase in latency" the paper describes
+	// operators quoting to customers.
+	LatencyDeltaSteps *int64 `json:"latency_delta_steps,omitempty"`
+	WallMS            int64  `json:"wall_ms"`
+}
+
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a Click configuration to /verify", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxConfigBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "submission"
+	}
+	p, err := click.Parse(elements.Default(), string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	start := time.Now()
+	verdict := s.verifier.Batch([]verify.BatchItem{{Name: name, Pipeline: p}})[0]
+	resp := response{BatchVerdict: verdict, WallMS: time.Since(start).Milliseconds()}
+	if s.baselineBound != nil && verdict.Error == "" {
+		delta := verdict.BoundSteps - *s.baselineBound
+		resp.LatencyDeltaSteps = &delta
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"verifier": s.verifier.Stats()}
+	if s.store != nil {
+		out["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("vsdserve: writing response: %v", err)
+	}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/verify", s.handleVerify)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8847", "listen address")
+	storeDir := flag.String("store", "", "persistent summary store directory (empty = in-memory only)")
+	maxLen := flag.Uint64("maxlen", 256, "maximum packet length considered")
+	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	baseline := flag.String("baseline", "", "operator baseline pipeline for the latency-delta report")
+	smoke := flag.String("smoke", "", "self-test: serve on an ephemeral port, submit every .click file in this directory, exit")
+	flag.Parse()
+
+	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel}
+	s := &server{}
+	if *storeDir != "" {
+		store, err := verify.NewDiskStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.store = store
+		opts.Store = store
+	}
+	s.verifier = verify.New(opts)
+	if *baseline != "" {
+		src, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := click.Parse(elements.Default(), string(src))
+		if err != nil {
+			log.Fatalf("vsdserve: baseline: %v", err)
+		}
+		rep, err := s.verifier.BoundedInstructions(p)
+		if err != nil {
+			log.Fatalf("vsdserve: baseline bound: %v", err)
+		}
+		s.baselineBound = &rep.MaxSteps
+		log.Printf("vsdserve: baseline bound %d IR statements (%s)", rep.MaxSteps, *baseline)
+	}
+
+	if *smoke != "" {
+		if err := runSmoke(s, *smoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	log.Printf("vsdserve: admission service listening on %s (maxlen %d)", *addr, *maxLen)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+// runSmoke drives the server end to end over real HTTP: every .click
+// file in dir is POSTed to a freshly bound ephemeral port, and every
+// submission must come back certified.
+func runSmoke(s *server, dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, "*.click"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("smoke: no .click files in %s", dir)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	var hc http.Client
+	res, err := hc.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("smoke: healthz: %w", err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: healthz returned %s", res.Status)
+	}
+
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := hc.Post(base+"/verify?name="+filepath.Base(name), "text/plain", strings.NewReader(string(src)))
+		if err != nil {
+			return fmt.Errorf("smoke: %s: %w", name, err)
+		}
+		body, rerr := io.ReadAll(res.Body)
+		res.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("smoke: %s: reading response: %w", name, rerr)
+		}
+		if res.StatusCode != http.StatusOK {
+			return fmt.Errorf("smoke: %s: %s: %s", name, res.Status, body)
+		}
+		var resp response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("smoke: %s: bad response JSON: %w", name, err)
+		}
+		if resp.Error != "" {
+			return fmt.Errorf("smoke: %s: verification error: %s", name, resp.Error)
+		}
+		if !resp.Certified {
+			return fmt.Errorf("smoke: %s: submission rejected (crash_free=%v specs_failed=%v)",
+				name, resp.CrashFree, resp.SpecsFailed)
+		}
+		fmt.Printf("smoke: %-16s certified, bound %d steps, %v\n",
+			filepath.Base(name), resp.BoundSteps, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Printf("smoke: all %d submission(s) certified\n", len(names))
+	return nil
+}

@@ -6,15 +6,29 @@
 // Usage:
 //
 //	vsdverify [flags] config.click
+//	vsdverify -batch dir [flags]
 //
 //	-property crash|bound|all   property to verify (default all)
 //	-spec LIST                  functional specs to verify (see below)
 //	-ipoff N                    IPv4 header offset assumed by -spec (default 14)
 //	-maxlen N                   maximum packet length considered
 //	-parallel N                 verification worker pool size (0 = GOMAXPROCS)
+//	-store DIR                  persistent summary store directory (DESIGN.md §7)
+//	-batch DIR                  batch admission: verify every .click file in DIR,
+//	                            printing one verdict JSON line per file to stdout
+//	-batch-stats FILE           write batch run statistics (engine runs, store
+//	                            hits, ...) as JSON to FILE
 //	-monolithic                 also run the whole-pipeline baseline
 //	-dump-ir                    print each element's IR before verifying
 //	-stats                      print verification statistics
+//
+// Batch mode is the admission-service form of the tool: all submissions
+// share one verifier (summary cache, solver sessions, and, with -store,
+// the on-disk summary store), identical pipelines are deduplicated by
+// content fingerprint, and the verdict lines are deterministic — two
+// runs over the same corpus produce byte-identical output, which is how
+// the warm-store CI job asserts store correctness. Timing and counters
+// go to stderr / -batch-stats, never into the verdict stream.
 //
 // -spec takes a comma-separated list of kind@element entries from the
 // functional-spec library (internal/specs, DESIGN.md §6):
@@ -30,9 +44,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -111,10 +128,32 @@ func main() {
 	ipOff := flag.Uint64("ipoff", packet.EthernetHeaderLen, "IPv4 header offset assumed by -spec entries")
 	maxLen := flag.Uint64("maxlen", 256, "maximum packet length considered")
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	storeDir := flag.String("store", "", "persistent summary store directory (empty = in-memory only)")
+	batchDir := flag.String("batch", "", "batch admission: verify every .click file in this directory")
+	batchStats := flag.String("batch-stats", "", "write batch statistics JSON to this file")
 	monolithic := flag.Bool("monolithic", false, "also run the whole-pipeline baseline")
 	dumpIR := flag.Bool("dump-ir", false, "print each element's IR")
 	stats := flag.Bool("stats", false, "print verification statistics")
 	flag.Parse()
+
+	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel}
+	if *storeDir != "" {
+		store, err := verify.NewDiskStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = store
+	}
+
+	if *batchDir != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: vsdverify -batch dir [flags] (no positional config)")
+			os.Exit(2)
+		}
+		runBatch(*batchDir, *batchStats, opts)
+		return
+	}
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vsdverify [flags] config.click")
 		flag.Usage()
@@ -135,7 +174,7 @@ func main() {
 		}
 	}
 
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel})
+	v := verify.New(opts)
 	failed := false
 
 	if *property == "crash" || *property == "all" {
@@ -222,6 +261,70 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// runBatch is the admission-service mode: every .click file in dir is a
+// submission, verdicts stream to stdout as JSON lines (deterministic:
+// no timing, schedule-independent ordering), and run statistics go to
+// stderr and optionally a JSON file.
+func runBatch(dir, statsFile string, opts verify.Options) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.click"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("batch: no .click files in %s", dir))
+	}
+	sort.Strings(names)
+	var items []verify.BatchItem
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := click.Parse(elements.Default(), string(src))
+		if err != nil {
+			fatal(fmt.Errorf("batch: %s: %w", name, err))
+		}
+		items = append(items, verify.BatchItem{Name: filepath.Base(name), Pipeline: p})
+	}
+	verdicts, st, dur := verify.Batch(items, opts)
+	out := json.NewEncoder(os.Stdout)
+	certified, rejected := 0, 0
+	for _, vd := range verdicts {
+		if err := out.Encode(vd); err != nil {
+			fatal(err)
+		}
+		if vd.Certified {
+			certified++
+		} else {
+			rejected++
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"batch: %d submission(s): %d certified, %d rejected; engine runs %d, store hits %d, cache hits %d, in %v\n",
+		len(verdicts), certified, rejected,
+		st.ElementsSummarized, st.StoreHits, st.SummaryCacheHits, dur.Round(time.Millisecond))
+	if statsFile != "" {
+		rec := map[string]any{
+			"submissions":          len(verdicts),
+			"certified":            certified,
+			"rejected":             rejected,
+			"elements_summarized":  st.ElementsSummarized,
+			"store_hits":           st.StoreHits,
+			"store_misses":         st.StoreMisses,
+			"summary_cache_hits":   st.SummaryCacheHits,
+			"refinement_truncated": st.RefinementTruncated,
+			"wall_ms":              dur.Milliseconds(),
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(statsFile, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+package vsd
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"vsd/internal/click"
+	"vsd/internal/elements"
+	"vsd/internal/experiments"
+)
+
+// TestCorpusMatchesFiles keeps the two copies of the example admission
+// corpus in sync: examples/corpus/*.click (used by vsdverify -batch,
+// vsdserve -smoke, and the store-roundtrip CI job) and
+// experiments.Corpus() (used by the B1 benchmark). Equality is by
+// pipeline fingerprint, so formatting and comments may differ but the
+// verified artifact may not.
+func TestCorpusMatchesFiles(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "corpus", "*.click"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	builtin := experiments.Corpus()
+	if len(files) != len(builtin) {
+		t.Fatalf("examples/corpus has %d .click files, experiments.Corpus has %d entries", len(files), len(builtin))
+	}
+	byName := map[string]string{}
+	for _, c := range builtin {
+		p, err := click.Parse(elements.Default(), c.Src)
+		if err != nil {
+			t.Fatalf("builtin %s: %v", c.Name, err)
+		}
+		byName[c.Name] = p.Fingerprint().String()
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := click.Parse(elements.Default(), string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		name := filepath.Base(f)
+		want, ok := byName[name]
+		if !ok {
+			t.Errorf("%s has no experiments.Corpus counterpart", name)
+			continue
+		}
+		if got := p.Fingerprint().String(); got != want {
+			t.Errorf("%s diverges from experiments.Corpus (%s vs %s)", name, got, want)
+		}
+	}
+}

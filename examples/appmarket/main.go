@@ -2,17 +2,26 @@
 // operator formally certifies third-party packet-processing code before
 // customers drop it into their dataplanes.
 //
+// Since PR 4 the market is built on the batch admission layer
+// (DESIGN.md §7): submissions flow through verify.Batch over ONE
+// verifier backed by a persistent, content-addressed summary store, the
+// same machinery behind `vsdverify -batch` and the vsdserve daemon. The
+// customer pipeline's element summaries are computed once and shared by
+// every submission — and survive on disk for the next certification
+// run, which is what makes a verification *service* (rather than a
+// one-shot checker) economical.
+//
 // A vendor submits "TelemetryProbe", an element that samples four bytes
-// from each packet. The market's certification harness splices the
-// candidate into the customer's pipeline and runs the verifier:
+// from each packet. The market splices each candidate into the
+// customer's pipeline and runs the admission batch:
 //
 //   - submission 1 reads at a fixed offset with no length check; the
 //     verifier rejects it with a concrete witness packet, which this
 //     example replays to demonstrate the fault the customer was spared;
 //   - submission 2 adds the missing check; the verifier certifies it —
 //     including a transparency spec (DESIGN.md §6) proving the probe
-//     cannot modify traffic — and additionally reports the latency
-//     impact (the instruction-bound delta), the "maximum increase in
+//     cannot modify traffic — and the verdict's instruction bound,
+//     against the no-op baseline's, gives the "maximum increase in
 //     latency" assessment the paper describes for operators;
 //   - submission 3 is an element that secretly rewrites packet bytes: it
 //     is perfectly crash-free, so only the transparency spec catches it,
@@ -22,8 +31,10 @@
 package main
 
 import (
+	"encoding/hex"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"vsd/internal/click"
@@ -53,135 +64,132 @@ const customerPipeline = `
 	rt [1] -> Discard;
 `
 
-// certify runs the market's checks on a candidate element class and
-// returns whether it is safe to list, plus the verified pipeline.
-func certify(candidate string) (bool, *click.Pipeline, *verify.CrashReport, error) {
-	cfg := fmt.Sprintf(customerPipeline, candidate)
-	pipeline, err := click.Parse(elements.Default(), cfg)
-	if err != nil {
-		return false, nil, nil, err
-	}
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
-	rep, err := v.CrashFreedom(pipeline)
-	if err != nil {
-		return false, nil, nil, err
-	}
-	return rep.Verified, pipeline, rep, nil
-}
-
-// certifyTransparent runs the market's second gate: a telemetry probe
-// must be a pure observer. The transparency spec proves the packet
-// bytes survive the probe unchanged on every feasible path.
-func certifyTransparent(candidate string) (*verify.FuncReport, error) {
-	cfg := fmt.Sprintf(customerPipeline, candidate)
-	pipeline, err := click.Parse(elements.Default(), cfg)
-	if err != nil {
-		return nil, err
-	}
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
-	return v.VerifyFunc(pipeline, specs.Transparent(0, 64, "probe"))
-}
-
-// baselineBound computes the customer pipeline's instruction bound
-// without the candidate, for the latency-impact report.
-func boundOf(cfg string) (int64, error) {
-	pipeline, err := click.Parse(elements.Default(), cfg)
-	if err != nil {
-		return 0, err
-	}
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64})
-	rep, err := v.BoundedInstructions(pipeline)
-	if err != nil {
-		return 0, err
-	}
-	return rep.MaxSteps, nil
-}
-
-func main() {
-	fmt.Println("== submission 1: TelemetryProbe v1 (UnsafeReader) ==")
-	start := time.Now()
-	ok, pipeline, rep, err := certify("UnsafeReader(60)")
+// spliced parses the customer pipeline with the candidate in place.
+func spliced(candidate string) *click.Pipeline {
+	p, err := click.Parse(elements.Default(), fmt.Sprintf(customerPipeline, candidate))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ok {
+	return p
+}
+
+// mustDecode turns a verdict's hex witness packet back into bytes.
+func mustDecode(s string) []byte {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func main() {
+	// The market's admission service: one verifier, backed by a
+	// persistent summary store — exactly what vsdserve runs behind POST
+	// /verify. Every submission below shares the customer pipeline's
+	// element summaries through it.
+	storeDir, err := os.MkdirTemp("", "appmarket-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := verify.NewDiskStore(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64, Store: store})
+
+	// The admission batch: three vendor submissions plus the operator's
+	// no-op baseline (for the latency-impact report). The transparency
+	// gate — a telemetry probe must be a pure observer — rides along as
+	// a functional spec on the probe submissions.
+	transparent := specs.Transparent(0, 64, "probe")
+	items := []verify.BatchItem{
+		{Name: "baseline", Pipeline: spliced("Paint(0)")},
+		{Name: "telemetry-v1", Pipeline: spliced("UnsafeReader(60)")},
+		{Name: "telemetry-v2", Pipeline: spliced("FixedReader(60)"), Specs: []verify.FuncSpec{transparent}},
+		{Name: "telemetry-v3", Pipeline: spliced("IPRewriter(SNAT 192.0.2.9)"), Specs: []verify.FuncSpec{transparent}},
+	}
+	start := time.Now()
+	verdicts := v.Batch(items)
+	st := v.Stats()
+	fmt.Printf("admission batch: %d submissions in %v (engine runs %d, summary cache hits %d)\n\n",
+		len(items), time.Since(start).Round(time.Millisecond),
+		st.ElementsSummarized, st.SummaryCacheHits)
+	byName := map[string]verify.BatchVerdict{}
+	for _, vd := range verdicts {
+		if vd.Error != "" {
+			log.Fatalf("%s: %s", vd.Name, vd.Error)
+		}
+		byName[vd.Name] = vd
+	}
+
+	fmt.Println("== submission 1: TelemetryProbe v1 (UnsafeReader) ==")
+	v1 := byName["telemetry-v1"]
+	if v1.Certified || v1.CrashFree {
 		log.Fatal("market certified a faulty element — soundness bug")
 	}
-	fmt.Printf("certification FAILED in %v; the element can crash the customer pipeline.\n",
-		time.Since(start).Round(time.Millisecond))
-	w := rep.Witnesses[0]
-	fmt.Printf("rejection evidence:\n%s", verify.FormatWitness(w))
+	fmt.Println("certification FAILED; the element can crash the customer pipeline.")
+	w := v1.Witnesses[0]
+	fmt.Printf("rejection evidence:\n  path:   %s\n  detail: %s\n", w.Path, w.Detail)
 
 	fmt.Println("replaying the evidence on the customer's dataplane:")
-	runner := dataplane.NewRunner(pipeline)
-	res := runner.Process(packet.NewBuffer(append([]byte{}, w.Packet...)))
+	runner := dataplane.NewRunner(items[1].Pipeline)
+	res := runner.Process(packet.NewBuffer(mustDecode(w.Packet)))
 	if res.Disposition != ir.Crashed {
 		log.Fatalf("witness did not crash: %+v", res)
 	}
 	fmt.Printf("  crash at element %q: %v\n\n", res.CrashAt, res.Crash)
 
 	fmt.Println("== submission 2: TelemetryProbe v2 (FixedReader) ==")
-	start = time.Now()
-	ok, _, rep, err = certify("FixedReader(60)")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !ok {
-		for _, w := range rep.Witnesses {
-			fmt.Print(verify.FormatWitness(w))
-		}
+	v2 := byName["telemetry-v2"]
+	if !v2.CrashFree {
 		log.Fatal("fixed element failed certification")
 	}
-	fmt.Printf("certification PASSED in %v: no packet can crash the pipeline.\n",
-		time.Since(start).Round(time.Millisecond))
-
-	start = time.Now()
-	trep, err := certifyTransparent("FixedReader(60)")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !trep.Verified {
-		fmt.Print(verify.FormatWitness(trep.Witnesses[0]))
+	fmt.Println("crash gate: PASSED — no packet can crash the pipeline.")
+	if !v2.Certified || len(v2.SpecsFailed) > 0 {
 		log.Fatal("FixedReader failed the transparency gate")
 	}
-	fmt.Printf("transparency PASSED in %v: the probe provably cannot modify traffic.\n",
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("transparency gate: PASSED (%v) — the probe provably cannot modify traffic.\n", v2.SpecsPassed)
 
-	// Latency impact: instruction bound with and without the probe —
-	// the operator-facing assessment the paper motivates.
-	with, err := boundOf(fmt.Sprintf(customerPipeline, "FixedReader(60)"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	without, err := boundOf(fmt.Sprintf(customerPipeline, "Paint(0)"))
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Latency impact: the verdicts' instruction bounds, probe vs no-op —
+	// the operator-facing assessment the paper motivates (vsdserve
+	// reports the same delta against its -baseline pipeline).
+	base := byName["baseline"]
 	fmt.Printf("latency impact: worst case %d IR statements with the probe vs %d with a no-op (+%d)\n",
-		with, without, with-without)
+		v2.BoundSteps, base.BoundSteps, v2.BoundSteps-base.BoundSteps)
 	fmt.Println("\nTelemetryProbe v2 is listed on the market.")
 
 	// Submission 3: a "probe" that covertly rewrites the source address.
 	// It never crashes, so the paper's crash gate alone would list it —
 	// the transparency spec is what catches the tampering.
 	fmt.Println("\n== submission 3: TelemetryProbe v3 (covert rewriter) ==")
-	ok, _, _, err = certify("IPRewriter(SNAT 192.0.2.9)")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !ok {
+	v3 := byName["telemetry-v3"]
+	if !v3.CrashFree {
 		log.Fatal("the rewriter should be crash-free — that gate alone is not enough")
 	}
 	fmt.Println("crash gate: PASSED (the element is perfectly crash-free)")
-	start = time.Now()
-	trep, err = certifyTransparent("IPRewriter(SNAT 192.0.2.9)")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if trep.Verified {
+	if v3.Certified {
 		log.Fatal("transparency gate certified a tampering element — soundness bug")
 	}
-	fmt.Printf("transparency FAILED in %v; rejection evidence (before/after):\n%s",
-		time.Since(start).Round(time.Millisecond), verify.FormatWitness(trep.Witnesses[0]))
+	tw := v3.Witnesses[0]
+	fmt.Printf("transparency gate: FAILED (%v); rejection evidence (before/after):\n", v3.SpecsFailed)
+	fmt.Print(verify.FormatWitness(verify.Witness{
+		Packet: mustDecode(tw.Packet),
+		Output: mustDecode(tw.Output),
+		Path:   tw.Path,
+		Detail: tw.Detail,
+	}))
 	fmt.Println("\nTelemetryProbe v3 is rejected: it rewrites customer traffic.")
+
+	// The service property: a fresh verifier over the same store re-runs
+	// the whole batch without a single symbolic-engine run.
+	v = verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 64, Store: store})
+	start = time.Now()
+	v.Batch(items)
+	st = v.Stats()
+	if st.ElementsSummarized != 0 {
+		log.Fatalf("warm re-certification ran the engine %d times, want 0", st.ElementsSummarized)
+	}
+	fmt.Printf("\nwarm re-certification of all %d submissions: %v, %d store hits, zero engine runs\n",
+		len(items), time.Since(start).Round(time.Millisecond), v.Stats().StoreHits)
 }

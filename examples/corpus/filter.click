@@ -1,0 +1,13 @@
+// Example corpus: a stateless firewall — classifier front end plus an
+// IPFilter with a first-match rule list.
+src :: InfiniteSource;
+cls :: Classifier(12/0800, -);
+strip :: Strip(14);
+chk :: CheckIPHeader(NOCHECKSUM);
+flt :: IPFilter(allow proto udp dport 53, deny dst 10.0.0.0/8, allow proto tcp);
+
+src -> cls;
+cls [0] -> strip -> chk;
+cls [1] -> Discard;
+chk [0] -> flt;
+chk [1] -> Discard;

@@ -1,0 +1,15 @@
+// Example corpus: a NAT gateway — source-rewriting IPRewriter between
+// header check and re-encapsulation (stateful: exercises the
+// data-structure model and the bad-value refinement).
+src :: InfiniteSource;
+cls :: Classifier(12/0800, -);
+strip :: Strip(14);
+chk :: CheckIPHeader(NOCHECKSUM);
+nat :: IPRewriter(SNAT 100.64.0.1);
+encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+src -> cls;
+cls [0] -> strip -> chk;
+cls [1] -> Discard;
+chk [0] -> nat -> encap;
+chk [1] -> Discard;

@@ -1,0 +1,15 @@
+// Example corpus: the appmarket customer pipeline with the certified
+// telemetry probe spliced in (examples/appmarket submission 2).
+src :: InfiniteSource;
+cls :: Classifier(12/0800, -);
+strip :: Strip(14);
+chk :: CheckIPHeader(NOCHECKSUM);
+probe :: FixedReader(60);
+rt :: LookupIPRoute(10.0.0.0/8 0, 0.0.0.0/0 1);
+
+src -> cls;
+cls [0] -> strip -> chk;
+cls [1] -> Discard;
+chk [0] -> probe -> rt;
+chk [1] -> Discard;
+rt [1] -> Discard;

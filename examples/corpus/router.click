@@ -1,0 +1,24 @@
+// Example corpus: the paper's evaluation pipeline — the default Click
+// IP router (checksum verification off; see EXPERIMENTS.md knobs).
+src :: InfiniteSource;
+cls :: Classifier(12/0800, -);
+strip :: Strip(14);
+chk :: CheckIPHeader(NOCHECKSUM);
+opt :: IPOptions;
+rt :: LookupIPRoute(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+ttl :: DecIPTTL;
+encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+bad :: Discard;
+
+src -> cls;
+cls [0] -> strip -> chk;
+cls [1] -> Discard;
+chk [0] -> opt;
+chk [1] -> bad;
+opt [0] -> rt;
+opt [1] -> bad;
+rt [0] -> ttl;
+rt [1] -> ttl;
+rt [2] -> ttl;
+ttl [0] -> encap;
+ttl [1] -> Discard;

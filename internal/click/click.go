@@ -35,11 +35,15 @@ func (e *Instance) Config() string { return e.cfg }
 func (e *Instance) Program() *ir.Program { return e.prog }
 
 // SummaryKey identifies the Step-1 summary this element can share:
-// instances of the same class with the same configuration have identical
-// programs, so their segment summaries are interchangeable. This is the
-// paper's "we process each element once, even if it may be called from
-// different points in the pipeline".
-func (e *Instance) SummaryKey() string { return e.class + "(" + e.cfg + ")" }
+// instances with content-identical programs have interchangeable segment
+// summaries. This is the paper's "we process each element once, even if
+// it may be called from different points in the pipeline". The key is
+// the compiled program's content fingerprint, not the class+config
+// string: two registries (or a re-registered class) binding the same
+// name to different element code can never alias each other's
+// summaries, and identical programs registered under different names
+// still share one.
+func (e *Instance) SummaryKey() ir.Fingerprint { return e.prog.Fingerprint() }
 
 // Constructor builds an element program from a configuration string.
 type Constructor func(cfg string) (*ir.Program, error)
@@ -82,6 +86,30 @@ func (r *Registry) Make(name, class, cfg string) (*Instance, error) {
 		return nil, fmt.Errorf("click: %s :: %s(%s): %w", name, class, cfg, err)
 	}
 	return &Instance{name: name, class: class, cfg: cfg, prog: prog}, nil
+}
+
+// Fingerprint returns a deterministic content hash of the whole
+// pipeline: every element's program fingerprint and instance name plus
+// the topology. Two pipelines share a fingerprint iff verification
+// would produce identical reports (instance names appear in witness
+// paths, so they are part of the identity). Batch admission uses this
+// to deduplicate resubmitted configurations.
+func (p *Pipeline) Fingerprint() ir.Fingerprint {
+	h := ir.NewHasher("vsd/click/v1")
+	h.U64(uint64(len(p.Elements)))
+	for _, e := range p.Elements {
+		h.Str(e.Name())
+		h.Fingerprint(e.Program().Fingerprint())
+	}
+	h.U64(uint64(p.Entry))
+	for _, edges := range p.Edges {
+		h.U64(uint64(len(edges)))
+		for _, edge := range edges {
+			h.U64(uint64(int64(edge.To) + 1))
+			h.U64(uint64(edge.ToPort))
+		}
+	}
+	return h.Sum()
 }
 
 // Edge connects an output port to an element's input port.

@@ -159,6 +159,72 @@ func TestSummaryKeySharing(t *testing.T) {
 	}
 }
 
+// TestSummaryKeyIsContentAddressed is the stale-summary regression: two
+// registries binding the same class name and config to DIFFERENT
+// programs must not alias each other's Step-1 summaries. The old
+// class+config string key could not tell them apart; the program
+// fingerprint can.
+func TestSummaryKeyIsContentAddressed(t *testing.T) {
+	progA := mustProg(t, "Probe", func(b *ir.Builder) {
+		b.MetaStore("tag", b.ConstU(8, 1))
+		b.Emit(0)
+	})
+	progB := mustProg(t, "Probe", func(b *ir.Builder) {
+		b.MetaStore("tag", b.ConstU(8, 2)) // same name+cfg, different code
+		b.Emit(0)
+	})
+	a := NewInstance("a", "Probe", "", progA)
+	b := NewInstance("b", "Probe", "", progB)
+	if a.Class() != b.Class() || a.Config() != b.Config() {
+		t.Fatal("test setup: class/config must collide")
+	}
+	if a.SummaryKey() == b.SummaryKey() {
+		t.Error("different programs under one class name share a summary key — stale summaries")
+	}
+	// And the converse: content-identical programs share the key even
+	// under different class names.
+	c := NewInstance("c", "Renamed", "x", mustProg(t, "Probe", func(b *ir.Builder) {
+		b.MetaStore("tag", b.ConstU(8, 1))
+		b.Emit(0)
+	}))
+	if a.SummaryKey() != c.SummaryKey() {
+		t.Error("content-identical programs must share a summary key")
+	}
+}
+
+func mustProg(t *testing.T, name string, body func(b *ir.Builder)) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder(name, 1, 1)
+	body(b)
+	return b.MustBuild()
+}
+
+func TestPipelineFingerprint(t *testing.T) {
+	reg := testRegistry(t)
+	parse := func(src string) *Pipeline {
+		p, err := Parse(reg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := parse("s :: Src; s -> Inc -> Sink;")
+	b := parse("s :: Src; s -> Inc -> Sink;")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical pipelines fingerprint differently")
+	}
+	// Topology matters.
+	c := parse("s :: Src; s -> Inc -> Inc -> Sink;")
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different topologies share a fingerprint")
+	}
+	// Instance names matter (they appear in witness paths).
+	d := parse("t :: Src; t -> Inc -> Sink;")
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("renamed instances share a fingerprint")
+	}
+}
+
 // TestInlineMatchesRunner is the inliner's correctness property: for
 // every packet, interpreting the inlined whole-pipeline program gives
 // the same disposition, egress, packet bytes, and statement count as

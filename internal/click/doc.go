@@ -14,8 +14,11 @@
 // most once, the entry element is unique, and the graph is acyclic.
 //
 // Instance.SummaryKey is the contract with the verifier's Step-1 cache
-// (DESIGN.md §3): instances of the same class and configuration have
-// identical programs, so their segment summaries are interchangeable —
-// the paper's "we process each element once, even if it may be called
-// from different points in the pipeline".
+// and the persistent summary store (DESIGN.md §3, §7): it is the
+// compiled program's content fingerprint, so instances with identical
+// element code share summaries — the paper's "we process each element
+// once, even if it may be called from different points in the
+// pipeline" — while same-named classes from different registries can
+// never alias each other's. Pipeline.Fingerprint lifts the identity to
+// whole configurations for batch-admission deduplication.
 package click

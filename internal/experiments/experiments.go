@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"time"
 
 	"vsd/internal/click"
@@ -399,6 +401,150 @@ func branchyElement(name string, pos, branches int) *ir.Program {
 	b.MetaStore("acc"+name, acc)
 	b.Emit(0)
 	return b.MustBuild()
+}
+
+// CorpusEntry is one submission of the built-in admission corpus.
+type CorpusEntry struct {
+	Name string
+	Src  string
+}
+
+// Corpus returns the example admission corpus: the same four pipelines
+// as examples/corpus/*.click (kept in sync by TestCorpusMatchesFiles in
+// the root package). It is the workload of the B1 experiment and the
+// CI warm-store check.
+func Corpus() []CorpusEntry {
+	return []CorpusEntry{
+		{"router.click", IPRouterConfig(false)},
+		{"filter.click", `
+			src :: InfiniteSource;
+			cls :: Classifier(12/0800, -);
+			strip :: Strip(14);
+			chk :: CheckIPHeader(NOCHECKSUM);
+			flt :: IPFilter(` + filterRules + `);
+
+			src -> cls;
+			cls [0] -> strip -> chk;
+			cls [1] -> Discard;
+			chk [0] -> flt;
+			chk [1] -> Discard;
+		`},
+		{"nat.click", `
+			src :: InfiniteSource;
+			cls :: Classifier(12/0800, -);
+			strip :: Strip(14);
+			chk :: CheckIPHeader(NOCHECKSUM);
+			nat :: IPRewriter(SNAT 100.64.0.1);
+			encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+			src -> cls;
+			cls [0] -> strip -> chk;
+			cls [1] -> Discard;
+			chk [0] -> nat -> encap;
+			chk [1] -> Discard;
+		`},
+		{"probe.click", `
+			src :: InfiniteSource;
+			cls :: Classifier(12/0800, -);
+			strip :: Strip(14);
+			chk :: CheckIPHeader(NOCHECKSUM);
+			probe :: FixedReader(60);
+			rt :: LookupIPRoute(10.0.0.0/8 0, 0.0.0.0/0 1);
+
+			src -> cls;
+			cls [0] -> strip -> chk;
+			cls [1] -> Discard;
+			chk [0] -> probe -> rt;
+			chk [1] -> Discard;
+			rt [1] -> Discard;
+		`},
+	}
+}
+
+// B1Row is one batch-admission pass over the example corpus.
+type B1Row struct {
+	Run         string // "cold" (empty store) or "warm" (store populated by cold)
+	Pipelines   int
+	Certified   int
+	EngineRuns  int // Step-1 symbolic-engine runs
+	StoreHits   int
+	StoreMisses int
+	CacheHits   int // in-memory summary cache hits
+	StoreFiles  int // artifacts on disk after the pass
+	Duration    time.Duration
+	Solver      smt.Stats
+}
+
+// B1BatchStore measures the summary store end to end (DESIGN.md §7):
+// the example corpus is batch-verified twice against one on-disk store
+// directory — first cold (every summary computed by the symbolic
+// engine and persisted), then warm in a fresh Verifier (every summary
+// loaded). The warm pass must perform zero engine runs and produce
+// byte-identical verdicts, enforced here so the bench harness fails
+// loudly on a store regression; the CI job store-roundtrip asserts the
+// same property through the vsdverify -batch CLI.
+func B1BatchStore(maxLen uint64, parallelism int, storeDir string) ([]B1Row, error) {
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "vsd-store-b1-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	store, err := verify.NewDiskStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	var items []verify.BatchItem
+	for _, c := range Corpus() {
+		items = append(items, verify.BatchItem{Name: c.Name, Pipeline: MustParse(c.Src)})
+	}
+	var rows []B1Row
+	var coldVerdicts []verify.BatchVerdict
+	for _, run := range []string{"cold", "warm"} {
+		verdicts, st, dur := verify.Batch(items, verify.Options{
+			MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism, Store: store,
+		})
+		certified := 0
+		for _, vd := range verdicts {
+			if vd.Error != "" {
+				return nil, fmt.Errorf("b1 %s: %s: %s", run, vd.Name, vd.Error)
+			}
+			if vd.Certified {
+				certified++
+			}
+		}
+		files, err := store.Len()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, B1Row{
+			Run:         run,
+			Pipelines:   len(items),
+			Certified:   certified,
+			EngineRuns:  st.ElementsSummarized,
+			StoreHits:   st.StoreHits,
+			StoreMisses: st.StoreMisses,
+			CacheHits:   st.SummaryCacheHits,
+			StoreFiles:  files,
+			Duration:    dur,
+			Solver:      st.Solver,
+		})
+		if run == "cold" {
+			coldVerdicts = verdicts
+		} else {
+			if st.ElementsSummarized != 0 {
+				return nil, fmt.Errorf("b1: warm run performed %d Step-1 engine runs, want 0", st.ElementsSummarized)
+			}
+			cold, _ := json.Marshal(coldVerdicts)
+			warm, _ := json.Marshal(verdicts)
+			if string(cold) != string(warm) {
+				return nil, fmt.Errorf("b1: warm verdicts differ from cold:\ncold: %s\nwarm: %s", cold, warm)
+			}
+		}
+	}
+	return rows, nil
 }
 
 // A1Row reports explored work for the path-scaling analysis.

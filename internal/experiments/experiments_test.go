@@ -91,3 +91,29 @@ func TestA3RowsShape(t *testing.T) {
 		t.Error("netflow/nat pipelines must verify")
 	}
 }
+
+func TestB1WarmRunIsAllStoreHits(t *testing.T) {
+	// B1 enforces its own acceptance internally (zero warm engine runs,
+	// byte-identical verdicts); the test adds the row-shape checks. A
+	// short maxlen keeps this unit-test sized.
+	rows, err := B1BatchStore(32, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Run != "cold" || rows[1].Run != "warm" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	cold, warm := rows[0], rows[1]
+	if cold.EngineRuns == 0 || cold.StoreHits != 0 {
+		t.Errorf("cold row: %+v", cold)
+	}
+	if warm.EngineRuns != 0 || warm.StoreHits != cold.EngineRuns {
+		t.Errorf("warm row: %+v", warm)
+	}
+	if warm.StoreFiles != cold.EngineRuns {
+		t.Errorf("store holds %d artifacts, want %d", warm.StoreFiles, cold.EngineRuns)
+	}
+	if cold.Certified != cold.Pipelines || warm.Certified != warm.Pipelines {
+		t.Errorf("corpus must certify everywhere: cold %+v warm %+v", cold, warm)
+	}
+}

@@ -1,0 +1,367 @@
+package expr
+
+// Binary codec for the interned expression DAG (DESIGN.md §7). The
+// encoder emits a flat, topologically ordered record stream: every
+// distinct node (expression or array) appears exactly once, children
+// before parents, and later records reference earlier ones by index.
+// The decoder rebuilds nodes through the public constructors, so decoded
+// terms are re-interned into the process's hash-consed universe: a
+// round trip lands on pointer-identical nodes when the term already
+// exists, and on canonically simplified ones when it does not. That is
+// what makes summaries engine-independent artifacts — the file format
+// carries structure only, never pointers or intern sequence numbers.
+//
+// Records (all integers are uvarints; strings are length-prefixed):
+//
+//	tag      payload
+//	const    width value
+//	var      width name
+//	bin      op a b
+//	not      a
+//	neg      a
+//	ite      cond a b
+//	zext     width a
+//	sext     width a
+//	extract  width lo a
+//	select   arr idx
+//	arrbase  name
+//	arrstore prev idx val
+//
+// Expression and array records share one stream but index two separate
+// tables, in record order.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vsd/internal/bv"
+)
+
+// Record tags. Part of the on-disk format: do not renumber.
+const (
+	tagConst uint64 = iota + 1
+	tagVar
+	tagBin
+	tagNot
+	tagNeg
+	tagIte
+	tagZExt
+	tagSExt
+	tagExtract
+	tagSelect
+	tagArrBase
+	tagArrStore
+)
+
+// Encoder serializes expression DAGs into a self-contained record
+// stream. One Encoder produces one stream; nodes added several times
+// (or shared between added terms) are emitted once.
+type Encoder struct {
+	buf  []byte
+	recs int
+	eids map[*Expr]uint64
+	aids map[*Array]uint64
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{eids: map[*Expr]uint64{}, aids: map[*Array]uint64{}}
+}
+
+func (enc *Encoder) u64(v uint64) { enc.buf = binary.AppendUvarint(enc.buf, v) }
+
+func (enc *Encoder) str(s string) {
+	enc.u64(uint64(len(s)))
+	enc.buf = append(enc.buf, s...)
+}
+
+// AddExpr encodes e (and, transitively, its children) and returns its
+// expression-table index.
+func (enc *Encoder) AddExpr(e *Expr) uint64 {
+	if id, ok := enc.eids[e]; ok {
+		return id
+	}
+	var rec func() // emits the record once children are in place
+	switch e.Kind {
+	case KConst:
+		rec = func() { enc.u64(tagConst); enc.u64(uint64(e.W)); enc.u64(e.Val.U) }
+	case KVar:
+		rec = func() { enc.u64(tagVar); enc.u64(uint64(e.W)); enc.str(e.Name) }
+	case KBin:
+		a, b := enc.AddExpr(e.A), enc.AddExpr(e.B)
+		rec = func() { enc.u64(tagBin); enc.u64(uint64(e.Op)); enc.u64(a); enc.u64(b) }
+	case KNot:
+		a := enc.AddExpr(e.A)
+		rec = func() { enc.u64(tagNot); enc.u64(a) }
+	case KNeg:
+		a := enc.AddExpr(e.A)
+		rec = func() { enc.u64(tagNeg); enc.u64(a) }
+	case KIte:
+		c, a, b := enc.AddExpr(e.Cond), enc.AddExpr(e.A), enc.AddExpr(e.B)
+		rec = func() { enc.u64(tagIte); enc.u64(c); enc.u64(a); enc.u64(b) }
+	case KZExt:
+		a := enc.AddExpr(e.A)
+		rec = func() { enc.u64(tagZExt); enc.u64(uint64(e.W)); enc.u64(a) }
+	case KSExt:
+		a := enc.AddExpr(e.A)
+		rec = func() { enc.u64(tagSExt); enc.u64(uint64(e.W)); enc.u64(a) }
+	case KTrunc, KExtract:
+		// KTrunc never survives construction (Trunc lowers to Extract),
+		// but encode it as the equivalent extract defensively.
+		a := enc.AddExpr(e.A)
+		rec = func() { enc.u64(tagExtract); enc.u64(uint64(e.W)); enc.u64(uint64(e.Lo)); enc.u64(a) }
+	case KSelect:
+		arr, idx := enc.AddArray(e.Arr), enc.AddExpr(e.B)
+		rec = func() { enc.u64(tagSelect); enc.u64(arr); enc.u64(idx) }
+	default:
+		panic(fmt.Sprintf("expr: unknown kind %d in encoder", e.Kind))
+	}
+	rec()
+	id := uint64(len(enc.eids))
+	enc.eids[e] = id
+	enc.recs++
+	return id
+}
+
+// AddArray encodes the array value a (its whole store chain) and
+// returns its array-table index.
+func (enc *Encoder) AddArray(a *Array) uint64 {
+	if id, ok := enc.aids[a]; ok {
+		return id
+	}
+	// Iterative chain walk: store chains can be as long as a packet.
+	var chain []*Array
+	base := a
+	for base.Prev != nil {
+		if _, ok := enc.aids[base]; ok {
+			break
+		}
+		chain = append(chain, base)
+		base = base.Prev
+	}
+	if _, ok := enc.aids[base]; !ok {
+		if base.Prev == nil {
+			enc.u64(tagArrBase)
+			enc.str(base.Name)
+			enc.aids[base] = uint64(len(enc.aids))
+			enc.recs++
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		n := chain[i]
+		prev, idx, val := enc.aids[n.Prev], enc.AddExpr(n.Idx), enc.AddExpr(n.Val)
+		enc.u64(tagArrStore)
+		enc.u64(prev)
+		enc.u64(idx)
+		enc.u64(val)
+		enc.aids[n] = uint64(len(enc.aids))
+		enc.recs++
+	}
+	return enc.aids[a]
+}
+
+// Bytes returns the encoded stream: a record count followed by the
+// records.
+func (enc *Encoder) Bytes() []byte {
+	out := binary.AppendUvarint(nil, uint64(enc.recs))
+	return append(out, enc.buf...)
+}
+
+// Table holds the decoded node tables of one record stream.
+type Table struct {
+	exprs []*Expr
+	arrs  []*Array
+}
+
+// Expr returns the expression at table index id.
+func (t *Table) Expr(id uint64) (*Expr, error) {
+	if id >= uint64(len(t.exprs)) {
+		return nil, fmt.Errorf("expr: codec: expression id %d out of range (%d decoded)", id, len(t.exprs))
+	}
+	return t.exprs[id], nil
+}
+
+// Array returns the array at table index id.
+func (t *Table) Array(id uint64) (*Array, error) {
+	if id >= uint64(len(t.arrs)) {
+		return nil, fmt.Errorf("expr: codec: array id %d out of range (%d decoded)", id, len(t.arrs))
+	}
+	return t.arrs[id], nil
+}
+
+// reader tracks a decode position with error-once semantics.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = errors.New("expr: codec: truncated or malformed varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.err = fmt.Errorf("expr: codec: string length %d exceeds remaining input", n)
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+func (r *reader) width() bv.Width {
+	w := r.u64()
+	if r.err == nil && !bv.Width(w).Valid() {
+		r.err = fmt.Errorf("expr: codec: invalid width %d", w)
+	}
+	return bv.Width(w)
+}
+
+// DecodeTable decodes one record stream produced by Encoder.Bytes,
+// rebuilding every node through the package constructors (and thus
+// re-interning it), and returns the node tables plus the unconsumed
+// remainder of data. Constructor panics (width mismatches and the like,
+// from corrupt input) are converted to errors.
+func DecodeTable(data []byte) (t *Table, rest []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			t, rest, err = nil, nil, fmt.Errorf("expr: codec: corrupt input: %v", p)
+		}
+	}()
+	r := &reader{data: data}
+	n := r.u64()
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if n > uint64(len(data)) {
+		// Each record is at least one byte; a count beyond the input size
+		// is corruption, caught here before any large allocation.
+		return nil, nil, fmt.Errorf("expr: codec: record count %d exceeds input size %d", n, len(data))
+	}
+	t = &Table{}
+	getE := func(id uint64) *Expr {
+		e, gerr := t.Expr(id)
+		if gerr != nil {
+			panic(gerr)
+		}
+		return e
+	}
+	getA := func(id uint64) *Array {
+		a, gerr := t.Array(id)
+		if gerr != nil {
+			panic(gerr)
+		}
+		return a
+	}
+	for i := uint64(0); i < n; i++ {
+		tag := r.u64()
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		switch tag {
+		case tagConst:
+			w := r.width()
+			v := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			if v&^w.Mask() != 0 {
+				return nil, nil, fmt.Errorf("expr: codec: constant %#x exceeds width %s", v, w)
+			}
+			t.exprs = append(t.exprs, ConstV(bv.New(w, v)))
+		case tagVar:
+			w := r.width()
+			name := r.str()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Var(name, w))
+		case tagBin:
+			op := r.u64()
+			a, b := r.u64(), r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			if op > uint64(OpSle) {
+				return nil, nil, fmt.Errorf("expr: codec: unknown operator %d", op)
+			}
+			t.exprs = append(t.exprs, Bin(Op(op), getE(a), getE(b)))
+		case tagNot:
+			a := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Not(getE(a)))
+		case tagNeg:
+			a := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Neg(getE(a)))
+		case tagIte:
+			c, a, b := r.u64(), r.u64(), r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Ite(getE(c), getE(a), getE(b)))
+		case tagZExt:
+			w := r.width()
+			a := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, ZExt(getE(a), w))
+		case tagSExt:
+			w := r.width()
+			a := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, SExt(getE(a), w))
+		case tagExtract:
+			w := r.width()
+			lo := r.u64()
+			a := r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Extract(getE(a), int(lo), w))
+		case tagSelect:
+			arr, idx := r.u64(), r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.exprs = append(t.exprs, Select(getA(arr), getE(idx)))
+		case tagArrBase:
+			name := r.str()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.arrs = append(t.arrs, BaseArray(name))
+		case tagArrStore:
+			prev, idx, val := r.u64(), r.u64(), r.u64()
+			if r.err != nil {
+				return nil, nil, r.err
+			}
+			t.arrs = append(t.arrs, Store(getA(prev), getE(idx), getE(val)))
+		default:
+			return nil, nil, fmt.Errorf("expr: codec: unknown record tag %d", tag)
+		}
+	}
+	return t, r.data[r.pos:], nil
+}

@@ -1,0 +1,231 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"vsd/internal/bv"
+)
+
+// roundTrip encodes es, decodes the stream, and returns the decoded
+// counterparts.
+func roundTrip(t *testing.T, es ...*Expr) []*Expr {
+	t.Helper()
+	enc := NewEncoder()
+	ids := make([]uint64, len(es))
+	for i, e := range es {
+		ids[i] = enc.AddExpr(e)
+	}
+	tab, rest, err := DecodeTable(enc.Bytes())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode left %d trailing bytes", len(rest))
+	}
+	out := make([]*Expr, len(es))
+	for i, id := range ids {
+		got, err := tab.Expr(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = got
+	}
+	return out
+}
+
+// TestCodecRoundTripPointerEquality is the codec's core property:
+// because expressions are hash-consed and the decoder rebuilds through
+// the constructors, a decoded term is the SAME pointer as the original.
+func TestCodecRoundTripPointerEquality(t *testing.T) {
+	x := Var("x", 32)
+	y := Var("y", 32)
+	arr := BaseArray("pkt")
+	arr2 := Store(arr, Const(32, 5), Const(8, 0xab))
+	arr3 := Store(arr2, Add(x, Const(32, 1)), Extract(y, 3, 8))
+	terms := []*Expr{
+		Const(16, 0xbeef),
+		True(),
+		x,
+		Add(x, y),
+		Sub(x, y),
+		Mul(x, Const(32, 3)),
+		UDiv(x, y),
+		URem(x, y),
+		BvAnd(x, y),
+		BvOr(x, y),
+		BvXor(x, y),
+		Shl(x, Const(32, 4)),
+		LShr(x, Const(32, 2)),
+		Bin(OpAShr, x, y),
+		Eq(x, y),
+		Ne(x, y),
+		Ult(x, y),
+		Ule(x, y),
+		Bin(OpSlt, x, y),
+		Bin(OpSle, x, y),
+		Not(x),
+		Neg(x),
+		Ite(Eq(x, y), x, Add(x, y)),
+		ZExt(Var("b", 8), 32),
+		SExt(Var("c", 8), 64),
+		Trunc(x, 8),
+		Extract(x, 5, 16),
+		Select(arr, Const(32, 0)),
+		Select(arr3, y),
+		SelectWide(arr3, Const(32, 3), 4),
+		And(Eq(x, y), Ult(x, Const(32, 99)), Ne(y, Const(32, 0))),
+	}
+	got := roundTrip(t, terms...)
+	for i, e := range terms {
+		if got[i] != e {
+			t.Errorf("term %d: decoded %s is not pointer-equal to original %s", i, got[i], e)
+		}
+	}
+}
+
+// TestCodecSharingPreserved: a node referenced twice is encoded once and
+// both references resolve to it.
+func TestCodecSharingPreserved(t *testing.T) {
+	shared := Add(Var("s", 32), Const(32, 7))
+	a := Mul(shared, shared)
+	b := Eq(shared, Const(32, 0))
+	enc := NewEncoder()
+	ia, ib := enc.AddExpr(a), enc.AddExpr(b)
+	n := enc.recs
+	// Re-adding costs nothing.
+	if enc.AddExpr(a) != ia || enc.recs != n {
+		t.Error("re-adding an encoded term emitted new records")
+	}
+	tab, _, err := DecodeTable(enc.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := tab.Expr(ia)
+	gb, _ := tab.Expr(ib)
+	if ga != a || gb != b {
+		t.Error("shared-subterm round trip lost identity")
+	}
+}
+
+// randomExpr generates a random well-formed expression over a small
+// variable/array pool — the property-test generator for the codec.
+func randomCodecExpr(r *rand.Rand, depth int) *Expr {
+	w := []bv.Width{1, 8, 16, 32, 64}[r.Intn(5)]
+	return randomCodecExprW(r, depth, w)
+}
+
+func randomCodecExprW(r *rand.Rand, depth int, w bv.Width) *Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return Const(w, r.Uint64())
+		}
+		return Var(string(rune('a'+r.Intn(4)))+w.String(), w)
+	}
+	switch r.Intn(8) {
+	case 0:
+		return Bin(Op(r.Intn(int(OpAShr)+1)), randomCodecExprW(r, depth-1, w), randomCodecExprW(r, depth-1, w))
+	case 1:
+		if w == 1 {
+			sub := []bv.Width{8, 16, 32}[r.Intn(3)]
+			return Bin(OpEq+Op(r.Intn(6)), randomCodecExprW(r, depth-1, sub), randomCodecExprW(r, depth-1, sub))
+		}
+		return Not(randomCodecExprW(r, depth-1, w))
+	case 2:
+		return Neg(randomCodecExprW(r, depth-1, w))
+	case 3:
+		return Ite(randomCodecExprW(r, depth-1, 1), randomCodecExprW(r, depth-1, w), randomCodecExprW(r, depth-1, w))
+	case 4:
+		if w > 8 {
+			return ZExt(randomCodecExprW(r, depth-1, 8), w)
+		}
+		return Trunc(randomCodecExprW(r, depth-1, 32), w)
+	case 5:
+		if w > 8 {
+			return SExt(randomCodecExprW(r, depth-1, 8), w)
+		}
+		return Extract(randomCodecExprW(r, depth-1, 64), r.Intn(64-int(w)), w)
+	case 6:
+		if w == 8 {
+			return Select(randomArray(r, depth-1), randomCodecExprW(r, depth-1, 32))
+		}
+		return randomCodecExprW(r, depth-1, w)
+	default:
+		return randomCodecExprW(r, depth-1, w)
+	}
+}
+
+func randomArray(r *rand.Rand, depth int) *Array {
+	a := BaseArray([]string{"pkt", "buf"}[r.Intn(2)])
+	n := r.Intn(depth + 1)
+	for i := 0; i < n; i++ {
+		a = Store(a, randomCodecExprW(r, 1, 32), randomCodecExprW(r, 1, 8))
+	}
+	return a
+}
+
+// TestCodecRandomRoundTrip is the fuzz-flavored property test: many
+// random DAGs, each must decode to pointer-identical terms.
+func TestCodecRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		e := randomCodecExpr(r, 5)
+		got := roundTrip(t, e)[0]
+		if got != e {
+			t.Fatalf("iteration %d: decoded %s != original %s", i, got, e)
+		}
+	}
+}
+
+// TestCodecTruncation: every proper prefix of a valid stream must fail
+// with an error — never panic, never succeed.
+func TestCodecTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	enc := NewEncoder()
+	for i := 0; i < 20; i++ {
+		enc.AddExpr(randomCodecExpr(r, 4))
+	}
+	data := enc.Bytes()
+	if _, _, err := DecodeTable(data); err != nil {
+		t.Fatalf("full stream must decode: %v", err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, _, err := DecodeTable(data[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+// TestCodecMutation: flipping bytes may produce a different valid
+// stream, but must never panic (constructor panics are converted to
+// errors).
+func TestCodecMutation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	enc := NewEncoder()
+	for i := 0; i < 10; i++ {
+		enc.AddExpr(randomCodecExpr(r, 4))
+	}
+	data := enc.Bytes()
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte{}, data...)
+		for k := 0; k < 1+r.Intn(3); k++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		DecodeTable(mut) // must not panic
+	}
+}
+
+// TestCodecRejectsOutOfRangeIDs: forward references are structurally
+// impossible to encode and must be rejected on decode.
+func TestCodecRejectsOutOfRangeIDs(t *testing.T) {
+	// Hand-craft: 1 record, a Not referencing expr id 5.
+	data := []byte{1, byte(tagNot), 5}
+	if _, _, err := DecodeTable(data); err == nil {
+		t.Error("forward reference accepted")
+	}
+	// Record count lies about the input size.
+	data = []byte{200, byte(tagNot)}
+	if _, _, err := DecodeTable(data); err == nil {
+		t.Error("oversized record count accepted")
+	}
+}

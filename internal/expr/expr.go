@@ -17,6 +17,11 @@
 // Substitution (Subst) is the composition primitive from the paper: to
 // stitch segment e2 after segment e1, the verifier substitutes e1's output
 // state for e2's input variables in e2's path constraint.
+//
+// The codec (codec.go) serializes DAGs into a stable binary record
+// stream and decodes by rebuilding through the constructors, so decoded
+// terms re-intern into this universe — the foundation of the verifier's
+// persistent summary store (DESIGN.md §7).
 package expr
 
 import (

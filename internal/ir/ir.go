@@ -29,6 +29,7 @@ package ir
 
 import (
 	"fmt"
+	"sync"
 
 	"vsd/internal/bv"
 )
@@ -311,7 +312,8 @@ func (t *StaticTable) Validate() error {
 }
 
 // Program is a complete element body: a register file, declarations, and
-// a statement list. Programs are immutable after Build.
+// a statement list. Programs are immutable after Build and are always
+// handled by pointer (the cached fingerprint below must not be copied).
 type Program struct {
 	Name      string
 	NumIn     int // input ports (for documentation; the body is per-packet)
@@ -321,6 +323,10 @@ type Program struct {
 	Tables    []*StaticTable
 	Body      []Stmt
 	MetaSlots map[string]bv.Width // metadata annotations referenced
+
+	// fp caches Fingerprint(); see fingerprint.go.
+	fpOnce sync.Once
+	fp     Fingerprint
 }
 
 // RegWidth returns the declared width of r.

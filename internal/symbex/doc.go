@@ -40,4 +40,11 @@
 // Feasibility checks run on an incremental solver session per engine
 // (DESIGN.md §2), with per-path witness caching so most forks never
 // reach the solver.
+//
+// A Summary (summary.go) packages one element's segment set as an
+// engine-independent artifact with a stable binary codec
+// (EncodeSummary/DecodeSummary, DESIGN.md §7): decoding re-interns
+// every term through the expr constructors, so a summary loaded from
+// the verifier's persistent store composes exactly like one the engine
+// just produced.
 package symbex

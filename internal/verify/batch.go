@@ -1,0 +1,171 @@
+package verify
+
+// Batch admission (DESIGN.md §7): the service-shaped entry point the
+// paper's element-marketplace use case needs. An operator certifies a
+// *stream* of submitted pipelines, not one pipeline per process: Batch
+// verifies a corpus over a single Verifier, so every submission shares
+// the summary cache, the persistent store, and the incremental solver
+// sessions, and byte-identical pipelines are deduplicated outright by
+// their content fingerprint.
+
+import (
+	"encoding/hex"
+	"time"
+
+	"vsd/internal/click"
+	"vsd/internal/ir"
+)
+
+// BatchItem is one pipeline submitted for admission.
+type BatchItem struct {
+	// Name labels the submission in verdicts (e.g. the source filename).
+	Name string
+	// Pipeline is the parsed configuration to verify.
+	Pipeline *click.Pipeline
+	// Specs lists functional contracts the submission must additionally
+	// satisfy. Submissions carrying specs are never deduplicated: spec
+	// values are closures with no comparable identity, so equal-looking
+	// lists could state different contracts.
+	Specs []FuncSpec
+}
+
+// BatchWitness is a serializable property-violation witness.
+type BatchWitness struct {
+	Path   string `json:"path"`
+	Detail string `json:"detail"`
+	// Packet is the concrete input packet, hex-encoded.
+	Packet string `json:"packet"`
+	// Output is the concrete output packet for functional-spec
+	// violations, hex-encoded ("" otherwise).
+	Output string `json:"output,omitempty"`
+}
+
+// BatchVerdict is the admission record for one submission: the
+// marketplace's certificate (or rejection evidence) in serializable
+// form. Field order and contents are deterministic — two runs over the
+// same corpus produce byte-identical verdict JSON, which is what lets
+// the warm-store CI check diff them.
+type BatchVerdict struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	// DuplicateOf names the earlier submission this one is identical to
+	// (same pipeline fingerprint and spec list); its verdict was reused
+	// without re-verification.
+	DuplicateOf string `json:"duplicate_of,omitempty"`
+	// Certified is the overall admission decision: crash-free and every
+	// attached spec verified.
+	Certified bool `json:"certified"`
+	CrashFree bool `json:"crash_free"`
+	// Discharged counts crash paths ruled out by the bad-value analysis.
+	Discharged int `json:"discharged,omitempty"`
+	// BoundSteps is the worst-case IR statement count per packet — the
+	// latency assessment the paper describes for operators. Exact unless
+	// BoundIsUpper (loop-state merging makes it an upper bound).
+	BoundSteps   int64 `json:"bound_steps"`
+	BoundIsUpper bool  `json:"bound_is_upper,omitempty"`
+	// SpecsPassed/SpecsFailed name the verified and refuted contracts.
+	SpecsPassed []string       `json:"specs_passed,omitempty"`
+	SpecsFailed []string       `json:"specs_failed,omitempty"`
+	Witnesses   []BatchWitness `json:"witnesses,omitempty"`
+	// Error reports a verification failure (budget exhaustion and the
+	// like); the other fields are meaningless when set.
+	Error string `json:"error,omitempty"`
+}
+
+// batchWitnesses converts report witnesses to their serializable form.
+func batchWitnesses(ws []Witness) []BatchWitness {
+	out := make([]BatchWitness, 0, len(ws))
+	for _, w := range ws {
+		out = append(out, BatchWitness{
+			Path:   w.Path,
+			Detail: w.Detail,
+			Packet: hex.EncodeToString(w.Packet),
+			Output: hex.EncodeToString(w.Output),
+		})
+	}
+	return out
+}
+
+// Batch verifies every submission on this Verifier, sharing Step-1
+// summaries, the persistent store, and solver sessions across the
+// corpus, and returns one verdict per item (in input order). A
+// spec-free submission whose pipeline fingerprint matches an earlier
+// spec-free item reuses its verdict with DuplicateOf set; submissions
+// carrying specs are always verified — FuncSpec values are opaque
+// closures (the library parameterizes them under fixed names), so no
+// key can safely equate two spec lists. Per-item verification failures
+// are recorded in the verdict's Error field; the batch always runs to
+// completion.
+func (v *Verifier) Batch(items []BatchItem) []BatchVerdict {
+	out := make([]BatchVerdict, len(items))
+	seen := map[ir.Fingerprint]int{}
+	for i, it := range items {
+		if len(it.Specs) == 0 {
+			key := it.Pipeline.Fingerprint()
+			if j, ok := seen[key]; ok {
+				out[i] = out[j]
+				out[i].Name = it.Name
+				out[i].DuplicateOf = items[j].Name
+				continue
+			}
+			seen[key] = i
+		}
+		out[i] = v.admit(it)
+	}
+	return out
+}
+
+// admit runs the full admission pipeline for one submission.
+func (v *Verifier) admit(it BatchItem) BatchVerdict {
+	verdict := BatchVerdict{
+		Name:        it.Name,
+		Fingerprint: it.Pipeline.Fingerprint().String(),
+	}
+	crash, err := v.CrashFreedom(it.Pipeline)
+	if err != nil {
+		verdict.Error = err.Error()
+		return verdict
+	}
+	verdict.CrashFree = crash.Verified
+	verdict.Discharged = crash.Discharged
+	verdict.Witnesses = append(verdict.Witnesses, batchWitnesses(crash.Witnesses)...)
+	bound, err := v.BoundedInstructions(it.Pipeline)
+	if err != nil {
+		verdict.Error = err.Error()
+		return verdict
+	}
+	verdict.BoundSteps = bound.MaxSteps
+	verdict.BoundIsUpper = v.summariesMerged(it.Pipeline)
+	verdict.Certified = crash.Verified
+	for _, spec := range it.Specs {
+		rep, err := v.VerifyFunc(it.Pipeline, spec)
+		if err != nil {
+			verdict.Error = err.Error()
+			return verdict
+		}
+		if rep.Verified {
+			verdict.SpecsPassed = append(verdict.SpecsPassed, spec.Name)
+		} else {
+			verdict.Certified = false
+			verdict.SpecsFailed = append(verdict.SpecsFailed, spec.Name)
+			// Crash witnesses already surfaced by the crash gate; keep
+			// only genuinely functional violations to avoid duplicates.
+			for _, w := range rep.Witnesses {
+				if w.Output != nil {
+					verdict.Witnesses = append(verdict.Witnesses, batchWitnesses([]Witness{w})...)
+				}
+			}
+		}
+	}
+	return verdict
+}
+
+// Batch is the package-level convenience: a fresh Verifier configured
+// by opts verifies the whole corpus, returning the verdicts, the
+// verifier's accumulated statistics, and the wall time.
+func Batch(items []BatchItem, opts Options) ([]BatchVerdict, Stats, time.Duration) {
+	v := New(opts)
+	start := time.Now()
+	verdicts := v.Batch(items)
+	return verdicts, v.Stats(), time.Since(start)
+}

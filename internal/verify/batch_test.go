@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"vsd/internal/dataplane"
+	"vsd/internal/expr"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+func TestBatchDeduplicatesAndShares(t *testing.T) {
+	safe := `
+		src :: InfiniteSource;
+		src -> Strip(14) -> chk :: CheckIPHeader(NOCHECKSUM);
+		chk[0] -> ttl :: DecIPTTL; chk[1] -> Discard;
+		ttl[1] -> Discard;`
+	// Same pipeline, same instance names — a resubmission.
+	unsafe := `s :: InfiniteSource; s -> UnsafeReader(30) -> Discard;`
+	items := []BatchItem{
+		{Name: "a.click", Pipeline: parsePipeline(t, safe)},
+		{Name: "bad.click", Pipeline: parsePipeline(t, unsafe)},
+		{Name: "a-again.click", Pipeline: parsePipeline(t, safe)},
+	}
+	verdicts, st, _ := Batch(items, Options{MinLen: packet.MinFrame, MaxLen: 48})
+	if len(verdicts) != 3 {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+	a, bad, again := verdicts[0], verdicts[1], verdicts[2]
+	if !a.Certified || a.DuplicateOf != "" {
+		t.Errorf("a: %+v", a)
+	}
+	if bad.Certified || bad.CrashFree || len(bad.Witnesses) == 0 {
+		t.Errorf("bad: %+v", bad)
+	}
+	if again.DuplicateOf != "a.click" {
+		t.Errorf("resubmission not deduplicated: %+v", again)
+	}
+	if again.Name != "a-again.click" || again.Certified != a.Certified ||
+		again.Fingerprint != a.Fingerprint || again.BoundSteps != a.BoundSteps {
+		t.Errorf("duplicate verdict diverges: %+v vs %+v", again, a)
+	}
+	// The shared verifier reuses summaries across submissions: the
+	// duplicate costs nothing and the distinct pipelines share classes.
+	if st.SummaryCacheHits == 0 {
+		t.Error("batch did not share any summaries")
+	}
+	// A rejection witness must be a real crash on the rejected pipeline.
+	pkt, err := hex.DecodeString(bad.Witnesses[0].Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := dataplane.NewRunner(items[1].Pipeline).Process(packet.NewBuffer(pkt))
+	if res.Disposition != ir.Crashed {
+		t.Errorf("batch witness did not crash the pipeline: %+v", res)
+	}
+}
+
+func TestBatchSpecGate(t *testing.T) {
+	src := `
+		src :: InfiniteSource;
+		src -> Strip(14) -> chk :: CheckIPHeader(NOCHECKSUM);
+		chk[0] -> ttl :: DecIPTTL; chk[1] -> Discard;
+		ttl[1] -> Discard;`
+	// A vacuous contract and an unsatisfiable one: the same pipeline
+	// must certify under the first and be rejected under the second —
+	// and the two submissions must NOT deduplicate (same fingerprint,
+	// different spec lists).
+	pass := FuncSpec{Name: "pass", Post: func(pi *PathInfo) *expr.Expr { return expr.True() }}
+	fail := FuncSpec{Name: "fail", Post: func(pi *PathInfo) *expr.Expr {
+		if !pi.Emitted() {
+			return nil
+		}
+		return expr.False()
+	}}
+	items := []BatchItem{
+		{Name: "with-pass", Pipeline: parsePipeline(t, src), Specs: []FuncSpec{pass}},
+		{Name: "with-fail", Pipeline: parsePipeline(t, src), Specs: []FuncSpec{fail}},
+	}
+	verdicts, _, _ := Batch(items, Options{MinLen: packet.MinFrame, MaxLen: 48})
+	ok, bad := verdicts[0], verdicts[1]
+	if !ok.Certified || len(ok.SpecsPassed) != 1 {
+		t.Errorf("with-pass: %+v", ok)
+	}
+	if bad.DuplicateOf != "" {
+		t.Error("different spec lists must not deduplicate")
+	}
+	if bad.Certified || !bad.CrashFree || len(bad.SpecsFailed) != 1 {
+		t.Errorf("with-fail: %+v", bad)
+	}
+	if bad.Fingerprint != ok.Fingerprint {
+		t.Error("same pipeline must share a fingerprint across spec lists")
+	}
+}

@@ -49,6 +49,26 @@
 // session (DESIGN.md §2). Options.Parallelism bounds the pool; every
 // verdict is independent of the schedule.
 //
+// # Persistence and batch admission
+//
+// Step-1 summaries are durable artifacts (DESIGN.md §7): keyed by
+// StoreKey (the ir.Program content fingerprint bound to the
+// packet-length bounds and engine modes the summary depends on),
+// cached in-memory per Verifier, and — with Options.Store set —
+// persisted through a SummaryStore. MemStore
+// shares summaries across Verifiers in one process; DiskStore is the
+// content-addressed on-disk form (one fingerprint-named file per
+// program, checksummed; corrupt or mismatched entries fall back to
+// re-summarizing). A warm store makes verification of known element
+// programs skip symbolic execution entirely — Stats.StoreHits counts
+// it.
+//
+// Batch (batch.go) is the admission-service entry point on top: a
+// corpus of pipelines verified over one Verifier (shared cache, store,
+// and solver sessions), duplicates deduplicated by pipeline
+// fingerprint, one deterministic serializable verdict per submission.
+// cmd/vsdverify -batch and the cmd/vsdserve daemon are its CLIs.
+//
 // The package also provides the monolithic baseline (symbolic execution
 // of the whole inlined pipeline, the paper's >12-hour comparison point,
 // monolithic.go).

@@ -20,10 +20,17 @@ import (
 // these bad values to be written to the data structure in the first
 // place."
 
-// maxRefinedReads caps the combination search. Paths reading more state
-// values than this stay suspect (sound: we only ever discharge paths
-// we can prove unrealizable).
-const maxRefinedReads = 2
+// maxRefinedReads resolves Options.MaxRefinedReads: the cap on the
+// combination search. Paths reading more state values than this stay
+// suspect (sound: we only ever discharge paths we can prove
+// unrealizable) and are counted in Stats.RefinementTruncated so batch
+// runs can report how much refinement was skipped.
+func (v *Verifier) maxRefinedReads() int {
+	if v.opts.MaxRefinedReads > 0 {
+		return v.opts.MaxRefinedReads
+	}
+	return DefaultMaxRefinedReads
+}
 
 // statefulRealizable decides whether a crashing composed path is
 // realizable given what can actually be written to private state. It
@@ -47,8 +54,14 @@ func (v *Verifier) statefulRealizable(p *click.Pipeline, st *composed) (bool, er
 	if len(used) == 0 {
 		return true, nil // crash does not depend on state
 	}
-	if len(used) > maxRefinedReads {
-		return true, nil // too many reads; keep suspect (over-approximate)
+	if len(used) > v.maxRefinedReads() {
+		// Too many reads; keep suspect (over-approximate) and report the
+		// truncation. Runs under visitMu, so the plain counter is safe,
+		// but Stats() snapshots under v.mu — take it for the increment.
+		v.mu.Lock()
+		v.stats.RefinementTruncated++
+		v.mu.Unlock()
+		return true, nil
 	}
 	// Candidate value sources per read: the store default, any write of
 	// the same store in any segment of the owning element (from a

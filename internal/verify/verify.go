@@ -33,21 +33,42 @@ type Options struct {
 	// concurrency. Verdicts and statistics are schedule-independent;
 	// witness ordering is canonicalized by path name.
 	Parallelism int
+	// Store persists Step-1 summaries across Verifier instances (and,
+	// with a DiskStore, across processes), keyed by program fingerprint.
+	// nil keeps summaries purely in the per-Verifier cache. Loaded
+	// entries bypass the symbolic engine entirely; corrupt or missing
+	// entries fall back to re-summarizing.
+	Store SummaryStore
+	// MaxRefinedReads caps the bad-value combination search of the
+	// stateful refinement (stateful.go): crash paths whose constraint
+	// mentions more state reads than this stay suspect (sound, but
+	// reported via Stats.RefinementTruncated). 0 means the default of 2.
+	MaxRefinedReads int
 }
+
+// DefaultMaxRefinedReads is the refinement cap used when
+// Options.MaxRefinedReads is zero.
+const DefaultMaxRefinedReads = 2
 
 // DefaultMaxComposedPaths bounds Step-2 path enumeration.
 const DefaultMaxComposedPaths = 1 << 18
 
 // Stats describes the work a verification performed.
 type Stats struct {
-	ElementsSummarized int   // Step-1 runs (cache misses)
-	SummaryCacheHits   int   // Step-1 cache hits
+	ElementsSummarized int   // Step-1 symbolic-engine runs (all caches missed)
+	SummaryCacheHits   int   // Step-1 in-memory cache hits
+	StoreHits          int   // Step-1 summaries loaded from Options.Store
+	StoreMisses        int   // Options.Store lookups that fell through to the engine
 	SegmentsTotal      int   // segments across all summaries used
 	Suspects           int   // crash-tagged segments before composition
 	ComposedPaths      int   // stitched paths explored in Step 2
 	ComposedInfeasible int   // stitched paths discharged as infeasible
 	SolverQueries      int64 // feasibility queries in Step 2
-	SymbexStats        symbex.Stats
+	// RefinementTruncated counts crash paths left suspect because they
+	// read more state values than Options.MaxRefinedReads allows the
+	// bad-value search to enumerate.
+	RefinementTruncated int
+	SymbexStats         symbex.Stats
 	// Solver carries the shared solver's counters, including the
 	// incremental-session ones (assumption solves, reused clauses).
 	Solver smt.Stats
@@ -65,7 +86,7 @@ type Verifier struct {
 	// bumps them on the hot path, and a shared mutex there serializes
 	// the pool.
 	mu       sync.Mutex
-	cache    map[string]*summaryEntry
+	cache    map[ir.Fingerprint]*summaryEntry
 	stats    Stats
 	engines  []*symbex.Engine
 	sessions []*smt.IncrementalSession
@@ -82,12 +103,15 @@ type Verifier struct {
 }
 
 // summaryEntry is a once-filled summary cache slot: concurrent walkers
-// requesting the same element class block on the first computation
-// instead of duplicating it.
+// requesting the same program block on the first computation instead of
+// duplicating it. merged records whether the summary's step counts are
+// upper bounds (loop-state merging), whether it was computed here or
+// loaded from the store.
 type summaryEntry struct {
-	once sync.Once
-	segs []*symbex.Segment
-	err  error
+	once   sync.Once
+	segs   []*symbex.Segment
+	merged bool
+	err    error
 }
 
 // New returns a Verifier with fresh solver and engine pool.
@@ -103,7 +127,7 @@ func New(opts Options) *Verifier {
 		solver:      solver,
 		rootSession: solver.NewSession(),
 		opts:        opts,
-		cache:       map[string]*summaryEntry{},
+		cache:       map[ir.Fingerprint]*summaryEntry{},
 	}
 }
 
@@ -182,11 +206,14 @@ func (v *Verifier) input() symbex.Input {
 // all verdicts hold.
 func (v *Verifier) Pre() []*expr.Expr { return v.input().Pre }
 
-// Summarize runs Step 1 for one element, with caching by class+config.
-// Concurrent calls for the same class share one computation.
+// Summarize runs Step 1 for one element, with caching by the program's
+// content fingerprint. Concurrent calls for the same program share one
+// computation. With Options.Store set, the persistent store is
+// consulted before the symbolic engine and updated after a fresh run.
 func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
 	if v.opts.DisableSummaryCache {
-		return v.summarize(e)
+		segs, _, err := v.summarize(e)
+		return segs, err
 	}
 	key := e.SummaryKey()
 	v.mu.Lock()
@@ -198,20 +225,65 @@ func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
 		v.cache[key] = ent
 	}
 	v.mu.Unlock()
-	ent.once.Do(func() { ent.segs, ent.err = v.summarize(e) })
+	ent.once.Do(func() { ent.segs, ent.merged, ent.err = v.loadOrSummarize(e) })
 	return ent.segs, ent.err
 }
 
-// summarize is the uncached Step-1 run.
-func (v *Verifier) summarize(e *click.Instance) ([]*symbex.Segment, error) {
-	eng := v.getEngine()
-	segs, err := eng.Run(e.Program(), v.input())
-	v.putEngine(eng)
-	if err != nil {
-		return nil, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
+// loadOrSummarize fills one summary-cache slot: from the persistent
+// store when possible, from the engine otherwise (updating the store).
+// Store traffic is keyed by StoreKey — the program fingerprint bound to
+// the verifier's Step-1 context — never by the bare program key, so a
+// store shared between differently-configured verifiers stays sound.
+func (v *Verifier) loadOrSummarize(e *click.Instance) ([]*symbex.Segment, bool, error) {
+	if v.opts.Store != nil {
+		key := StoreKey(e.Program(), v.opts)
+		if sum, ok := v.opts.Store.Load(key); ok {
+			v.countSummary(sum.Segments, sum.Merged, true)
+			return sum.Segments, sum.Merged, nil
+		}
+		v.mu.Lock()
+		v.stats.StoreMisses++
+		v.mu.Unlock()
+		segs, merged, err := v.summarize(e)
+		if err == nil {
+			v.opts.Store.Save(key, &symbex.Summary{Segments: segs, Merged: merged})
+		}
+		return segs, merged, err
 	}
+	return v.summarize(e)
+}
+
+// summariesMerged reports whether any cached summary used by the
+// pipeline's elements carries the merged (steps-are-upper-bounds) flag.
+// Summaries must already be cached (i.e. after a verification ran).
+// With the cache disabled there is no per-program record, so the
+// verifier-wide flag stands in — conservative: it may report an upper
+// bound where the bound is exact, never the reverse.
+func (v *Verifier) summariesMerged(p *click.Pipeline) bool {
 	v.mu.Lock()
-	v.stats.ElementsSummarized++
+	defer v.mu.Unlock()
+	if v.opts.DisableSummaryCache {
+		return v.stats.SymbexStats.Merged
+	}
+	for _, e := range p.Elements {
+		if ent, ok := v.cache[e.SummaryKey()]; ok && ent.merged {
+			return true
+		}
+	}
+	return false
+}
+
+// countSummary folds one summary's segment counters into the stats.
+// fromStore marks summaries served by the persistent store (no engine
+// run); their Merged flag still taints step-count exactness.
+func (v *Verifier) countSummary(segs []*symbex.Segment, merged, fromStore bool) {
+	v.mu.Lock()
+	if fromStore {
+		v.stats.StoreHits++
+		v.stats.SymbexStats.Merged = v.stats.SymbexStats.Merged || merged
+	} else {
+		v.stats.ElementsSummarized++
+	}
 	v.stats.SegmentsTotal += len(segs)
 	for _, s := range segs {
 		if s.IsSuspect() {
@@ -219,7 +291,22 @@ func (v *Verifier) summarize(e *click.Instance) ([]*symbex.Segment, error) {
 		}
 	}
 	v.mu.Unlock()
-	return segs, nil
+}
+
+// summarize is the uncached Step-1 engine run. The second result
+// reports whether loop-state merging occurred during this run (making
+// the summary's step counts upper bounds; the flag is persisted with
+// the artifact).
+func (v *Verifier) summarize(e *click.Instance) ([]*symbex.Segment, bool, error) {
+	eng := v.getEngine()
+	segs, err := eng.Run(e.Program(), v.input())
+	merged := eng.Stats().Merged
+	v.putEngine(eng)
+	if err != nil {
+		return nil, false, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
+	}
+	v.countSummary(segs, merged, false)
+	return segs, merged, nil
 }
 
 // summarizeAll runs Step 1 for every pipeline element, fanning distinct
