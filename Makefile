@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip
+.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke
 
 # tier1 is the repo's gate: everything must build and every test pass.
 tier1:
@@ -52,9 +52,28 @@ store-roundtrip:
 	! grep -q '"store_hits": 0,' $(STORE_CI_DIR)/warm.json
 	@echo "store-roundtrip: warm run identical, zero engine runs"
 
+# seq-smoke is the multi-packet verification gate (DESIGN.md §8): the
+# k-induction must PROVE the saturating counter crash-free for packet
+# sequences of UNBOUNDED length, and must refuse to certify the plain
+# counter — whose overflow no affordable unrolling depth can reach —
+# with a 2-packet counterexample whose replay on the concrete dataplane
+# reproduces the crash byte for byte (CI runs it).
+SEQ_CI_DIR ?= .seq-ci
+seq-smoke:
+	rm -rf $(SEQ_CI_DIR) && mkdir -p $(SEQ_CI_DIR)
+	$(GO) run ./cmd/vsdverify -property crash -seq 2 -invariant -maxlen 48 \
+		examples/seq/counter-saturate.click > $(SEQ_CI_DIR)/sat.out
+	grep -q 'PROVED for UNBOUNDED' $(SEQ_CI_DIR)/sat.out
+	! $(GO) run ./cmd/vsdverify -property crash -seq 2 -invariant -maxlen 48 \
+		examples/seq/counter-overflow.click > $(SEQ_CI_DIR)/ovf.out
+	grep -q 'counterexample to induction' $(SEQ_CI_DIR)/ovf.out
+	grep -q 'sequence: 2 packet(s)' $(SEQ_CI_DIR)/ovf.out
+	grep -q 'replay: the sequence reproduces byte-for-byte' $(SEQ_CI_DIR)/ovf.out
+	@echo "seq-smoke: induction proved the saturating counter and refuted the plain one with a replayed 2-packet witness"
+
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT
 # for the next snapshot.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 bench-json:
 	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

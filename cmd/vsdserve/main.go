@@ -72,8 +72,15 @@ type response struct {
 	WallMS            int64  `json:"wall_ms"`
 }
 
+// jsonSubmission is the application/json request form of /verify.
+type jsonSubmission struct {
+	Name   string `json:"name"`
+	Config string `json:"config"`
+}
+
 func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST a Click configuration to /verify", http.StatusMethodNotAllowed)
 		return
 	}
@@ -83,10 +90,33 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.URL.Query().Get("name")
+	config := string(body)
+	// JSON submissions carry the name inline; malformed JSON is a client
+	// error (400), distinct from a well-formed submission whose Click
+	// configuration does not parse (422).
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var sub jsonSubmission
+		if err := json.Unmarshal(body, &sub); err != nil {
+			http.Error(w, "bad JSON submission: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if sub.Config == "" {
+			http.Error(w, `bad JSON submission: "config" is required`, http.StatusBadRequest)
+			return
+		}
+		config = sub.Config
+		if sub.Name != "" {
+			name = sub.Name
+		}
+	}
 	if name == "" {
 		name = "submission"
 	}
-	p, err := click.Parse(elements.Default(), string(body))
+	if strings.TrimSpace(config) == "" {
+		http.Error(w, "empty submission", http.StatusBadRequest)
+		return
+	}
+	p, err := click.Parse(elements.Default(), config)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
@@ -102,7 +132,23 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	out := map[string]any{"verifier": s.verifier.Stats()}
+	st := s.verifier.Stats()
+	out := map[string]any{
+		"verifier": st,
+		// Operator-facing counters under stable names: how much of the
+		// stateful refinement was skipped (suspects left standing
+		// because their bad-value search was truncated) and what the
+		// sequence/induction engine has done (DESIGN.md §8).
+		"counters": map[string]int{
+			"refinement_truncated": st.RefinementTruncated,
+			"seq_sequences":        st.SeqSequences,
+			"seq_infeasible":       st.SeqInfeasible,
+			"induction_depth":      st.InductionDepth,
+			"induction_proved":     st.InductionProved,
+			"induction_refuted":    st.InductionRefuted,
+			"seq_spec_refuted":     st.SeqSpecRefuted,
+		},
+	}
 	if s.store != nil {
 		out["store"] = s.store.Stats()
 	}

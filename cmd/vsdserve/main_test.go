@@ -1,0 +1,163 @@
+package main
+
+// Handler-level tests for the admission daemon: before these, the
+// daemon was only exercised end to end by -smoke, which drives the
+// happy path exclusively. Here the mux is hit directly with the
+// malformed traffic a public endpoint actually sees.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vsd/internal/verify"
+)
+
+func testServer() *server {
+	return &server{verifier: verify.New(verify.Options{MinLen: 14, MaxLen: 48})}
+}
+
+const validConfig = `
+	src :: InfiniteSource;
+	src -> Strip(14) -> chk :: CheckIPHeader(NOCHECKSUM);
+	chk[0] -> Discard; chk[1] -> Discard;`
+
+func do(t *testing.T, s *server, method, path, contentType, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, req)
+	return rec
+}
+
+func TestVerifyRejectsNonPOST(t *testing.T) {
+	s := testServer()
+	for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+		rec := do(t, s, method, "/verify", "", "")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s /verify = %d, want 405", method, rec.Code)
+		}
+		if method == http.MethodGet && rec.Header().Get("Allow") != http.MethodPost {
+			t.Errorf("405 without Allow header")
+		}
+	}
+}
+
+func TestVerifyRejectsMalformedJSON(t *testing.T) {
+	s := testServer()
+	cases := []struct {
+		name, body string
+	}{
+		{"truncated object", `{"name": "x", "config": "src ::`},
+		{"not json at all", `src :: InfiniteSource; src -> Discard;`},
+		{"missing config", `{"name": "x"}`},
+	}
+	for _, c := range cases {
+		rec := do(t, s, http.MethodPost, "/verify", "application/json", c.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: got %d, want 400 (body: %s)", c.name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestVerifyRejectsUnparsableConfig(t *testing.T) {
+	s := testServer()
+	rec := do(t, s, http.MethodPost, "/verify", "text/plain", "src :: NoSuchElement; src -> Discard;")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad config = %d, want 422", rec.Code)
+	}
+	rec = do(t, s, http.MethodPost, "/verify", "text/plain", "   ")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty body = %d, want 400", rec.Code)
+	}
+}
+
+func TestVerifyAcceptsTextAndJSONSubmissions(t *testing.T) {
+	s := testServer()
+	rec := do(t, s, http.MethodPost, "/verify?name=t.click", "text/plain", validConfig)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("text submission = %d: %s", rec.Code, rec.Body.String())
+	}
+	var textResp response
+	if err := json.Unmarshal(rec.Body.Bytes(), &textResp); err != nil {
+		t.Fatal(err)
+	}
+	if !textResp.Certified || textResp.Name != "t.click" {
+		t.Errorf("text verdict: %+v", textResp.BatchVerdict)
+	}
+
+	body, _ := json.Marshal(jsonSubmission{Name: "j.click", Config: validConfig})
+	rec = do(t, s, http.MethodPost, "/verify", "application/json", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json submission = %d: %s", rec.Code, rec.Body.String())
+	}
+	var jsonResp response
+	if err := json.Unmarshal(rec.Body.Bytes(), &jsonResp); err != nil {
+		t.Fatal(err)
+	}
+	if !jsonResp.Certified || jsonResp.Name != "j.click" {
+		t.Errorf("json verdict: %+v", jsonResp.BatchVerdict)
+	}
+	if jsonResp.Fingerprint != textResp.Fingerprint {
+		t.Error("same pipeline, different fingerprints across encodings")
+	}
+}
+
+func TestVerifyReportsInductionForStatefulPipelines(t *testing.T) {
+	s := testServer()
+	rec := do(t, s, http.MethodPost, "/verify?name=cnt.click", "text/plain", `
+		src :: InfiniteSource;
+		cnt :: Counter(SATURATE);
+		src -> cnt -> Discard;`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("got %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Induction) != 1 || !resp.Induction[0].Proved {
+		t.Fatalf("induction results missing from verdict: %+v", resp.BatchVerdict)
+	}
+}
+
+func TestStatsExposesRefinementAndInductionCounters(t *testing.T) {
+	s := testServer()
+	// Drive a stateful submission so the induction counters move.
+	if rec := do(t, s, http.MethodPost, "/verify", "text/plain", `
+		src :: InfiniteSource;
+		cnt :: Counter(SATURATE);
+		src -> cnt -> Discard;`); rec.Code != http.StatusOK {
+		t.Fatalf("submission failed: %d", rec.Code)
+	}
+	rec := do(t, s, http.MethodGet, "/stats", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var out struct {
+		Counters map[string]int `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"refinement_truncated", "induction_proved", "induction_depth", "seq_sequences", "seq_spec_refuted"} {
+		if _, ok := out.Counters[key]; !ok {
+			t.Errorf("/stats counters missing %q", key)
+		}
+	}
+	if out.Counters["induction_proved"] != 1 {
+		t.Errorf("induction_proved = %d, want 1", out.Counters["induction_proved"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	rec := do(t, testServer(), http.MethodGet, "/healthz", "", "")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}

@@ -10,6 +10,13 @@
 //
 //	-property crash|bound|all   property to verify (default all)
 //	-spec LIST                  functional specs to verify (see below)
+//	-seq K                      sequence mode (DESIGN.md §8): explore packet
+//	                            sequences of up to K packets from boot state
+//	                            and report reachable crashes
+//	-invariant                  with -seq: prove crash freedom for UNBOUNDED
+//	                            packet sequences by k-induction (max depth K)
+//	                            instead of bounded unrolling
+//	-seqspec LIST               sequence contracts to verify (see below)
 //	-ipoff N                    IPv4 header offset assumed by -spec (default 14)
 //	-maxlen N                   maximum packet length considered
 //	-parallel N                 verification worker pool size (0 = GOMAXPROCS)
@@ -41,6 +48,21 @@
 //	                past the fixed IPv4 header untouched
 //
 // e.g. vsdverify -spec ttl@encap,filter@flt router.click
+//
+// -seqspec takes the same kind@element syntax from the sequence-contract
+// half of the library (multi-packet relations, DESIGN.md §8):
+//
+//	counter@ELEM    the Counter instance ELEM never decreases across the
+//	                explored sequences (-seq packets; default 3)
+//	nat@ELEM        mapping stability: same-flow packets i and j leave the
+//	                NAT instance ELEM with the SAME rewritten source
+//	seqrate@ELEM    burst bound of the TokenBucket instance ELEM: at most
+//	                CAPACITY packets of any sequence pass its port 0
+//
+// Refuted sequence properties print a multi-packet witness — the packets
+// in arrival order plus, for counterexamples to induction, the seeded
+// state — and every witness from boot state is replayed on the concrete
+// dataplane before it is reported.
 package main
 
 import (
@@ -50,6 +72,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -122,9 +145,75 @@ func buildSpecs(p *click.Pipeline, list string, ipOff, maxLen uint64) ([]verify.
 	return out, nil
 }
 
+// buildSeqSpecs parses the -seqspec list against the pipeline: the
+// sequence-contract half of the library (DESIGN.md §8). steps is the
+// -seq flag (how many packets each contract explores; 0 picks a
+// per-kind default).
+func buildSeqSpecs(p *click.Pipeline, list string, ipOff uint64, steps int) ([]verify.SeqSpec, error) {
+	find := func(name string) (*click.Instance, error) {
+		for _, e := range p.Elements {
+			if e.Name() == name {
+				return e, nil
+			}
+		}
+		return nil, fmt.Errorf("pipeline has no element named %q", name)
+	}
+	if steps <= 0 {
+		steps = 3 // the shortest length that can refute eviction bugs (A, B, A)
+	}
+	var out []verify.SeqSpec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, elem, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -seqspec entry %q (want kind@element)", entry)
+		}
+		inst, err := find(elem)
+		if err != nil {
+			return nil, fmt.Errorf("-seqspec %s: %w", entry, err)
+		}
+		switch kind {
+		case "counter":
+			if inst.Class() != "Counter" {
+				return nil, fmt.Errorf("-seqspec %s: %s is a %s, want Counter", entry, elem, inst.Class())
+			}
+			out = append(out, specs.CounterMonotone(elem, steps))
+		case "nat":
+			// Mapping stability is vacuously true of any element that never
+			// rewrites the source bytes, so a wrong instance must be an
+			// error, not a hollow VERIFIED.
+			if c := inst.Class(); c != "IPRewriter" && c != "LeakyNAT" {
+				return nil, fmt.Errorf("-seqspec %s: %s is a %s, want IPRewriter or LeakyNAT", entry, elem, c)
+			}
+			out = append(out, specs.NATMappingStable(ipOff, elem, steps))
+		case "seqrate":
+			if inst.Class() != "TokenBucket" {
+				return nil, fmt.Errorf("-seqspec %s: %s is a %s, want TokenBucket", entry, elem, inst.Class())
+			}
+			capacity := uint64(elements.TokenBucketDefaultCapacity)
+			if cfg := strings.TrimSpace(inst.Config()); cfg != "" {
+				capacity, err = strconv.ParseUint(cfg, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("-seqspec %s: bad TokenBucket capacity %q", entry, cfg)
+				}
+			}
+			out = append(out, specs.RateLimiterBound(capacity, elem))
+		default:
+			return nil, fmt.Errorf("unknown sequence spec kind %q (want counter, nat, or seqrate)", kind)
+		}
+	}
+	return out, nil
+}
+
 func main() {
 	property := flag.String("property", "all", "property to verify: crash, bound, or all")
 	specList := flag.String("spec", "", "comma-separated functional specs to verify (kind@element; see package doc)")
+	seqK := flag.Int("seq", 0, "sequence mode: explore packet sequences of up to K packets (0 = off; DESIGN.md §8)")
+	invariant := flag.Bool("invariant", false, "with -seq: prove unbounded crash freedom by k-induction instead of bounded unrolling")
+	seqSpecList := flag.String("seqspec", "", "comma-separated sequence contracts to verify (kind@element; see package doc)")
 	ipOff := flag.Uint64("ipoff", packet.EthernetHeaderLen, "IPv4 header offset assumed by -spec entries")
 	maxLen := flag.Uint64("maxlen", 256, "maximum packet length considered")
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
@@ -241,6 +330,74 @@ func main() {
 		}
 	}
 
+	if *invariant && *seqK == 0 {
+		fatal(fmt.Errorf("-invariant requires -seq K"))
+	}
+	if *seqK > 0 {
+		if *invariant {
+			start := time.Now()
+			rep, err := v.SeqCrashFreedom(pipeline, verify.SeqOptions{MaxK: *seqK})
+			if err != nil {
+				fatal(err)
+			}
+			switch {
+			case rep.Proved:
+				fmt.Printf("sequence crash freedom: PROVED for UNBOUNDED packet sequences by %d-induction in %v (%d sequence prefixes explored)\n",
+					rep.K, time.Since(start).Round(time.Millisecond), rep.Sequences)
+			case rep.Refuted:
+				failed = true
+				fmt.Printf("sequence crash freedom: REFUTED in %v — a %d-packet sequence from boot state crashes the pipeline:\n",
+					time.Since(start).Round(time.Millisecond), len(rep.Witness.Packets))
+				replayAndPrint(pipeline, rep.Witness)
+			case rep.CTI:
+				failed = true
+				fmt.Printf("sequence crash freedom: NOT PROVED within k=%d in %v — counterexample to induction (no unbounded guarantee; the violation needs a seeded state):\n",
+					rep.K, time.Since(start).Round(time.Millisecond))
+				replayAndPrint(pipeline, rep.Witness)
+			}
+		} else {
+			start := time.Now()
+			rep, err := v.SeqCrashBounded(pipeline, *seqK, verify.SeqOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			if rep.Refuted {
+				failed = true
+				fmt.Printf("bounded sequences (depth %d): CRASH REACHABLE in %v — %d sequences explored:\n",
+					*seqK, time.Since(start).Round(time.Millisecond), rep.Sequences)
+				replayAndPrint(pipeline, rep.Witness)
+			} else {
+				fmt.Printf("bounded sequences (depth %d): no crash reachable from boot state in %v (%d sequences explored; unbounded lengths need -invariant)\n",
+					*seqK, time.Since(start).Round(time.Millisecond), rep.Sequences)
+			}
+		}
+	}
+
+	if *seqSpecList != "" {
+		sspecs, err := buildSeqSpecs(pipeline, *seqSpecList, *ipOff, *seqK)
+		if err != nil {
+			fatal(err)
+		}
+		for _, spec := range sspecs {
+			start := time.Now()
+			rep, err := v.VerifySeq(pipeline, spec)
+			if err != nil {
+				fatal(err)
+			}
+			if rep.Verified {
+				fmt.Printf("seqspec %s: VERIFIED over all %d-packet sequences in %v (%d sequences, %d obligation(s) proved, %d trivially)\n",
+					rep.Spec, rep.Steps, time.Since(start).Round(time.Millisecond), rep.Sequences, rep.Proved, rep.Trivial)
+			} else {
+				failed = true
+				fmt.Printf("seqspec %s: FAILED in %v — %d witness(es):\n",
+					rep.Spec, time.Since(start).Round(time.Millisecond), len(rep.Witnesses))
+				for _, w := range rep.Witnesses {
+					replayAndPrint(pipeline, w)
+				}
+			}
+		}
+	}
+
 	if *monolithic {
 		start := time.Now()
 		rep, err := verify.Monolithic(pipeline, verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen})
@@ -262,6 +419,18 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// replayAndPrint prints a multi-packet witness after replaying it on a
+// fresh concrete dataplane — the oracle check that the symbolic
+// sequence is real. A divergence is an internal error worth dying
+// loudly over, never a property verdict.
+func replayAndPrint(p *click.Pipeline, w *verify.MultiWitness) {
+	if err := verify.ReplaySeq(p, w); err != nil {
+		fatal(err)
+	}
+	fmt.Print(verify.FormatMultiWitness(w))
+	fmt.Println("  replay: the sequence reproduces byte-for-byte on the concrete dataplane")
 }
 
 // runBatch is the admission-service mode: every .click file in dir is a

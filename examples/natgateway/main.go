@@ -18,12 +18,19 @@
 //     correct: a NAT-rewrite spec (DESIGN.md §6) shows every forwarded
 //     packet leaves with source 100.64.0.1 and its destination intact.
 //
+// The multi-packet act (DESIGN.md §8) then proves the fixed gateway
+// crash-free for packet sequences of UNBOUNDED length by k-induction,
+// and refutes the mapping stability of elements.LeakyNAT — a bug
+// invisible to every single-packet property — with a three-packet
+// witness replayed on the concrete dataplane.
+//
 // Run with: go run ./examples/natgateway
 package main
 
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"vsd/internal/click"
@@ -123,6 +130,61 @@ func main() {
 	}
 	fmt.Printf("spec nat-rewrite: VERIFIED in %v — every forwarded packet leaves as 100.64.0.1, dst preserved\n",
 		time.Since(start).Round(time.Millisecond))
+
+	// Multi-packet state (DESIGN.md §8). First the unbounded claim: the
+	// saturating gateway is crash-free for packet sequences of ANY
+	// length, proved by k-induction over the private state — a statement
+	// no bounded exploration can make.
+	fmt.Println()
+	fmt.Println("== multi-packet state: k-induction and the mapping-leak NAT ==")
+	start = time.Now()
+	irep, err := v2.SeqCrashFreedom(fixed, verify.SeqOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !irep.Proved {
+		log.Fatalf("induction failed to prove the saturating gateway: %+v", irep)
+	}
+	fmt.Printf("k-induction: crash freedom PROVED for UNBOUNDED packet sequences (k=%d) in %v\n",
+		irep.K, time.Since(start).Round(time.Millisecond))
+
+	// Then the refutation side: swap the NAT for elements.LeakyNAT — a
+	// translator that is correct packet by packet and for any
+	// uninterrupted flow, but whose single slot is evicted by interloper
+	// traffic. No single-packet spec can see the bug; the three-packet
+	// sequence A, B, A refutes mapping stability, and the witness
+	// replays on the concrete dataplane.
+	leakySrc := strings.Replace(buildGateway("Counter(SATURATE)"),
+		"IPRewriter(SNAT 100.64.0.1)", "LeakyNAT(100.64.0.0)", 1)
+	leaky, err := click.Parse(reg, leakySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v3 := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: 60})
+	srep2, err := v3.VerifySeq(leaky, specs.NATMappingStable(14, "nat", 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !srep2.Verified {
+		log.Fatal("two-packet sequences must verify — the leak needs an interloper in between")
+	}
+	fmt.Println("LeakyNAT, 2-packet sequences: mapping stability VERIFIED (the bug hides from pairs)")
+	start = time.Now()
+	srep3, err := v3.VerifySeq(leaky, specs.NATMappingStable(14, "nat", 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srep3.Verified || len(srep3.Witnesses) == 0 {
+		log.Fatal("three-packet sequences must refute the LeakyNAT")
+	}
+	w := srep3.Witnesses[0]
+	if err := verify.ReplaySeq(leaky, w); err != nil {
+		log.Fatalf("witness replay diverged: %v", err)
+	}
+	fmt.Printf("LeakyNAT, 3-packet sequences: REFUTED in %v — same flow, different translation:\n",
+		time.Since(start).Round(time.Millisecond))
+	fmt.Print(verify.FormatMultiWitness(w))
+	fmt.Println("  replay: the eviction reproduces byte-for-byte on the concrete dataplane")
 
 	// Run traffic through the verified gateway and inspect NAT effects.
 	fmt.Println()

@@ -1,0 +1,7 @@
+// The plain counter overflows after 2^32 packets: no bounded unrolling
+// can see it, but the induction's counterexample is a 2-packet sequence
+// from a seeded state that replays on the concrete dataplane
+// (make seq-smoke, DESIGN.md §8).
+src :: InfiniteSource;
+cnt :: Counter;
+src -> cnt -> Discard;

@@ -1,0 +1,5 @@
+// The saturating counter: k-induction proves it crash-free for packet
+// sequences of UNBOUNDED length (make seq-smoke, DESIGN.md §8).
+src :: InfiniteSource;
+cnt :: Counter(SATURATE);
+src -> cnt -> Discard;

@@ -62,6 +62,27 @@ func NewRunner(p *click.Pipeline) *Runner {
 // pipeline.Elements.
 func (r *Runner) Counters() []ElementCounters { return r.counters }
 
+// SeedState pre-populates one entry of the named element instance's
+// private store. Multi-packet counterexamples from the verifier's
+// k-induction (verify.ReplaySeq) start from an arbitrary reachable
+// state rather than boot state; seeding lets the replay oracle
+// reproduce them concretely. Seeding honors the store's capacity bound
+// exactly like a regular write.
+func (r *Runner) SeedState(inst, store string, key, val uint64) error {
+	for i, e := range r.pipeline.Elements {
+		if e.Name() != inst {
+			continue
+		}
+		d, ok := e.Program().StateDeclByName(store)
+		if !ok {
+			return fmt.Errorf("dataplane: element %s has no store %q", inst, store)
+		}
+		r.states[i].Write(d, key, val)
+		return nil
+	}
+	return fmt.Errorf("dataplane: no element instance %q", inst)
+}
+
 // maxHops caps the element traversal defensively; the pipeline DAG
 // bounds it structurally.
 const maxHops = 1 << 12

@@ -511,7 +511,8 @@ func TestRegistryHasAllClasses(t *testing.T) {
 	r := Default()
 	want := []string{"Classifier", "CheckIPHeader", "DecIPTTL", "IPOptions",
 		"LookupIPRoute", "Strip", "EtherEncap", "Counter", "NetFlow",
-		"IPRewriter", "IPFilter", "ToyE1", "ToyE2", "InfiniteSource", "Discard"}
+		"IPRewriter", "IPFilter", "ToyE1", "ToyE2", "InfiniteSource", "Discard",
+		"TokenBucket", "LeakyNAT"}
 	have := map[string]bool{}
 	for _, c := range r.Classes() {
 		have[c] = true
@@ -527,5 +528,138 @@ func TestRegistryHasAllClasses(t *testing.T) {
 	}
 	if _, err := r.Make("x", "NoSuch", ""); err == nil {
 		t.Error("unknown class accepted")
+	}
+}
+
+// ---- concrete execution of the stateful elements ----
+//
+// The stateful elements were originally only covered symbolically (the
+// A3/S1 experiments); these tests drive the same IR through the
+// concrete interpreter, including the state boundaries the verifier
+// reasons about.
+
+// statefulEnv is exec() with a caller-controlled persistent state, for
+// driving multiple packets through one element instance.
+func statefulEnv(data []byte, hoff uint32, st ir.State) *ir.ExecEnv {
+	return &ir.ExecEnv{
+		Pkt:   append([]byte{}, data...),
+		Meta:  map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, uint64(hoff))},
+		State: st,
+	}
+}
+
+func TestCounterSaturatesAtBoundary(t *testing.T) {
+	p := mustBuild(t, Counter, "SATURATE")
+	d, _ := p.StateDeclByName("count")
+	st := ir.NewState()
+	// One below the boundary: increments to the maximum.
+	st.Write(d, 0, 0xfffffffe)
+	if out := ir.Exec(p, statefulEnv(make([]byte, 14), 0, st)); out.Disposition != ir.Emitted {
+		t.Fatalf("below boundary: %+v", out)
+	}
+	if got := st.Read(d, 0); got != 0xffffffff {
+		t.Fatalf("count = %#x, want 0xffffffff", got)
+	}
+	// At the boundary: saturates, does not wrap, does not crash.
+	if out := ir.Exec(p, statefulEnv(make([]byte, 14), 0, st)); out.Disposition != ir.Emitted {
+		t.Fatalf("at boundary: %+v", out)
+	}
+	if got := st.Read(d, 0); got != 0xffffffff {
+		t.Fatalf("count after saturation = %#x, want 0xffffffff", got)
+	}
+}
+
+func TestCounterOverflowAssertsAtBoundary(t *testing.T) {
+	p := mustBuild(t, Counter, "")
+	d, _ := p.StateDeclByName("count")
+	st := ir.NewState()
+	st.Write(d, 0, 0xfffffffe)
+	if out := ir.Exec(p, statefulEnv(make([]byte, 14), 0, st)); out.Disposition != ir.Emitted {
+		t.Fatalf("one below the overflow must still pass: %+v", out)
+	}
+	out := ir.Exec(p, statefulEnv(make([]byte, 14), 0, st))
+	if out.Disposition != ir.Crashed || out.Crash.Kind != ir.CrashAssert {
+		t.Fatalf("at the boundary: %+v, want assertion crash", out)
+	}
+}
+
+func TestNetFlowZeroPayloadDatagram(t *testing.T) {
+	p := mustBuild(t, NetFlow, "")
+	// A minimal valid IPv4 datagram with no transport header at all: the
+	// guarded port read must be skipped, not fault.
+	buf, err := packet.BuildIPv4(packet.IPv4Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(10, 0, 0, 2),
+		TTL: 64, Protocol: packet.ProtoUDP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ir.NewState()
+	out := ir.Exec(p, statefulEnv(buf.Data, 14, st))
+	if out.Disposition != ir.Emitted {
+		t.Fatalf("zero-payload datagram: %+v, want emitted", out)
+	}
+	// The flow was still counted, under the ports=0 key.
+	d, _ := p.StateDeclByName("flows")
+	key := uint64(packet.IP4(10, 0, 0, 1) ^ packet.IP4(10, 0, 0, 2) ^ uint32(packet.ProtoUDP))
+	if got := st.Read(d, key); got != 1 {
+		t.Fatalf("flow count = %d, want 1 (key %#x)", got, key)
+	}
+}
+
+func TestTokenBucketConcreteBurst(t *testing.T) {
+	p := mustBuild(t, TokenBucket, "2")
+	st := ir.NewState()
+	wantPorts := []int{0, 0, 1, 1}
+	for i, want := range wantPorts {
+		out := ir.Exec(p, statefulEnv(make([]byte, 14), 0, st))
+		if out.Disposition != ir.Emitted || out.Port != want {
+			t.Fatalf("packet %d: %+v, want emit on port %d", i, out, want)
+		}
+	}
+}
+
+func TestLeakyNATEvictsAndReassigns(t *testing.T) {
+	p := mustBuild(t, LeakyNAT, "100.64.0.0")
+	flowA := packet.IP4(10, 0, 0, 1)
+	flowB := packet.IP4(10, 9, 9, 9)
+	mk := func(src uint32) []byte {
+		buf, err := packet.BuildIPv4(packet.IPv4Spec{
+			SrcIP: src, DstIP: packet.IP4(192, 168, 0, 1),
+			TTL: 64, Protocol: packet.ProtoUDP,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Data
+	}
+	st := ir.NewState()
+	run := func(src uint32) uint32 {
+		env := statefulEnv(mk(src), 14, st)
+		out := ir.Exec(p, env)
+		if out.Disposition != ir.Emitted {
+			t.Fatalf("src %#x: %+v", src, out)
+		}
+		return packet.IP4(env.Pkt[26], env.Pkt[27], env.Pkt[28], env.Pkt[29])
+	}
+	a1 := run(flowA)
+	b1 := run(flowB)
+	a2 := run(flowA)
+	if a1 == a2 {
+		t.Fatalf("flow A mapping stable (%#x) despite eviction — the designed bug is gone", a1)
+	}
+	if b1 == a1 || b1 == a2 {
+		t.Fatalf("distinct translations expected, got a1=%#x b1=%#x a2=%#x", a1, b1, a2)
+	}
+	// Without interleaving traffic the mapping IS stable (the bug needs
+	// three packets).
+	st2 := ir.NewState()
+	stP := func(src uint32) uint32 {
+		env := statefulEnv(mk(src), 14, st2)
+		ir.Exec(p, env)
+		return packet.IP4(env.Pkt[26], env.Pkt[27], env.Pkt[28], env.Pkt[29])
+	}
+	if x, y := stP(flowA), stP(flowA); x != y {
+		t.Fatalf("back-to-back same-flow packets translated differently: %#x vs %#x", x, y)
 	}
 }

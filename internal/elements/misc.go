@@ -126,6 +126,8 @@ func Default() *click.Registry {
 	r.Register("Counter", Counter)
 	r.Register("NetFlow", NetFlow)
 	r.Register("IPRewriter", IPRewriter)
+	r.Register("TokenBucket", TokenBucket)
+	r.Register("LeakyNAT", LeakyNAT)
 	r.Register("ToyE1", ToyE1)
 	r.Register("ToyE2", ToyE2)
 	r.Register("UnsafeReader", UnsafeReader)

@@ -87,6 +87,85 @@ func NetFlow(cfg string) (*ir.Program, error) {
 	return b.Build()
 }
 
+// TokenBucket(CAPACITY) is a packet-count rate limiter over private
+// state: the bucket starts full (the store's declared default — which
+// is why state defaults are bound into the induction key, DESIGN.md
+// §8), each conforming packet spends one token and leaves through port
+// 0, and packets arriving at an empty bucket leave through port 1
+// (over-limit). No refill is modeled: the element bounds a burst, the
+// property the RateLimiterBound sequence contract states — at most
+// CAPACITY of any packet sequence may pass — and the k-induction proof
+// of "tokens never exceed CAPACITY" makes unbounded.
+// TokenBucketDefaultCapacity is the bucket size a config-less
+// TokenBucket gets; spec builders (vsdverify -seqspec seqrate@elem)
+// must assume the same default the element compiles with.
+const TokenBucketDefaultCapacity = 4
+
+func TokenBucket(cfg string) (*ir.Program, error) {
+	capacity := uint64(TokenBucketDefaultCapacity)
+	if cfg != "" {
+		var err error
+		capacity, err = parseUint(cfg, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := ir.NewBuilder("TokenBucket", 1, 2)
+	b.DeclareState(ir.StateDecl{Name: "tokens", KeyW: 8, ValW: 32, Default: capacity})
+	key := b.ConstU(8, 0)
+	tok := b.StateRead("tokens", key)
+	has := b.Bin(ir.Ult, b.ConstU(32, 0), tok)
+	b.If(has, func() {
+		b.StateWrite("tokens", key, b.BinC(ir.Sub, tok, 1))
+		b.Emit(0)
+	}, func() {
+		b.Emit(1)
+	})
+	return b.Build()
+}
+
+// LeakyNAT(NEWBASE) is a deliberately buggy address translator for the
+// sequence-verification demonstration: it owns a single translation
+// slot. The packet's source address is rewritten to NEWBASE plus a
+// generation number; as long as the same flow (source address) keeps
+// arriving, the generation — and thus the mapping — is stable, but a
+// packet from any other flow evicts the slot and bumps the generation,
+// so when the first flow returns it is assigned a *different* address.
+//
+// Every single packet is handled correctly (the element is crash-free
+// and each output is a well-formed rewrite), and any two packets of one
+// flow with no interleaving traffic translate consistently — the bug is
+// only observable as a three-packet sequence A, B, A, which is exactly
+// what the NATMappingStable sequence contract refutes it with
+// (DESIGN.md §8). It assumes a validated IPv4 header upstream, like
+// IPRewriter.
+func LeakyNAT(cfg string) (*ir.Program, error) {
+	base, err := parseIP4(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := ir.NewBuilder("LeakyNAT", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "owner", KeyW: 8, ValW: 32})
+	b.DeclareState(ir.StateDecl{Name: "gen", KeyW: 8, ValW: 32})
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	srcOff := b.BinC(ir.Add, hoff, 12)
+	src := b.LoadPkt(srcOff, 4)
+	slot := b.ConstU(8, 0)
+	owner := b.StateRead("owner", slot)
+	gen := b.StateRead("gen", slot)
+	// Same flow keeps its generation; anyone else evicts and bumps it.
+	isOwner := b.Bin(ir.Eq, owner, src)
+	nextGen := b.Select(isOwner, gen, b.BinC(ir.Add, gen, 1))
+	b.StateWrite("owner", slot, src)
+	b.StateWrite("gen", slot, nextGen)
+	// Rewritten source: NEWBASE plus the low byte of the generation (a
+	// 256-address pool).
+	newSrc := b.Bin(ir.Add, b.ConstU(32, uint64(base)), b.BinC(ir.And, nextGen, 0xff))
+	b.StorePkt(srcOff, newSrc, 4)
+	b.Emit(0)
+	return b.Build()
+}
+
 // IPRewriter(SNAT NEWSRC) is a simplified source-NAT: it rewrites the
 // IPv4 source address to NEWSRC, remembers the original address in its
 // mapping table (keyed by the flow hash, as a real NAT's connection

@@ -869,11 +869,23 @@ func NewSubst() *Subst {
 	return &Subst{Vars: map[string]*Expr{}, Arrs: map[string]*Array{}}
 }
 
-// BindVar adds the mapping name -> r.
-func (s *Subst) BindVar(name string, r *Expr) *Subst { s.Vars[name] = r; return s }
+// BindVar adds the mapping name -> r. Binding invalidates the Apply
+// memo: substitutions may be extended between Apply calls (sequence
+// execution binds each state read as it is resolved), and results
+// cached under the old binding set would otherwise leak through.
+func (s *Subst) BindVar(name string, r *Expr) *Subst {
+	s.Vars[name] = r
+	s.memo, s.amem = nil, nil
+	return s
+}
 
-// BindArr adds the mapping of base array name -> r.
-func (s *Subst) BindArr(name string, r *Array) *Subst { s.Arrs[name] = r; return s }
+// BindArr adds the mapping of base array name -> r (same memo
+// invalidation as BindVar).
+func (s *Subst) BindArr(name string, r *Array) *Subst {
+	s.Arrs[name] = r
+	s.memo, s.amem = nil, nil
+	return s
+}
 
 // Apply rewrites e under the substitution, rebuilding (and thus
 // re-simplifying) every affected node. Results are memoized per Subst.

@@ -1,0 +1,116 @@
+package specs
+
+// Sequence contracts (DESIGN.md §8): the multi-packet half of the spec
+// library. A verify.SeqSpec relates DIFFERENT packets of one flow of
+// traffic through the stateful elements — properties no single-packet
+// FuncSpec can state — and a verify.StateInvariant is its unbounded
+// companion, proved by k-induction. The designed counterexample here is
+// elements.LeakyNAT: correct packet by packet, correct for any two
+// same-flow packets back to back, and refuted only by a three-packet
+// witness (flow A, interloper B, flow A again) that replays on the
+// concrete dataplane.
+
+import (
+	"vsd/internal/expr"
+	"vsd/internal/verify"
+)
+
+// CounterMonotone states that a Counter instance's count never
+// decreases across a packet sequence: for consecutive steps, the value
+// after step t is at least the value after step t-1. Holds for
+// Counter(SATURATE); the plain Counter crashes before it could wrap, so
+// the property is about the saturating fix's semantics.
+func CounterMonotone(cntElem string, steps int) verify.SeqSpec {
+	key := expr.Const(8, 0)
+	store := cntElem + ".count"
+	return verify.SeqSpec{
+		Name:  "counter-monotone",
+		Steps: steps,
+		Post: func(si *verify.SeqInfo) *expr.Expr {
+			var conj []*expr.Expr
+			for t := 1; t < si.Steps(); t++ {
+				conj = append(conj, expr.Ule(
+					si.StateAfter(t-1, store, key),
+					si.StateAfter(t, store, key)))
+			}
+			if len(conj) == 0 {
+				return nil
+			}
+			return expr.And(conj...)
+		},
+	}
+}
+
+// NATMappingStable states translation stability for the NAT instance
+// natElem: whenever packets i and j of a sequence carry the same flow
+// (the source address at ipOff+12, the key our NAT elements map on) and
+// both leave the pipeline through the NAT, they must leave with the
+// SAME rewritten source address. IPRewriter satisfies it trivially;
+// elements.LeakyNAT violates it, but only once a third packet evicts
+// the mapping in between — the canonical multi-packet refutation.
+func NATMappingStable(ipOff uint64, natElem string, steps int) verify.SeqSpec {
+	return verify.SeqSpec{
+		Name:  "nat-mapping-stable",
+		Steps: steps,
+		Post: func(si *verify.SeqInfo) *expr.Expr {
+			var conj []*expr.Expr
+			for i := 0; i < si.Steps(); i++ {
+				if !si.Emitted(i) || !si.Visited(i, natElem) {
+					continue
+				}
+				for j := i + 1; j < si.Steps(); j++ {
+					if !si.Emitted(j) || !si.Visited(j, natElem) {
+						continue
+					}
+					sameFlow := expr.Eq(si.In(i, ipOff+12, 4), si.In(j, ipOff+12, 4))
+					sameMap := expr.Eq(si.Out(i, ipOff+12, 4), si.Out(j, ipOff+12, 4))
+					conj = append(conj, expr.Implies(sameFlow, sameMap))
+				}
+			}
+			if len(conj) == 0 {
+				return nil
+			}
+			return expr.And(conj...)
+		},
+	}
+}
+
+// RateLimiterBound states the burst bound of a TokenBucket instance:
+// in ANY sequence of capacity+1 packets, they cannot all pass through
+// the bucket's conforming port 0. The obligation for an all-conforming
+// sequence is False — i.e. the proof shows such sequences are
+// infeasible from boot state.
+func RateLimiterBound(capacity uint64, tbElem string) verify.SeqSpec {
+	return verify.SeqSpec{
+		Name:  "rate-limiter-bound",
+		Steps: int(capacity) + 1,
+		Post: func(si *verify.SeqInfo) *expr.Expr {
+			passed := 0
+			for t := 0; t < si.Steps(); t++ {
+				if si.Emitted(t) && si.EgressElem(t) == tbElem && si.EgressPort(t) == 0 {
+					passed++
+				}
+			}
+			if passed <= int(capacity) {
+				return nil
+			}
+			return expr.False()
+		},
+	}
+}
+
+// TokenBucketLevel is the unbounded companion of RateLimiterBound: the
+// invariant "the token count never exceeds the capacity", preserved by
+// every packet and hence — by k-induction — true for sequences of any
+// length. It is what makes the bucket's burst bound hold forever, not
+// just for the explored prefix.
+func TokenBucketLevel(tbElem string, capacity uint64) verify.StateInvariant {
+	key := expr.Const(8, 0)
+	store := tbElem + ".tokens"
+	return verify.StateInvariant{
+		Name: "token-bucket-level",
+		Pred: func(sv *verify.StateView) *expr.Expr {
+			return expr.Ule(sv.Read(store, key), expr.Const(32, capacity))
+		},
+	}
+}

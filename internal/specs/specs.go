@@ -16,6 +16,12 @@
 // Each spec states obligations only for the paths it constrains —
 // postconditions return nil for unrelated drops and egresses, so those
 // paths stay unconstrained.
+//
+// seqspecs.go is the multi-packet half (DESIGN.md §8): verify.SeqSpec
+// contracts relating different packets of one sequence (CounterMonotone,
+// NATMappingStable, RateLimiterBound) and the verify.StateInvariant
+// companions proved for unbounded sequences by k-induction
+// (TokenBucketLevel).
 package specs
 
 import (

@@ -47,4 +47,15 @@
 // every term through the expr constructors, so a summary loaded from
 // the verifier's persistent store composes exactly like one the engine
 // just produced.
+//
+// Sequence execution (seq.go, DESIGN.md §8) lifts the single-packet
+// model to packet sequences: SeqState holds an ordered symbolic write
+// log per store, ThreadState replays a path's state accesses in their
+// recorded interleaving (the Seq field on StateAccess/StateUpdate)
+// against it, and ScopeSubst renames every per-packet input into a
+// per-step namespace — so k packets through an element are k
+// substitutions over the segment set, never k re-executions. Initial
+// state is either the declared defaults (InitDefault, bounded checks
+// and induction base cases) or an arbitrary Ackermann-encoded store
+// (InitSymbolic, the induction hypothesis of verify's k-induction).
 package symbex

@@ -186,11 +186,15 @@ func (x *exec) instantiate(sum *bodySummary, parent *pathState) (*pathState, err
 		cs.meta[slot] = sub.Apply(v)
 	}
 	cs.steps = parent.steps + sum.steps
+	// Access-order numbers shift by the parent's counter so the body's
+	// read/write interleaving stays exact in the instantiated path.
+	base := parent.nAcc
 	for _, rd := range sum.reads {
 		cs.reads = append(cs.reads, StateAccess{
 			Store: rd.Store,
 			Key:   sub.Apply(rd.Key),
 			Var:   sub.Apply(rd.Var),
+			Seq:   base + rd.Seq,
 		})
 	}
 	for _, wr := range sum.writes {
@@ -198,8 +202,10 @@ func (x *exec) instantiate(sum *bodySummary, parent *pathState) (*pathState, err
 			Store: wr.Store,
 			Key:   sub.Apply(wr.Key),
 			Val:   sub.Apply(wr.Val),
+			Seq:   base + wr.Seq,
 		})
 	}
+	cs.nAcc = base + AccessSpan(sum.reads, sum.writes)
 	if sum.regs != nil {
 		for i, r := range sum.regs {
 			cs.regs[i] = sub.Apply(r)
@@ -401,6 +407,9 @@ func (x *exec) mergeStates(parent *pathState, states []*pathState) []*pathState 
 				}
 			}
 			m.writes = append(m.writes, s.writes[len(parent.writes):]...)
+			if s.nAcc > m.nAcc {
+				m.nAcc = s.nAcc
+			}
 			for store, n := range s.nRead {
 				if m.nRead == nil {
 					m.nRead = map[string]int{}

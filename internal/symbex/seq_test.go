@@ -1,0 +1,212 @@
+package symbex
+
+import (
+	"testing"
+
+	"vsd/internal/expr"
+	"vsd/internal/ir"
+	"vsd/internal/smt"
+)
+
+// buildCounter is the paper's overflow counter: read, assert below max,
+// write incremented.
+func buildCounter(t *testing.T) *ir.Program {
+	t.Helper()
+	b := ir.NewBuilder("Counter", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "count", KeyW: 8, ValW: 32})
+	key := b.ConstU(8, 0)
+	n := b.StateRead("count", key)
+	b.Assert(b.BinC(ir.Ult, n, 0xffffffff), "overflow")
+	b.StateWrite("count", key, b.BinC(ir.Add, n, 1))
+	b.Emit(0)
+	return b.MustBuild()
+}
+
+func dispositions(p *SeqPath) []ir.Disposition {
+	var out []ir.Disposition
+	for _, st := range p.Steps {
+		out = append(out, st.Seg.Disposition)
+	}
+	return out
+}
+
+// From boot state the counter cannot overflow in any short sequence:
+// state threading resolves each read to the concrete running count, so
+// the crash segment is infeasible at every step.
+func TestSeqCounterDefaultInitCannotCrash(t *testing.T) {
+	e := newEngine(Options{})
+	sum, err := e.RunSeq(buildCounter(t), DefaultInput(14, 48), 3, InitDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Paths) != 1 {
+		t.Fatalf("got %d sequence paths, want exactly the emit,emit,emit path", len(sum.Paths))
+	}
+	for _, d := range dispositions(sum.Paths[0]) {
+		if d != ir.Emitted {
+			t.Fatalf("unexpected disposition %v from boot state", d)
+		}
+	}
+}
+
+// From an arbitrary state (the induction hypothesis) the overflow IS
+// reachable: a crash at step 0 directly, and — the multi-packet case —
+// a non-crashing step followed by a crash, which needs the threaded
+// write of step 0 to flow into step 1's read.
+func TestSeqCounterSymbolicInitReachesOverflow(t *testing.T) {
+	e := newEngine(Options{})
+	sum, err := e.RunSeq(buildCounter(t), DefaultInput(14, 48), 2, InitSymbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashAt0, crashAt1, allEmit bool
+	for _, p := range sum.Paths {
+		d := dispositions(p)
+		switch {
+		case len(d) == 1 && d[0] == ir.Crashed:
+			crashAt0 = true
+		case len(d) == 2 && d[0] == ir.Emitted && d[1] == ir.Crashed:
+			crashAt1 = true
+		case len(d) == 2 && d[0] == ir.Emitted && d[1] == ir.Emitted:
+			allEmit = true
+		}
+	}
+	if !crashAt0 || !crashAt1 || !allEmit {
+		t.Fatalf("crashAt0=%v crashAt1=%v allEmit=%v, want all three reachable from arbitrary state",
+			crashAt0, crashAt1, allEmit)
+	}
+}
+
+// A read after a write on the same path must observe the written value:
+// the access-order Seq numbers carry the interleaving that the separate
+// Reads/Writes slices lose.
+func TestSeqReadAfterWriteSamePacket(t *testing.T) {
+	b := ir.NewBuilder("WriteThenRead", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "s", KeyW: 8, ValW: 32})
+	key := b.ConstU(8, 0)
+	b.StateWrite("s", key, b.ConstU(32, 7))
+	v := b.StateRead("s", key)
+	b.Assert(b.BinC(ir.Eq, v, 7), "read sees own write")
+	b.Emit(0)
+	prog := b.MustBuild()
+
+	e := newEngine(Options{})
+	sum, err := e.RunSeq(prog, DefaultInput(14, 48), 1, InitSymbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sum.Paths {
+		for _, d := range dispositions(p) {
+			if d == ir.Crashed {
+				t.Fatalf("assert refuted: read did not observe the same-packet write")
+			}
+		}
+	}
+	if len(sum.Paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(sum.Paths))
+	}
+}
+
+// Symbolic initial state must be functional: two steps reading the same
+// key (from different packets) see the same unknown value. The element
+// asserts the read is zero, so an (emit, crash) sequence needs the two
+// keys to differ — forcing them equal must be unsatisfiable.
+func TestSeqInitConsistencyAxioms(t *testing.T) {
+	b := ir.NewBuilder("KeyedReader", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "s", KeyW: 8, ValW: 32})
+	key := b.LoadPktC(0, 1)
+	v := b.StateRead("s", key)
+	b.Assert(b.BinC(ir.Eq, v, 0), "zero")
+	b.Emit(0)
+	prog := b.MustBuild()
+
+	e := newEngine(Options{})
+	sum, err := e.RunSeq(prog, DefaultInput(14, 48), 2, InitSymbolic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixed *SeqPath
+	for _, p := range sum.Paths {
+		d := dispositions(p)
+		if len(d) == 2 && d[0] == ir.Emitted && d[1] == ir.Crashed {
+			mixed = p
+		}
+	}
+	if mixed == nil {
+		t.Fatal("emit,crash sequence not found (should be feasible with distinct keys)")
+	}
+	sameKey := expr.Eq(
+		expr.Select(expr.BaseArray(SeqScope(0)+PktArrayName), expr.Const(32, 0)),
+		expr.Select(expr.BaseArray(SeqScope(1)+PktArrayName), expr.Const(32, 0)),
+	)
+	sess := smt.New(smt.Options{}).NewSession()
+	if r, _ := sess.Check(append(mixed.Conds(), sameKey)); r != smt.Unsat {
+		t.Fatalf("same-key emit,crash sequence is %v, want Unsat (consistency axiom missing?)", r)
+	}
+}
+
+// Writes to capacity-bounded stores may be dropped by a full table; the
+// symbolic model covers that with a free landed-guard, so a read-back
+// assert can fail even from boot state — while the same program over an
+// unbounded store cannot.
+func TestSeqCapacityGuardOverApproximates(t *testing.T) {
+	build := func(capacity int) *ir.Program {
+		b := ir.NewBuilder("CapWriter", 1, 1)
+		b.DeclareState(ir.StateDecl{Name: "s", KeyW: 8, ValW: 32, Capacity: capacity})
+		key := b.LoadPktC(0, 1)
+		b.StateWrite("s", key, b.ConstU(32, 1))
+		v := b.StateRead("s", key)
+		b.Assert(b.BinC(ir.Eq, v, 1), "write landed")
+		b.Emit(0)
+		return b.MustBuild()
+	}
+	crashes := func(capacity int) bool {
+		e := newEngine(Options{})
+		sum, err := e.RunSeq(build(capacity), DefaultInput(14, 48), 1, InitDefault)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range sum.Paths {
+			for _, d := range dispositions(p) {
+				if d == ir.Crashed {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if crashes(0) {
+		t.Error("unbounded store: read-back assert refuted, want proof")
+	}
+	if !crashes(1) {
+		t.Error("capacity-1 store: dropped-write case not covered by the model")
+	}
+}
+
+// Sequence scoping must rename every per-packet input, including
+// element-level metadata variables, so steps cannot alias.
+func TestSeqScopesMetadataPerStep(t *testing.T) {
+	b := ir.NewBuilder("MetaGate", 1, 1)
+	m := b.MetaLoad("gate", 8)
+	b.Assert(b.BinC(ir.Eq, m, 0), "gate closed")
+	b.Emit(0)
+	prog := b.MustBuild()
+
+	e := newEngine(Options{})
+	sum, err := e.RunSeq(prog, DefaultInput(14, 48), 2, InitDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// emit,crash requires gate_0 = 0 and gate_1 != 0: only satisfiable
+	// when the metadata input is per-step.
+	found := false
+	for _, p := range sum.Paths {
+		d := dispositions(p)
+		if len(d) == 2 && d[0] == ir.Emitted && d[1] == ir.Crashed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("emit,crash not feasible: metadata inputs are aliased across steps")
+	}
+}

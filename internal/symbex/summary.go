@@ -28,8 +28,12 @@ type Summary struct {
 }
 
 // summaryMagic versions the segment-table layout; the expr record
-// stream is versioned separately by its own tags.
-const summaryMagic = "vsdsum1\n"
+// stream is versioned separately by its own tags. v2 added the
+// access-order Seq field to state reads and writes (sequence execution
+// needs the interleaving); v1 artifacts fail the magic check and decode
+// as store misses, which re-summarizes — exactly the invalidation the
+// format change requires.
+const summaryMagic = "vsdsum2\n"
 
 // EncodeSummary serializes s into a self-contained byte stream:
 // the magic, one shared expr/array record stream, and the segment
@@ -74,12 +78,14 @@ func EncodeSummary(s *Summary) []byte {
 			str(rd.Store)
 			u(enc.AddExpr(rd.Key))
 			u(enc.AddExpr(rd.Var))
+			u(uint64(rd.Seq))
 		}
 		u(uint64(len(sg.Writes)))
 		for _, wr := range sg.Writes {
 			str(wr.Store)
 			u(enc.AddExpr(wr.Key))
 			u(enc.AddExpr(wr.Val))
+			u(uint64(wr.Seq))
 		}
 	}
 	out := append([]byte{}, summaryMagic...)
@@ -163,11 +169,11 @@ func DecodeSummary(data []byte) (s *Summary, err error) {
 		sg.Steps = int64(r.u64())
 		nReads := r.u64()
 		for j := uint64(0); j < nReads && r.err == nil; j++ {
-			sg.Reads = append(sg.Reads, StateAccess{Store: r.str(), Key: r.expr(), Var: r.expr()})
+			sg.Reads = append(sg.Reads, StateAccess{Store: r.str(), Key: r.expr(), Var: r.expr(), Seq: int(r.u64())})
 		}
 		nWrites := r.u64()
 		for j := uint64(0); j < nWrites && r.err == nil; j++ {
-			sg.Writes = append(sg.Writes, StateUpdate{Store: r.str(), Key: r.expr(), Val: r.expr()})
+			sg.Writes = append(sg.Writes, StateUpdate{Store: r.str(), Key: r.expr(), Val: r.expr(), Seq: int(r.u64())})
 		}
 		s.Segments = append(s.Segments, sg)
 	}

@@ -32,17 +32,45 @@ func MetaVar(slot string, w bv.Width) *expr.Expr {
 
 // StateAccess logs one symbolic state read: the store, the key
 // expression, and the fresh variable holding the unconstrained result.
+// Seq is the access-order position of the read among all state accesses
+// (reads and writes) of its path, counted from zero: sequence execution
+// (seq.go) replays the interleaving to decide which writes a read can
+// observe, which the two separate Reads/Writes slices alone cannot
+// express.
 type StateAccess struct {
 	Store string
 	Key   *expr.Expr
 	Var   *expr.Expr
+	Seq   int
 }
 
-// StateUpdate logs one symbolic state write.
+// StateUpdate logs one symbolic state write. Seq orders the write
+// against the path's other state accesses (see StateAccess.Seq).
 type StateUpdate struct {
 	Store string
 	Key   *expr.Expr
 	Val   *expr.Expr
+	Seq   int
+}
+
+// AccessSpan returns the number of access slots a path's read/write
+// logs occupy: one past the largest Seq. For exactly-explored paths
+// this equals len(reads)+len(writes); loop-state merging unions sibling
+// logs, where only the upper bound survives. Step-2 composition uses it
+// to renumber a segment's accesses into the composed path's order.
+func AccessSpan(reads []StateAccess, writes []StateUpdate) int {
+	n := 0
+	for _, rd := range reads {
+		if rd.Seq+1 > n {
+			n = rd.Seq + 1
+		}
+	}
+	for _, wr := range writes {
+		if wr.Seq+1 > n {
+			n = wr.Seq + 1
+		}
+	}
+	return n
 }
 
 // CrashRecord tags a crashing segment.
@@ -278,6 +306,7 @@ type pathState struct {
 	reads  []StateAccess
 	writes []StateUpdate
 	nRead  map[string]int // per-store read counter for fresh names
+	nAcc   int            // state-access counter (assigns StateAccess/StateUpdate.Seq)
 	// model is a concrete witness satisfying conds (and the global Pre),
 	// or nil when none is cached. Forks whose branch condition the
 	// witness satisfies are feasible without a solver call — the
@@ -297,6 +326,7 @@ func (s *pathState) fork() *pathState {
 		reads:  append([]StateAccess{}, s.reads...),
 		writes: append([]StateUpdate{}, s.writes...),
 		nRead:  make(map[string]int, len(s.nRead)),
+		nAcc:   s.nAcc,
 		model:  s.model,
 	}
 	for k, v := range s.meta {
@@ -540,10 +570,12 @@ func (x *exec) step(s Stmt, st *pathState) ([]*pathState, []continuation, error)
 		// model: a read may return any previously written value or the
 		// default. The verifier's bad-value analysis refines this.
 		v := expr.Var(fmt.Sprintf("%s%s.%d", StateReadPrefix, stmt.Store, n), d.ValW)
-		st.reads = append(st.reads, StateAccess{Store: stmt.Store, Key: st.regs[stmt.Key], Var: v})
+		st.reads = append(st.reads, StateAccess{Store: stmt.Store, Key: st.regs[stmt.Key], Var: v, Seq: st.nAcc})
+		st.nAcc++
 		st.regs[stmt.Dst] = v
 	case ir.StateWriteStmt:
-		st.writes = append(st.writes, StateUpdate{Store: stmt.Store, Key: st.regs[stmt.Key], Val: st.regs[stmt.Val]})
+		st.writes = append(st.writes, StateUpdate{Store: stmt.Store, Key: st.regs[stmt.Key], Val: st.regs[stmt.Val], Seq: st.nAcc})
+		st.nAcc++
 	case ir.StaticLookupStmt:
 		return x.staticLookup(stmt, st)
 	case ir.AssertStmt:

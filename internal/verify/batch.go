@@ -10,6 +10,7 @@ package verify
 
 import (
 	"encoding/hex"
+	"fmt"
 	"time"
 
 	"vsd/internal/click"
@@ -27,6 +28,33 @@ type BatchItem struct {
 	// values are closures with no comparable identity, so equal-looking
 	// lists could state different contracts.
 	Specs []FuncSpec
+	// SeqSpecs lists sequence contracts (multi-packet relations,
+	// DESIGN.md §8) checked by bounded exploration from boot state.
+	// Like Specs, they block deduplication.
+	SeqSpecs []SeqSpec
+	// Invariants lists state invariants to prove by k-induction. Like
+	// Specs, they block deduplication.
+	Invariants []StateInvariant
+}
+
+// InductionResult is the serializable per-invariant outcome of the
+// unbounded-sequence obligations attached to a verdict (DESIGN.md §8).
+type InductionResult struct {
+	// Invariant names the obligation ("crash-freedom" for the automatic
+	// unbounded crash-freedom proof over stateful pipelines).
+	Invariant string `json:"invariant"`
+	// Proved means the obligation holds for packet sequences of ANY
+	// length (k-induction closed at depth K).
+	Proved bool `json:"proved"`
+	K      int  `json:"k,omitempty"`
+	// Refuted means a concrete violating sequence from boot state
+	// exists; WitnessPackets is its length.
+	Refuted bool `json:"refuted,omitempty"`
+	// CTI means only the inductive step failed: no unbounded guarantee,
+	// but no reachable violation either (the bounded gates still stand).
+	CTI            bool   `json:"cti,omitempty"`
+	WitnessPackets int    `json:"witness_packets,omitempty"`
+	Error          string `json:"error,omitempty"`
 }
 
 // BatchWitness is a serializable property-violation witness.
@@ -63,10 +91,15 @@ type BatchVerdict struct {
 	// BoundIsUpper (loop-state merging makes it an upper bound).
 	BoundSteps   int64 `json:"bound_steps"`
 	BoundIsUpper bool  `json:"bound_is_upper,omitempty"`
-	// SpecsPassed/SpecsFailed name the verified and refuted contracts.
+	// SpecsPassed/SpecsFailed name the verified and refuted contracts
+	// (functional specs and sequence specs alike).
 	SpecsPassed []string       `json:"specs_passed,omitempty"`
 	SpecsFailed []string       `json:"specs_failed,omitempty"`
 	Witnesses   []BatchWitness `json:"witnesses,omitempty"`
+	// Induction carries the per-invariant unbounded-sequence results:
+	// the automatic crash-freedom induction for stateful pipelines plus
+	// any attached StateInvariants.
+	Induction []InductionResult `json:"induction,omitempty"`
 	// Error reports a verification failure (budget exhaustion and the
 	// like); the other fields are meaningless when set.
 	Error string `json:"error,omitempty"`
@@ -100,7 +133,7 @@ func (v *Verifier) Batch(items []BatchItem) []BatchVerdict {
 	out := make([]BatchVerdict, len(items))
 	seen := map[ir.Fingerprint]int{}
 	for i, it := range items {
-		if len(it.Specs) == 0 {
+		if len(it.Specs) == 0 && len(it.SeqSpecs) == 0 && len(it.Invariants) == 0 {
 			key := it.Pipeline.Fingerprint()
 			if j, ok := seen[key]; ok {
 				out[i] = out[j]
@@ -157,7 +190,99 @@ func (v *Verifier) admit(it BatchItem) BatchVerdict {
 			}
 		}
 	}
+	// The terminal composed paths are shared across every sequence
+	// obligation of this submission — one walk, not one per spec or
+	// invariant.
+	var seqEnds []seqEnd
+	var seqErr error
+	seqPrepared := false
+	prep := func() ([]seqEnd, error) {
+		if !seqPrepared {
+			seqPrepared = true
+			seqEnds, seqErr = v.prepareSeq(it.Pipeline)
+		}
+		return seqEnds, seqErr
+	}
+	for _, spec := range it.SeqSpecs {
+		ends, err := prep()
+		if err != nil {
+			verdict.Error = err.Error()
+			return verdict
+		}
+		rep, err := v.verifySeq(it.Pipeline, ends, spec)
+		if err != nil {
+			verdict.Error = err.Error()
+			return verdict
+		}
+		if rep.Verified {
+			verdict.SpecsPassed = append(verdict.SpecsPassed, spec.Name)
+		} else {
+			verdict.Certified = false
+			verdict.SpecsFailed = append(verdict.SpecsFailed, spec.Name)
+		}
+	}
+	// Unbounded-sequence obligations (DESIGN.md §8): stateful pipelines
+	// automatically get the crash-freedom induction; attached invariants
+	// follow. A base-case refutation is a real reachable violation and
+	// blocks certification; a CTI alone does not (the bounded gates
+	// above still hold), but the verdict records that no unbounded
+	// guarantee exists. Induction errors (budget, merged state logs) are
+	// recorded per obligation rather than failing the admission.
+	if pipelineHasState(it.Pipeline) {
+		res := inductionResult(it.Pipeline, "crash-freedom", prep, func(ends []seqEnd) (*InductionReport, error) {
+			return v.seqCrashFreedom(it.Pipeline, ends, SeqOptions{})
+		})
+		verdict.Induction = append(verdict.Induction, res)
+		if res.Refuted {
+			verdict.Certified = false
+			verdict.CrashFree = false
+		}
+	}
+	for _, inv := range it.Invariants {
+		res := inductionResult(it.Pipeline, inv.Name, prep, func(ends []seqEnd) (*InductionReport, error) {
+			return v.proveInvariant(it.Pipeline, ends, inv, SeqOptions{})
+		})
+		verdict.Induction = append(verdict.Induction, res)
+		if res.Refuted {
+			verdict.Certified = false
+		}
+	}
 	return verdict
+}
+
+// inductionResult folds one induction run into its serializable form.
+// prep supplies the submission's shared (memoized) terminal-path set.
+func inductionResult(p *click.Pipeline, name string, prep func() ([]seqEnd, error), run func([]seqEnd) (*InductionReport, error)) InductionResult {
+	res := InductionResult{Invariant: name}
+	ends, err := prep()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	rep, err := run(ends)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	// A refutation or CTI only counts if the concrete dataplane
+	// reproduces it: the landed-boolean over-approximation on
+	// capacity-bounded stores (symbex.SeqState) can in principle admit
+	// sequences no real run performs, and an unreplayable witness must
+	// surface as an error, never block (or excuse) certification.
+	if (rep.Refuted || rep.CTI) && rep.Witness != nil {
+		if err := ReplaySeq(p, rep.Witness); err != nil {
+			res.Error = fmt.Sprintf("witness did not replay on the dataplane: %v", err)
+			return res
+		}
+	}
+	res.Proved = rep.Proved
+	res.K = rep.K
+	res.Refuted = rep.Refuted
+	res.CTI = rep.CTI
+	if rep.Witness != nil {
+		res.WitnessPackets = len(rep.Witness.Packets)
+	}
+	return res
 }
 
 // Batch is the package-level convenience: a fresh Verifier configured

@@ -93,3 +93,61 @@ func TestBatchSpecGate(t *testing.T) {
 		t.Error("same pipeline must share a fingerprint across spec lists")
 	}
 }
+
+func TestBatchInductionResults(t *testing.T) {
+	items := []BatchItem{
+		{Name: "sat.click", Pipeline: parsePipeline(t, `
+			src :: InfiniteSource;
+			cnt :: Counter(SATURATE);
+			src -> cnt -> Discard;`)},
+		{Name: "overflow.click", Pipeline: parsePipeline(t, `
+			src :: InfiniteSource;
+			cnt :: Counter;
+			src -> cnt -> Discard;`)},
+		{Name: "bucket.click", Pipeline: parsePipeline(t, `
+			src :: InfiniteSource;
+			tb :: TokenBucket(2);
+			src -> tb; tb[1] -> Discard;`),
+			Invariants: []StateInvariant{{
+				Name: "token-level-bound",
+				Pred: func(sv *StateView) *expr.Expr {
+					return expr.Ule(sv.Read("tb.tokens", expr.Const(8, 0)), expr.Const(32, 2))
+				},
+			}},
+		},
+	}
+	verdicts, _, _ := Batch(items, Options{MinLen: packet.MinFrame, MaxLen: 48})
+	sat, overflow, bucket := verdicts[0], verdicts[1], verdicts[2]
+
+	// Saturating counter: certified, and the verdict carries the
+	// UNBOUNDED crash-freedom proof the single-packet gate cannot give.
+	if !sat.Certified || len(sat.Induction) != 1 {
+		t.Fatalf("sat: %+v", sat)
+	}
+	if got := sat.Induction[0]; got.Invariant != "crash-freedom" || !got.Proved || got.K != 1 {
+		t.Errorf("sat induction: %+v", got)
+	}
+
+	// Plain counter: rejected by the single-packet gate already, and the
+	// induction result records the CTI evidence.
+	if overflow.Certified || overflow.CrashFree {
+		t.Fatalf("overflow: %+v", overflow)
+	}
+	if got := overflow.Induction[0]; got.Proved || !got.CTI || got.WitnessPackets < 2 {
+		t.Errorf("overflow induction: %+v", got)
+	}
+
+	// Attached invariant: proved, listed per invariant.
+	if !bucket.Certified || len(bucket.Induction) != 2 {
+		t.Fatalf("bucket: %+v", bucket)
+	}
+	if got := bucket.Induction[1]; got.Invariant != "token-level-bound" || !got.Proved {
+		t.Errorf("bucket invariant: %+v", got)
+	}
+	// Invariant-carrying items must not be deduplicated against each
+	// other (closures have no identity); spec-free identical items are.
+	again, _, _ := Batch([]BatchItem{items[2], items[2]}, Options{MinLen: packet.MinFrame, MaxLen: 48})
+	if again[1].DuplicateOf != "" {
+		t.Errorf("invariant-carrying item deduplicated: %+v", again[1])
+	}
+}

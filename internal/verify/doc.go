@@ -69,6 +69,33 @@
 // fingerprint, one deterministic serializable verdict per submission.
 // cmd/vsdverify -batch and the cmd/vsdserve daemon are its CLIs.
 //
+// # Multi-packet state verification
+//
+// Everything above asks single-packet questions; induction.go asks
+// sequence questions (DESIGN.md §8). The terminal composed paths
+// become a per-packet transition relation: symbex.SeqState threads
+// packet i's state writes into packet i+1's reads, so properties can
+// relate DIFFERENT packets of one traffic stream. Three entry points:
+//
+//   - SeqCrashFreedom / ProveInvariant — crash freedom or a declared
+//     StateInvariant proved for packet sequences of UNBOUNDED length by
+//     k-induction: a base case from the declared boot state, an
+//     inductive step from an arbitrary (Ackermann-encoded) state. A
+//     base-case failure is a real violation; a step-only failure is a
+//     counterexample to induction (CTI), concrete enough to replay.
+//   - SeqCrashBounded — the unrolling baseline (exhaustive sequences up
+//     to a depth), which the S1 experiment contrasts with induction.
+//   - VerifySeq — declarative SeqSpec sequence contracts (the
+//     multi-packet analogue of FuncSpec): postconditions over a whole
+//     explored sequence's inputs, outputs, and state. The library lives
+//     in internal/specs (seqspecs.go).
+//
+// Refutations are MultiWitness values — ordered concrete packets plus,
+// for CTIs, the seeded state — and ReplaySeq reproduces them on the
+// concrete dataplane byte for byte. Batch admission runs the
+// crash-freedom induction automatically for stateful submissions and
+// records per-invariant InductionResults in the verdict.
+//
 // The package also provides the monolithic baseline (symbolic execution
 // of the whole inlined pipeline, the paper's >12-hour comparison point,
 // monolithic.go).

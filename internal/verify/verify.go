@@ -68,7 +68,14 @@ type Stats struct {
 	// read more state values than Options.MaxRefinedReads allows the
 	// bad-value search to enumerate.
 	RefinementTruncated int
-	SymbexStats         symbex.Stats
+	// Sequence-verification counters (induction.go, DESIGN.md §8).
+	SeqSequences     int // feasible multi-packet sequences explored
+	SeqInfeasible    int // sequence extensions discharged as infeasible
+	InductionDepth   int // deepest k-induction step attempted
+	InductionProved  int // obligations proved for unbounded sequences
+	InductionRefuted int // induction obligations refuted by a reachable sequence
+	SeqSpecRefuted   int // bounded sequence specs/explorations refuted
+	SymbexStats      symbex.Stats
 	// Solver carries the shared solver's counters, including the
 	// incremental-session ones (assumption solves, reused clauses).
 	Solver smt.Stats
@@ -373,9 +380,11 @@ type composed struct {
 	meta  map[string]*expr.Expr
 	steps int64
 	// reads and writes accumulate state accesses with globally unique
-	// variable names and instance-qualified store names.
+	// variable names and instance-qualified store names; nAcc renumbers
+	// each stitched segment's access order into the composed path.
 	reads  []symbex.StateAccess
 	writes []symbex.StateUpdate
+	nAcc   int
 	model  *expr.Assignment // cached witness, nil if unknown
 }
 
@@ -390,6 +399,7 @@ func (c *composed) fork() *composed {
 		reads: append([]symbex.StateAccess{}, c.reads...),
 		writes: append([]symbex.StateUpdate{},
 			c.writes...),
+		nAcc:  c.nAcc,
 		model: c.model,
 	}
 	for k, val := range c.meta {
@@ -464,6 +474,7 @@ func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbe
 			Store: inst + "." + rd.Store,
 			Key:   sub.Apply(rd.Key),
 			Var:   sub.Apply(rd.Var),
+			Seq:   st.nAcc + rd.Seq,
 		})
 	}
 	for _, wr := range seg.Writes {
@@ -471,8 +482,10 @@ func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbe
 			Store: inst + "." + wr.Store,
 			Key:   sub.Apply(wr.Key),
 			Val:   sub.Apply(wr.Val),
+			Seq:   st.nAcc + wr.Seq,
 		})
 	}
+	out.nAcc = st.nAcc + symbex.AccessSpan(seg.Reads, seg.Writes)
 	return out, nil
 }
 
