@@ -2,9 +2,10 @@ GO ?= go
 
 .PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke
 
-# tier1 is the repo's gate: everything must build and every test pass.
+# tier1 is the repo's gate: everything must build, vet clean, and every
+# test pass.
 tier1:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,6 @@ seq-smoke:
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT
 # for the next snapshot.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 bench-json:
 	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

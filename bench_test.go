@@ -72,7 +72,7 @@ func BenchmarkF2ToyPipeline(b *testing.B) {
 // consists of these elements will not crash for any input").
 func BenchmarkE1CrashFreedomIPRouter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E1CrashFreedom(benchMaxLen, 0)
+		rows, err := experiments.E1CrashFreedom(benchMaxLen, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -36,13 +37,26 @@ type benchRecord struct {
 }
 
 // benchCtx carries the flag values and output sinks one experiment run
-// needs: printf is silenced under -json, record collects BENCH rows.
+// needs: printf is silenced under -json, record collects BENCH rows,
+// keep is the -bench cell filter over full cell names ("e1/full-router").
 type benchCtx struct {
 	maxLen   uint64
 	parallel int
 	storeDir string
 	printf   func(format string, args ...any)
 	record   func(benchRecord)
+	keep     func(cell string) bool
+}
+
+// keepCell curries the -bench filter for one experiment's cells: the
+// experiments package sees bare cell names, the regexp sees the full
+// "<experiment>/<cell>" benchmark name. Returns nil (run everything)
+// when no filter is set, so experiments skip the indirection.
+func (ctx *benchCtx) keepCell(exp string) func(string) bool {
+	if ctx.keep == nil {
+		return nil
+	}
+	return func(cell string) bool { return ctx.keep(exp + "/" + cell) }
 }
 
 // experiment is one registry row: adding an experiment here is the
@@ -101,6 +115,17 @@ func solverMetrics(m map[string]float64, st smt.Stats) {
 	m["assum-levels"] = float64(st.AssumLevels)
 	m["decisions"] = float64(st.Decisions)
 	m["restarts"] = float64(st.Restarts)
+	// PR-6 performance layer: CNF preprocessing, the portfolio race, and
+	// glue-filtered learnt-clause sharing.
+	m["preprocess-runs"] = float64(st.PreprocessRuns)
+	m["vars-eliminated"] = float64(st.VarsEliminated)
+	m["clauses-subsumed"] = float64(st.ClausesSubsumed)
+	m["lits-strengthened"] = float64(st.LitsStrengthened)
+	m["clauses-published"] = float64(st.ClausesPublished)
+	m["clauses-imported"] = float64(st.ClausesImported)
+	m["portfolio-races"] = float64(st.PortfolioRaces)
+	m["portfolio-wins"] = float64(st.PortfolioWins)
+	m["unknowns"] = float64(st.Unknowns)
 }
 
 func main() {
@@ -110,7 +135,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	storeDir := flag.String("store", "", "summary store directory for b1 (empty = fresh temp dir)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array of benchmark records")
+	benchFlag := flag.String("bench", "", "regexp over benchmark cell names (e.g. e1/full-router); only matching cells run")
 	flag.Parse()
+
+	var benchRE *regexp.Regexp
+	if *benchFlag != "" {
+		re, err := regexp.Compile(*benchFlag)
+		if err != nil {
+			fatal(fmt.Errorf("bad -bench regexp: %w", err))
+		}
+		benchRE = re
+	}
 
 	if *experimentFlag == "list" {
 		for _, e := range experimentTable {
@@ -140,7 +175,16 @@ func main() {
 				fmt.Printf(format, args...)
 			}
 		},
-		record: func(r benchRecord) { records = append(records, r) },
+		record: func(r benchRecord) {
+			// Defense in depth for experiments without cell plumbing: a
+			// filtered-out cell that ran anyway still stays out of the JSON.
+			if benchRE == nil || benchRE.MatchString(r.Name) {
+				records = append(records, r)
+			}
+		},
+	}
+	if benchRE != nil {
+		ctx.keep = benchRE.MatchString
 	}
 	for _, e := range selected {
 		ctx.printf("== %s: %s ==\n", strings.ToUpper(e.name), e.title)
@@ -161,7 +205,7 @@ func main() {
 
 func runE1(ctx *benchCtx) error {
 	ctx.printf("paper: \"any pipeline that consists of these elements will not crash for any input\"\n")
-	rows, err := experiments.E1CrashFreedom(ctx.maxLen, ctx.parallel)
+	rows, err := experiments.E1CrashFreedom(ctx.maxLen, ctx.parallel, ctx.keepCell("e1"))
 	if err != nil {
 		return err
 	}
@@ -269,7 +313,7 @@ func runA1(ctx *benchCtx) error {
 
 func runA2(ctx *benchCtx) error {
 	ctx.printf("paper: unrolled \"millions of segments ... months\"; decomposed: minutes\n")
-	rows, err := experiments.A2LoopDecomposition([]uint64{40, ctx.maxLen}, 1<<9)
+	rows, err := experiments.A2LoopDecomposition([]uint64{40, ctx.maxLen}, 1<<9, ctx.keepCell("a2"))
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,7 @@ import (
 	"vsd/internal/click"
 	"vsd/internal/elements"
 	"vsd/internal/packet"
+	"vsd/internal/smt"
 	"vsd/internal/verify"
 )
 
@@ -182,9 +183,14 @@ func main() {
 	parallel := flag.Int("parallel", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	baseline := flag.String("baseline", "", "operator baseline pipeline for the latency-delta report")
 	smoke := flag.String("smoke", "", "self-test: serve on an ephemeral port, submit every .click file in this directory, exit")
+	solverTimeout := flag.Duration("solver-timeout", 0, "per-obligation wall budget (0 = none); exceeded obligations report unresolved, never a verdict")
 	flag.Parse()
 
-	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel}
+	// A long-lived admission service opts into the process-wide clause
+	// exchange: learnt clauses from one submission accelerate the next
+	// when their element programs blast to the same CNF.
+	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel,
+		SolverTimeout: *solverTimeout, SolverExchange: smt.SharedExchange()}
 	s := &server{}
 	if *storeDir != "" {
 		store, err := verify.NewDiskStore(*storeDir)

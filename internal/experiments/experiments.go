@@ -83,8 +83,11 @@ type E1Row struct {
 // E1CrashFreedom verifies crash freedom for pipelines assembled from the
 // IP-router element set, reproducing "any pipeline that consists of
 // these elements will not crash for any input". Prefixes of the full
-// pipeline stand in for "pipelines that combine elements".
-func E1CrashFreedom(maxLen uint64, parallelism int) ([]E1Row, error) {
+// pipeline stand in for "pipelines that combine elements". keep, when
+// non-nil, selects which pipeline cells run (by cell name, e.g.
+// "full-router") — the vsdbench -bench filter, so one cell can be
+// re-measured without paying for the whole table.
+func E1CrashFreedom(maxLen uint64, parallelism int, keep func(cell string) bool) ([]E1Row, error) {
 	configs := []struct{ name, src string }{
 		{"classifier-only", `
 			src :: InfiniteSource;
@@ -114,6 +117,9 @@ func E1CrashFreedom(maxLen uint64, parallelism int) ([]E1Row, error) {
 	}
 	var rows []E1Row
 	for _, c := range configs {
+		if keep != nil && !keep(c.name) {
+			continue
+		}
 		p := MustParse(c.src)
 		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
 		start := time.Now()
@@ -603,10 +609,22 @@ type A2Row struct {
 	Aborted  bool
 }
 
+// a2SolverOptions enables the SAT performance layer (CNF preprocessing,
+// the portfolio race, glue-filtered clause sharing) for the standalone
+// loop-decomposition engine, mirroring the verifier's solver defaults.
+func a2SolverOptions() smt.Options {
+	return smt.Options{
+		Preprocess: true,
+		Portfolio:  verify.DefaultPortfolio,
+		Exchange:   smt.NewClauseExchange(0, 0),
+	}
+}
+
 // A2LoopDecomposition reproduces the loop story: unrolling explodes
 // ("millions of segments ... months"), mini-element summarization with
-// merging stays flat.
-func A2LoopDecomposition(maxLens []uint64, unrollBudget int) ([]A2Row, error) {
+// merging stays flat. keep, when non-nil, selects which cells run (by
+// cell name, e.g. "unroll/maxlen=48").
+func A2LoopDecomposition(maxLens []uint64, unrollBudget int, keep func(cell string) bool) ([]A2Row, error) {
 	prog, err := elements.IPOptions("")
 	if err != nil {
 		return nil, err
@@ -617,7 +635,10 @@ func A2LoopDecomposition(maxLens []uint64, unrollBudget int) ([]A2Row, error) {
 			name string
 			m    symbex.LoopMode
 		}{{"merge", symbex.LoopMerge}, {"unroll", symbex.LoopUnroll}} {
-			eng := symbex.New(smt.New(smt.Options{}), symbex.Options{
+			if keep != nil && !keep(fmt.Sprintf("%s/maxlen=%d", mode.name, ml)) {
+				continue
+			}
+			eng := symbex.New(smt.New(a2SolverOptions()), symbex.Options{
 				LoopMode:    mode.m,
 				MaxSegments: unrollBudget,
 			})

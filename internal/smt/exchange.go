@@ -1,0 +1,214 @@
+package smt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ClauseExchange shares low-glue learnt clauses between solver instances
+// whose problem CNFs are bit-identical. It is the safe successor to the
+// reverted cross-query trail-reuse experiment (PR 2): instead of reusing
+// search *state* (whose stale decision prefixes blocked fresh learnt
+// clauses from strengthening propagation), it shares only *implied
+// clauses*, and only between solvers that provably talk about the same
+// CNF:
+//
+//   - Fingerprint scoping. Pools are keyed by the construction
+//     fingerprint (an order-sensitive hash of every NewVar/AddClause
+//     event, rewritten after preprocessing). Sessions blast
+//     deterministically, so workers verifying the same element sequence
+//     reach identical fingerprints — and a clause learnt during a solve
+//     is implied by the solve-start CNF, hence sound in any solver with
+//     that exact fingerprint. Solvers with different fingerprints can
+//     never exchange a single literal.
+//
+//   - Glue filtering. Only clauses recorded with LBD <= maxGlue are
+//     published. Low-glue clauses link few decision blocks and stay
+//     useful across searches (Audemard & Simon); everything else is
+//     noise that would bloat importers' databases.
+//
+// Pools are append-only with content dedup, so importers track a cursor
+// per fingerprint and receive each clause once. All methods are safe for
+// concurrent use by the verifier's parallel walkers.
+type ClauseExchange struct {
+	maxGlue int32
+	maxPool int // per-pool clause cap
+
+	mu    sync.Mutex
+	pools map[uint64]*exchangePool
+
+	// nextID hands out publisher identities so a solver never re-imports
+	// its own publications.
+	nextID atomic.Uint32
+}
+
+// poolClause is one shared clause plus the identity of its publisher.
+type poolClause struct {
+	lits  []Lit // immutable once stored
+	owner uint32
+}
+
+type exchangePool struct {
+	mu      sync.Mutex
+	clauses []poolClause // append-only
+	seen    map[uint64]struct{}
+}
+
+// Exchange defaults: glue cap (a notch above the LowGlue counter's <=2 so
+// ternary-block clauses still travel), per-pool cap, and a pool-count cap
+// that bounds process-wide memory (distinct fingerprints beyond it are
+// simply not shared).
+const (
+	DefaultExchangeGlue = 3
+	defaultExchangePool = 1 << 13
+	maxExchangePools    = 1 << 10
+)
+
+// NewClauseExchange returns an exchange publishing clauses with LBD <=
+// maxGlue, at most maxPool per fingerprint (0 picks the defaults).
+func NewClauseExchange(maxGlue int32, maxPool int) *ClauseExchange {
+	if maxGlue <= 0 {
+		maxGlue = DefaultExchangeGlue
+	}
+	if maxPool <= 0 {
+		maxPool = defaultExchangePool
+	}
+	return &ClauseExchange{maxGlue: maxGlue, maxPool: maxPool, pools: map[uint64]*exchangePool{}}
+}
+
+// sharedExchange is the process-wide exchange: every verifier in the
+// process publishes into it, so sequential bench cells (and the
+// monolithic baseline's engine, when enabled) reuse each other's work
+// whenever their CNF construction traces coincide.
+var (
+	sharedExchange     *ClauseExchange
+	sharedExchangeOnce sync.Once
+)
+
+// SharedExchange returns the process-wide clause exchange.
+func SharedExchange() *ClauseExchange {
+	sharedExchangeOnce.Do(func() { sharedExchange = NewClauseExchange(0, 0) })
+	return sharedExchange
+}
+
+// MaxGlue returns the publication LBD cap.
+func (e *ClauseExchange) MaxGlue() int32 { return e.maxGlue }
+
+func (e *ClauseExchange) pool(fp uint64, create bool) *exchangePool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.pools[fp]
+	if p == nil && create && len(e.pools) < maxExchangePools {
+		p = &exchangePool{seen: map[uint64]struct{}{}}
+		e.pools[fp] = p
+	}
+	return p
+}
+
+// clauseKey hashes a clause order-insensitively (commutative mix of
+// per-literal hashes) for dedup. Collisions only suppress sharing a
+// clause, never break soundness.
+func clauseKey(lits []Lit) uint64 {
+	var sum, xor uint64
+	for _, l := range lits {
+		h := (uint64(uint32(l)) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+		sum += h
+		xor ^= h
+	}
+	return sum ^ (xor * fpPrime) ^ uint64(len(lits))<<56
+}
+
+// Publish offers a learnt clause (glue = its recording LBD) to the pool
+// of fingerprint fp on behalf of publisher owner. The slice is copied.
+// Reports whether the clause was actually stored (fresh, under the glue
+// and pool caps).
+func (e *ClauseExchange) Publish(fp uint64, lits []Lit, glue int32, owner uint32) bool {
+	if glue > e.maxGlue || len(lits) == 0 {
+		return false
+	}
+	p := e.pool(fp, true)
+	if p == nil {
+		return false
+	}
+	key := clauseKey(lits)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.clauses) >= e.maxPool {
+		return false
+	}
+	if _, dup := p.seen[key]; dup {
+		return false
+	}
+	p.seen[key] = struct{}{}
+	p.clauses = append(p.clauses, poolClause{lits: append([]Lit(nil), lits...), owner: owner})
+	return true
+}
+
+// ImportSince returns the pool clauses published after cursor (the value
+// a previous call returned; start at 0) by publishers other than owner,
+// plus the new cursor. The returned slices are shared and immutable —
+// callers must copy before mutating (SatSolver.ImportLearnt does).
+func (e *ClauseExchange) ImportSince(fp uint64, cursor int, owner uint32) ([][]Lit, int) {
+	p := e.pool(fp, false)
+	if p == nil {
+		return nil, cursor
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cursor >= len(p.clauses) {
+		return nil, cursor
+	}
+	var out [][]Lit
+	for _, pc := range p.clauses[cursor:] {
+		if pc.owner != owner {
+			out = append(out, pc.lits)
+		}
+	}
+	return out, len(p.clauses)
+}
+
+// PoolSize reports how many clauses fingerprint fp's pool holds.
+func (e *ClauseExchange) PoolSize(fp uint64) int {
+	p := e.pool(fp, false)
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.clauses)
+}
+
+// attachExchange wires a solver to the exchange for one Solve: learnt
+// clauses under the glue cap are published as they are recorded, and
+// fresh pool clauses are imported now and at every restart boundary.
+// cursors maps fingerprint -> import cursor and persists across solves
+// (the session owns it). The returned detach func must run when the
+// solve finishes; the fingerprint is pinned at attach time because the
+// problem CNF cannot change during a Solve.
+func (e *ClauseExchange) attach(s *SatSolver, cursors map[uint64]int) (detach func()) {
+	if s.exchID == 0 {
+		s.exchID = e.nextID.Add(1)
+	}
+	fp := s.Fingerprint()
+	importNew := func() {
+		cls, next := e.ImportSince(fp, cursors[fp], s.exchID)
+		for _, cl := range cls {
+			if !s.ImportLearnt(cl) {
+				break
+			}
+		}
+		cursors[fp] = next
+	}
+	importNew()
+	s.onLearnt = func(lits []Lit, lbd int32) {
+		if e.Publish(fp, lits, lbd, s.exchID) {
+			s.cnt.ClausesPublished++
+		}
+	}
+	s.onRestart = importNew
+	return func() {
+		s.onLearnt = nil
+		s.onRestart = nil
+	}
+}

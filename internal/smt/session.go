@@ -44,6 +44,9 @@ type IncrementalSession struct {
 	// extraction runs per Sat verdict over the whole (mostly unchanged)
 	// atom set, and re-walking the DAGs dominated profiles.
 	varsMemo map[*expr.Expr][]*expr.Expr
+	// exchCursors tracks, per CNF fingerprint, how far into the clause
+	// exchange's pool this session has imported.
+	exchCursors map[uint64]int
 }
 
 // sessionMaxGuards bounds a session's guarded-atom count before its SAT
@@ -77,6 +80,7 @@ func (sess *IncrementalSession) recycle() {
 	sess.selVars = sess.selVars[:0]
 	sess.rwMemo = map[*expr.Expr]*expr.Expr{}
 	sess.varsMemo = map[*expr.Expr][]*expr.Expr{}
+	sess.exchCursors = map[uint64]int{}
 }
 
 // rewriteSelects rewrites an expression replacing every select node by
@@ -181,7 +185,15 @@ func (sess *IncrementalSession) Check(constraints []*expr.Expr) (Result, *expr.A
 	for i, a := range pq.atoms {
 		assumptions[i] = sess.guardFor(a)
 	}
-	verdict := sess.bl.sat.Solve(assumptions...)
+	// In-session preprocessing runs without BVE: subsumption and
+	// strengthening preserve equivalence, so the blaster's structural
+	// caches and the accumulated learnts stay valid. (Measured: BVE here
+	// forces cache invalidation, which re-blasts shared structure and
+	// grows the CNF ~35%, an order-of-magnitude search regression.)
+	if s.Opts.Preprocess && sess.bl.sat.NeedPreprocess() {
+		sess.bl.sat.Preprocess(nil, false)
+	}
+	verdict := s.satSolve(sess.bl.sat, sess.exchCursors, assumptions...)
 	sess.lastCnts = s.foldBlasterCounters(sess.bl, sess.lastCnts)
 	switch verdict {
 	case SatUnsat:

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsd/internal/expr"
 )
@@ -40,6 +41,25 @@ type Options struct {
 	DisableEqSubst bool
 	// MaxConflicts bounds each SAT search; 0 means the default budget.
 	MaxConflicts int64
+	// QueryTimeout bounds each SAT search's wall time; 0 means none. An
+	// exhausted deadline yields Unknown, never a false verdict.
+	QueryTimeout time.Duration
+	// Preprocess enables SatELite-style CNF preprocessing (bounded
+	// variable elimination, subsumption, self-subsumption) before the
+	// first SAT search of each instance, re-run when the CNF has grown
+	// enough since the last pass.
+	Preprocess bool
+	// Portfolio, when >= 2, races that many diversified solver clones on
+	// any obligation whose first solve exceeds PortfolioAfter conflicts;
+	// the first decisive clone cancels the rest.
+	Portfolio int
+	// PortfolioAfter is the first-solve conflict budget that triggers a
+	// portfolio race; 0 picks DefaultPortfolioAfter.
+	PortfolioAfter int64
+	// Exchange, when non-nil, shares low-glue learnt clauses between
+	// solver instances whose CNF fingerprints coincide (publish at
+	// recording, import at restart boundaries).
+	Exchange *ClauseExchange
 }
 
 // DefaultMaxConflicts bounds a single SAT search unless overridden.
@@ -85,6 +105,16 @@ type Stats struct {
 	AssumLevels   int64 // assumption literals passed to SAT solves, summed
 	Decisions     int64 // decisions made by the SAT core
 	Restarts      int64 // Luby restarts performed
+	// Preprocessing, portfolio, and clause-exchange counters.
+	PreprocessRuns   int64 // CNF preprocessing passes executed
+	VarsEliminated   int64 // variables removed by bounded variable elimination
+	ClausesSubsumed  int64 // clauses deleted by backward subsumption
+	LitsStrengthened int64 // literals removed by self-subsumption strengthening
+	ClausesPublished int64 // low-glue learnt clauses published to the exchange
+	ClausesImported  int64 // foreign learnt clauses imported from the exchange
+	PortfolioRaces   int64 // obligations escalated to a portfolio race
+	PortfolioWins    int64 // races some clone decided (the rest hit the budget)
+	Unknowns         int64 // SAT searches ending Unknown (budget/deadline/cancel)
 }
 
 // Solver decides satisfiability of conjunctions of 1-bit bitvector
@@ -104,6 +134,8 @@ type Solver struct {
 		eqRewritten, eqUnsat, gateHits, cnfVars, cnfClauses          atomic.Int64
 		minimizedLits, learntLits, learnts, glueSum, lowGlue         atomic.Int64
 		binaryProps, propagations, decisions, restarts, assumLevels  atomic.Int64
+		preRuns, varsElim, subsumed, strengthened                    atomic.Int64
+		published, imported, races, raceWins, unknowns               atomic.Int64
 	}
 	mu    sync.Mutex
 	cache map[uint64][]cacheEntry
@@ -202,6 +234,15 @@ func (s *Solver) Stats() Stats {
 		AssumLevels:      s.stats.assumLevels.Load(),
 		Decisions:        s.stats.decisions.Load(),
 		Restarts:         s.stats.restarts.Load(),
+		PreprocessRuns:   s.stats.preRuns.Load(),
+		VarsEliminated:   s.stats.varsElim.Load(),
+		ClausesSubsumed:  s.stats.subsumed.Load(),
+		LitsStrengthened: s.stats.strengthened.Load(),
+		ClausesPublished: s.stats.published.Load(),
+		ClausesImported:  s.stats.imported.Load(),
+		PortfolioRaces:   s.stats.races.Load(),
+		PortfolioWins:    s.stats.raceWins.Load(),
+		Unknowns:         s.stats.unknowns.Load(),
 	}
 }
 
@@ -237,7 +278,82 @@ func (s *Solver) foldBlasterCounters(b *blaster, prev blasterCounters) blasterCo
 	s.stats.cnfVars.Add(cur.vars - prev.vars)
 	s.stats.cnfClauses.Add(cur.sat.ClausesAdded - prev.sat.ClausesAdded)
 	s.stats.gateHits.Add(cur.gateHits - prev.gateHits)
+	s.stats.preRuns.Add(cur.sat.PreprocessRuns - prev.sat.PreprocessRuns)
+	s.stats.varsElim.Add(cur.sat.VarsEliminated - prev.sat.VarsEliminated)
+	s.stats.subsumed.Add(cur.sat.ClausesSubsumed - prev.sat.ClausesSubsumed)
+	s.stats.strengthened.Add(cur.sat.LitsStrengthened - prev.sat.LitsStrengthened)
+	s.stats.published.Add(cur.sat.ClausesPublished - prev.sat.ClausesPublished)
+	s.stats.imported.Add(cur.sat.ClausesImported - prev.sat.ClausesImported)
 	return cur
+}
+
+// preprocessIfDue runs CNF preprocessing on the blaster's SAT instance
+// when enabled and the CNF has grown enough to repay a pass. The
+// blaster's structural caches are dropped first: they could otherwise
+// hand future blasting a literal over an eliminated variable. frozen
+// marks the externally visible variables; the blaster's own (constant,
+// named bits) are always added.
+func (s *Solver) preprocessIfDue(b *blaster, frozen []bool) {
+	if !s.Opts.Preprocess || !b.sat.NeedPreprocess() {
+		return
+	}
+	b.dropStructuralCaches()
+	b.sat.Preprocess(b.frozenVars(frozen), true)
+}
+
+// satSolve runs one SAT search under the configured budgets: the
+// conflict cap and wall deadline from Options, the clause exchange when
+// one is configured (cursors is the caller's per-fingerprint import
+// state), and — when the first bounded attempt comes back Unknown with
+// budget to spare — a portfolio race of diversified clones whose winner
+// is merged back into sat. The verdict is exact (Sat/Unsat) or Unknown;
+// budget exhaustion never fabricates a verdict.
+func (s *Solver) satSolve(sat *SatSolver, cursors map[uint64]int, assumptions ...Lit) SatResult {
+	budget := s.Opts.maxConflicts()
+	sat.Deadline = time.Time{}
+	if s.Opts.QueryTimeout > 0 {
+		sat.Deadline = time.Now().Add(s.Opts.QueryTimeout)
+	}
+	racing := s.Opts.Portfolio >= 2
+	first := budget
+	if racing {
+		after := s.Opts.PortfolioAfter
+		if after <= 0 {
+			after = DefaultPortfolioAfter
+		}
+		if budget <= 0 || after < budget {
+			first = after
+		}
+	}
+	var detach func()
+	if s.Opts.Exchange != nil {
+		detach = s.Opts.Exchange.attach(sat, cursors)
+	}
+	sat.MaxConflicts = first
+	verdict := sat.Solve(assumptions...)
+	if detach != nil {
+		detach()
+	}
+	if verdict == SatUnknown && racing {
+		remaining := int64(-1) // unbounded
+		if budget > 0 {
+			remaining = budget - first
+		}
+		expired := s.Opts.QueryTimeout > 0 && !time.Now().Before(sat.Deadline)
+		if (budget <= 0 || remaining > 0) && !expired {
+			s.stats.races.Add(1)
+			raced, winner := racePortfolio(sat, assumptions, s.Opts.Portfolio, remaining, sat.Deadline, s.Opts.Exchange)
+			if winner != nil {
+				s.stats.raceWins.Add(1)
+				sat.adoptRaceResult(winner, raced)
+			}
+			verdict = raced
+		}
+	}
+	if verdict == SatUnknown {
+		s.stats.unknowns.Add(1)
+	}
+	return verdict
 }
 
 // preQuery is the outcome of preSolve for an undecided query: the atom
@@ -321,11 +437,11 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	s.stats.satCalls.Add(1)
 	b := newBlaster()
 	defer b.release()
-	b.sat.MaxConflicts = s.Opts.maxConflicts()
 	for _, a := range atoms {
 		b.assertTrue(a)
 	}
-	verdict := b.sat.Solve()
+	s.preprocessIfDue(b, nil)
+	verdict := s.satSolve(b.sat, map[uint64]int{})
 	s.foldBlasterCounters(b, blasterCounters{})
 	switch verdict {
 	case SatUnsat:

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 
 	"vsd/internal/click"
@@ -161,6 +162,9 @@ type FuncReport struct {
 	Trivial int
 	// Discharged counts crash paths ruled out by the bad-value analysis.
 	Discharged int
+	// Unresolved counts obligations the solver budget left undecided;
+	// they block Verified.
+	Unresolved int
 	// Witnesses lists violations: concrete input packets together with
 	// the concrete output packet the pipeline produces for them.
 	Witnesses []Witness
@@ -211,12 +215,22 @@ func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, er
 			return nil
 		}
 		rep.Obligations++
-		violated, m := v.feasibleRoot(end.state, []*expr.Expr{expr.Not(post)}, spec.Pre)
+		violated, m, unknown := v.feasibleRoot(end.state, []*expr.Expr{expr.Not(post)}, spec.Pre)
 		if !violated {
 			rep.Proved++
 			return nil
 		}
+		if unknown {
+			rep.Unresolved++
+			rep.Verified = false
+			return nil
+		}
 		w, err := v.specWitness(p, end.state, m, spec.Pre, expr.Not(post))
+		if errors.Is(err, errUnresolved) {
+			rep.Unresolved++
+			rep.Verified = false
+			return nil
+		}
 		if err != nil {
 			return err
 		}

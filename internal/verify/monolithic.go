@@ -41,7 +41,7 @@ func Monolithic(p *click.Pipeline, opts Options) (*MonolithicReport, error) {
 	}
 	sopts := opts.Symbex
 	sopts.LoopMode = symbex.LoopUnroll // "without ... any of the presented ideas"
-	engine := symbex.New(smt.New(smt.Options{}), sopts)
+	engine := symbex.New(smt.New(opts.solverOptions()), sopts)
 	// Pipeline ingress semantics match the compositional verifier:
 	// metadata annotations start zeroed.
 	input := symbex.DefaultInput(opts.MinLen, opts.MaxLen)

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -23,6 +24,11 @@ type Witness struct {
 	Detail string
 }
 
+// errUnresolved marks an obligation the solver could neither prove nor
+// refute within its conflict/deadline budget. Property drivers convert
+// it into an Unresolved count — never into a verdict.
+var errUnresolved = errors.New("verify: obligation unresolved within solver budget")
+
 // CrashReport is the outcome of the crash-freedom property.
 type CrashReport struct {
 	// Verified is true when no packet can crash the pipeline.
@@ -33,6 +39,10 @@ type CrashReport struct {
 	// "bad value" lives in private state and were discharged by the
 	// data-structure refinement (see stateful.go).
 	Discharged int
+	// Unresolved counts crash paths the solver budget left undecided
+	// (Options.SolverMaxConflicts / SolverTimeout). They block Verified:
+	// an undecided obligation is reported, never assumed away.
+	Unresolved int
 }
 
 // CrashFreedom proves that no input packet can crash the pipeline, for
@@ -80,6 +90,11 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 			return nil
 		}
 		w, err := v.witness(p, end.state, nil)
+		if errors.Is(err, errUnresolved) {
+			rep.Unresolved++
+			rep.Verified = false
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -143,11 +158,19 @@ func (v *Verifier) BoundedInstructions(p *click.Pipeline) (*BoundReport, error) 
 	}
 	if maxState != nil {
 		w, err := v.witness(p, maxState, nil)
-		if err != nil {
+		switch {
+		case errors.Is(err, errUnresolved):
+			// The bound itself stays sound (it is a maximum over paths the
+			// solver could not rule out); only the attaining packet is
+			// missing.
+			rep.Witness = Witness{Path: pathName(p, maxState),
+				Detail: fmt.Sprintf("executes %d statements (witness unresolved within solver budget)", rep.MaxSteps)}
+		case err != nil:
 			return nil, err
+		default:
+			w.Detail = fmt.Sprintf("executes %d statements", rep.MaxSteps)
+			rep.Witness = w
 		}
-		w.Detail = fmt.Sprintf("executes %d statements", rep.MaxSteps)
-		rep.Witness = w
 	}
 	return rep, nil
 }
@@ -171,6 +194,9 @@ type ReachSpec struct {
 type ReachReport struct {
 	Verified  bool
 	Witnesses []Witness
+	// Unresolved counts violating paths left undecided by the solver
+	// budget (they block Verified, like CrashReport.Unresolved).
+	Unresolved int
 }
 
 // Reachability proves a ReachSpec over the pipeline.
@@ -198,6 +224,11 @@ func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport
 			return nil
 		}
 		w, err := v.witness(p, end.state, spec.Assume)
+		if errors.Is(err, errUnresolved) {
+			rep.Unresolved++
+			rep.Verified = false
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -226,7 +257,10 @@ func (v *Verifier) checkedModel(p *click.Pipeline, st *composed, m *expr.Assignm
 		cons = append(cons, extra)
 	}
 	if m == nil {
-		ok, got := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), cons...), nil)
+		ok, got, unknown := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), cons...), nil)
+		if unknown {
+			return nil, fmt.Errorf("%w: %s", errUnresolved, pathName(p, st))
+		}
 		if !ok || got == nil {
 			return nil, fmt.Errorf("verify: cannot produce witness for feasible path %s", pathName(p, st))
 		}

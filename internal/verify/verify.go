@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vsd/internal/bv"
 	"vsd/internal/click"
@@ -44,6 +45,58 @@ type Options struct {
 	// mentions more state reads than this stay suspect (sound, but
 	// reported via Stats.RefinementTruncated). 0 means the default of 2.
 	MaxRefinedReads int
+	// SolverMaxConflicts bounds each SAT search (0 = the solver default,
+	// negative = unbounded) and SolverTimeout bounds its wall time (0 =
+	// none). An exhausted budget surfaces as an unresolved obligation in
+	// the property report — never as a false verdict — so callers like
+	// vsdserve can bound worst-case latency.
+	SolverMaxConflicts int64
+	SolverTimeout      time.Duration
+	// The SAT performance layer (DESIGN.md §10) is on by default; these
+	// knobs exist for the ablation benchmarks. DisableSATPreprocess
+	// skips CNF preprocessing (bounded variable elimination +
+	// subsumption), DisablePortfolio never races diversified clones on
+	// hard obligations, and DisableClauseSharing keeps each session's
+	// learnt clauses private instead of exchanging low-glue ones.
+	DisableSATPreprocess bool
+	DisablePortfolio     bool
+	DisableClauseSharing bool
+	// SolverExchange selects the clause-exchange scope. nil gives each
+	// Verifier its own exchange: the parallel walk's workers share
+	// clauses with each other, and two Verifier instances stay fully
+	// independent (reports are reproducible run to run). Passing
+	// smt.SharedExchange() opts into the process-wide pool — long-lived
+	// services like vsdserve reuse clause work across requests at the
+	// cost of cross-instance reproducibility of witness bytes (verdicts
+	// are unaffected).
+	SolverExchange *smt.ClauseExchange
+}
+
+// DefaultPortfolio is the number of diversified solver clones raced on a
+// hard obligation when portfolio solving is enabled.
+const DefaultPortfolio = 3
+
+// solverOptions translates the verifier-level solver knobs into
+// smt.Options (shared by the compositional verifier and the monolithic
+// baseline so ablations compare like with like). With sharing enabled
+// and no explicit SolverExchange, each call allocates a fresh exchange —
+// instance-scoped sharing.
+func (o Options) solverOptions() smt.Options {
+	so := smt.Options{
+		MaxConflicts: o.SolverMaxConflicts,
+		QueryTimeout: o.SolverTimeout,
+		Preprocess:   !o.DisableSATPreprocess,
+	}
+	if !o.DisablePortfolio {
+		so.Portfolio = DefaultPortfolio
+	}
+	if !o.DisableClauseSharing {
+		so.Exchange = o.SolverExchange
+		if so.Exchange == nil {
+			so.Exchange = smt.NewClauseExchange(0, 0)
+		}
+	}
+	return so
 }
 
 // DefaultMaxRefinedReads is the refinement cap used when
@@ -129,7 +182,7 @@ func New(opts Options) *Verifier {
 	if opts.MaxLen == 0 {
 		opts.MaxLen = 1514
 	}
-	solver := smt.New(smt.Options{})
+	solver := smt.New(opts.solverOptions())
 	return &Verifier{
 		solver:      solver,
 		rootSession: solver.NewSession(),
@@ -456,7 +509,7 @@ func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbe
 		newConds = append(newConds, ic)
 	}
 	if len(newConds) > 0 {
-		feasible, m := v.feasible(sess, st, newConds, extraPre)
+		feasible, m, _ := v.feasible(sess, st, newConds, extraPre)
 		if !feasible {
 			v.countInfeasible()
 			return nil, nil
@@ -492,8 +545,12 @@ func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbe
 func (v *Verifier) countInfeasible() { v.composedInfeasible.Add(1) }
 
 // feasible decides whether the prefix extended by newConds is
-// satisfiable on the given session, using the cached witness first.
-func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
+// satisfiable on the given session, using the cached witness first. An
+// Unknown verdict (conflict budget, deadline, or cancellation) reports
+// feasible=true — the sound direction for every property, since paths
+// are only ever discharged on Unsat — with unknown=true so callers can
+// surface the obligation as unresolved instead of fabricating a verdict.
+func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds, extraPre []*expr.Expr) (feasible bool, m *expr.Assignment, unknown bool) {
 	if st.model != nil {
 		ok := true
 		for _, c := range newConds {
@@ -503,7 +560,7 @@ func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds
 			}
 		}
 		if ok {
-			return true, st.model
+			return true, st.model, false
 		}
 	}
 	pre := v.Pre()
@@ -515,18 +572,18 @@ func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds
 	v.solverQueries.Add(1)
 	r, m := sess.Check(cons)
 	if r == smt.Unsat {
-		return false, nil
+		return false, nil, false
 	}
 	if r == smt.Unknown {
-		return true, nil
+		return true, nil, true
 	}
-	return true, m
+	return true, m, false
 }
 
 // feasibleRoot is feasible on the root session: only for use under
 // visitMu (visit callbacks, the stateful refinement) or after walk
 // returns (report construction).
-func (v *Verifier) feasibleRoot(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment) {
+func (v *Verifier) feasibleRoot(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment, bool) {
 	return v.feasible(v.rootSession, st, newConds, extraPre)
 }
 
