@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke
+.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke chaos-smoke
 
 # tier1 is the repo's gate: everything must build, vet clean, and every
 # test pass.
@@ -71,6 +71,19 @@ seq-smoke:
 	grep -q 'sequence: 2 packet(s)' $(SEQ_CI_DIR)/ovf.out
 	grep -q 'replay: the sequence reproduces byte-for-byte' $(SEQ_CI_DIR)/ovf.out
 	@echo "seq-smoke: induction proved the saturating counter and refuted the plain one with a replayed 2-packet witness"
+
+# chaos-smoke is the robustness gate (DESIGN.md §9): a fixed-seed
+# fault-injection run over the example corpus through the full service
+# stack — clean pass, faulted pass (durable queue, retries, contained
+# panics), and a simulated kill -9 replay — asserting zero daemon
+# crashes and zero verdict flips; plus the crash-safety and watchdog
+# tests under the race detector (CI runs it).
+CHAOS_SEED ?= 0xc0ffee
+chaos-smoke:
+	$(GO) run ./cmd/vsdserve -chaos examples/corpus -chaos-seed $(CHAOS_SEED) -maxlen 48
+	$(GO) test -race ./internal/queue ./internal/faultinject
+	$(GO) test -race ./internal/verify -run 'Panic|Watchdog|DiskStore'
+	@echo "chaos-smoke: zero crashes, zero verdict flips, journal replay converged (seed $(CHAOS_SEED))"
 
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT

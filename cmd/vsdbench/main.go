@@ -78,6 +78,7 @@ var experimentTable = []experiment{
 	{"f1", "functional property specs (DESIGN.md §6)", runF1},
 	{"b1", "batch admission against the persistent summary store (DESIGN.md §7)", runB1},
 	{"s1", "multi-packet state verification: k-induction vs bounded unrolling (DESIGN.md §8)", runS1},
+	{"r1", "degradation ladder under injected disk and solver faults (DESIGN.md §9)", runR1},
 }
 
 func experimentNames() []string {
@@ -492,4 +493,36 @@ func b2f(b bool) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vsdbench:", err)
 	os.Exit(1)
+}
+
+// r1Seed fixes the fault script; the row is deterministic given the
+// corpus, so CI can diff the JSON like any other benchmark cell.
+const r1Seed = 0xc0ffee
+
+func runR1(ctx *benchCtx) error {
+	ctx.printf("the corpus admitted clean, then under injected faults: certifications must not flip\n")
+	rows, err := experiments.R1Degradation(ctx.maxLen, r1Seed)
+	if err != nil {
+		return err
+	}
+	ctx.printf("%-8s %10s %10s %11s %9s %9s %9s %12s\n",
+		"run", "pipelines", "certified", "unresolved", "faults", "panics", "corrupt", "time")
+	for _, r := range rows {
+		ctx.printf("%-8s %10d %10d %11d %9d %9d %9d %12v\n",
+			r.Run, r.Pipelines, r.Certified, r.Unresolved, r.FaultsInjected,
+			r.PanicsRecovered, r.StoreCorrupt, r.Duration.Round(1e6))
+		m := map[string]float64{
+			"pipelines":        float64(r.Pipelines),
+			"certified":        float64(r.Certified),
+			"unresolved":       float64(r.Unresolved),
+			"faults-injected":  float64(r.FaultsInjected),
+			"solver-panics":    float64(r.SolverPanics),
+			"panics-recovered": float64(r.PanicsRecovered),
+			"store-corrupt":    float64(r.StoreCorrupt),
+		}
+		solverMetrics(m, r.Solver)
+		ctx.record(benchRecord{Name: "r1/" + r.Run, WallTimeNS: int64(r.Duration), Metrics: m})
+	}
+	ctx.printf("every injected panic contained; certified verdicts byte-identical to the clean pass\n")
+	return nil
 }

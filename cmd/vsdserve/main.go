@@ -10,27 +10,47 @@
 // store, so a submission reusing known element programs verifies
 // without re-running the symbolic engine (DESIGN.md §7).
 //
+// With -queue, submissions pass through a crash-safe journaled queue
+// (DESIGN.md §9): each accepted job is fsynced to the journal before
+// the verdict is computed, a bounded depth turns overload into an
+// explicit 503 + Retry-After instead of unbounded memory growth, and a
+// kill -9 mid-batch loses nothing — the journal replays on restart and
+// the verdict log converges to the same set. SIGINT/SIGTERM drain
+// gracefully within -drain-timeout; undrained jobs stay journaled.
+//
 // Usage:
 //
 //	vsdserve [-addr :8847] [-store dir] [-maxlen N] [-parallel N]
-//	         [-baseline config.click] [-smoke dir]
+//	         [-baseline config.click] [-queue dir] [-drain-timeout d]
+//	         [-job-timeout d] [-watchdog d] [-smoke dir]
+//	         [-chaos dir] [-chaos-seed N]
 //
 // Endpoints:
 //
 //	POST /verify    body: a Click configuration (text).
 //	                response: admission verdict JSON (see verify.BatchVerdict),
 //	                plus latency_delta_steps when -baseline is set and wall_ms.
-//	GET  /stats     cumulative verifier statistics JSON.
+//	                413 when the body exceeds 1 MiB; 503 + Retry-After when
+//	                the submission queue is at capacity or draining.
+//	GET  /stats     cumulative verifier statistics JSON, including the
+//	                "robustness" degradation-ladder counters.
 //	GET  /healthz   liveness probe ("ok").
 //
 // -smoke dir runs the self-test used by `make serve-smoke`: the server
 // starts on an ephemeral port, submits every .click file in dir to
 // itself over HTTP, prints each verdict line, and exits non-zero if any
 // request fails or any submission is rejected.
+//
+// -chaos dir runs the fault-injection self-test used by
+// `make chaos-smoke` (see chaos.go): a clean pass, a faulted pass
+// through the durable queue, and a simulated kill -9 replay, asserting
+// zero crashes and zero verdict flips.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,20 +58,29 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"vsd/internal/click"
 	"vsd/internal/elements"
+	"vsd/internal/faultinject"
 	"vsd/internal/packet"
+	"vsd/internal/queue"
 	"vsd/internal/smt"
 	"vsd/internal/verify"
 )
 
 // maxConfigBytes bounds request bodies; Click configurations are tiny.
 const maxConfigBytes = 1 << 20
+
+// doneKeep bounds the completed-verdict cache that answers handlers who
+// attach to a deduplicated job after its verdict was already delivered.
+const doneKeep = 1024
 
 // server is the shared admission state.
 type server struct {
@@ -60,6 +89,28 @@ type server struct {
 	// baselineBound is the operator pipeline's instruction bound, for
 	// the latency-delta assessment (nil without -baseline).
 	baselineBound *int64
+
+	// queue is the durable submission queue (nil without -queue): the
+	// handler journals the job, a worker verifies it, and the handler
+	// waits for that job's verdict.
+	queue *queue.Queue
+	// maxAttempts mirrors the queue's retry budget so process knows
+	// when a degraded verdict is final rather than retryable.
+	maxAttempts int
+	// jobBudget is the per-job verification watchdog (0 = off).
+	jobBudget time.Duration
+	// verdictLog is the append-only verdicts.jsonl path ("" = off) —
+	// the durable record kill -9 convergence is judged by.
+	verdictLog string
+	// injector is set in chaos mode so /stats exposes injected-fault
+	// counts alongside the degradation counters they must match.
+	injector *faultinject.Injector
+
+	wmu     sync.Mutex
+	waiters map[uint64][]chan response
+	done    map[uint64]response
+	doneIDs []uint64
+	logMu   sync.Mutex
 }
 
 // response is one admission reply: the batch verdict plus service
@@ -73,10 +124,34 @@ type response struct {
 	WallMS            int64  `json:"wall_ms"`
 }
 
-// jsonSubmission is the application/json request form of /verify.
+// jsonSubmission is the application/json request form of /verify, and
+// doubles as the journaled job payload.
 type jsonSubmission struct {
 	Name   string `json:"name"`
 	Config string `json:"config"`
+}
+
+// admit runs one submission through the verifier, under the watchdog
+// when a job budget is set. A watchdog interrupt surfaces inside the
+// verdict as unresolved obligations — degraded, never fabricated.
+func (s *server) admit(name string, p *click.Pipeline) response {
+	start := time.Now()
+	var verdict verify.BatchVerdict
+	run := func() error {
+		verdict = s.verifier.Batch([]verify.BatchItem{{Name: name, Pipeline: p}})[0]
+		return nil
+	}
+	if s.jobBudget > 0 {
+		s.verifier.WithWatchdog(s.jobBudget, run)
+	} else {
+		run()
+	}
+	resp := response{BatchVerdict: verdict, WallMS: time.Since(start).Milliseconds()}
+	if s.baselineBound != nil && verdict.Error == "" {
+		delta := verdict.BoundSteps - *s.baselineBound
+		resp.LatencyDeltaSteps = &delta
+	}
+	return resp
 }
 
 func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -85,8 +160,17 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a Click configuration to /verify", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxConfigBytes))
+	// Oversized bodies are refused outright (413), not silently
+	// truncated into a different — and then wrongly certified — config.
+	r.Body = http.MaxBytesReader(w, r.Body, maxConfigBytes)
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("submission exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -122,14 +206,177 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	start := time.Now()
-	verdict := s.verifier.Batch([]verify.BatchItem{{Name: name, Pipeline: p}})[0]
-	resp := response{BatchVerdict: verdict, WallMS: time.Since(start).Milliseconds()}
-	if s.baselineBound != nil && verdict.Error == "" {
-		delta := verdict.BoundSteps - *s.baselineBound
-		resp.LatencyDeltaSteps = &delta
+	if s.queue == nil {
+		writeJSON(w, http.StatusOK, s.admit(name, p))
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.enqueueAndWait(w, r, name, config, p)
+}
+
+// enqueueAndWait journals the submission and blocks until its verdict
+// is delivered by the worker. The pipeline fingerprint is the
+// idempotency key: resubmitting a pending pipeline attaches to the
+// existing job instead of double-verifying it.
+func (s *server) enqueueAndWait(w http.ResponseWriter, r *http.Request, name, config string, p *click.Pipeline) {
+	payload, err := json.Marshal(jsonSubmission{Name: name, Config: config})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	job, err := s.queue.Enqueue(p.Fingerprint().String(), payload)
+	switch {
+	case errors.Is(err, queue.ErrOverloaded):
+		// The bounded queue turns overload into explicit backpressure,
+		// not unbounded memory growth.
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "verification queue at capacity; retry later", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, queue.ErrClosed):
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "service draining; journaled jobs resume on restart", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ch := s.waitFor(job.ID)
+	select {
+	case resp := <-ch:
+		writeJSON(w, http.StatusOK, resp)
+	case <-r.Context().Done():
+		// Client gone; the journaled job completes regardless and its
+		// verdict lands in the verdict log.
+		s.dropWaiter(job.ID, ch)
+	}
+}
+
+// waitFor registers for job id's verdict. Completed verdicts are
+// answered from the done cache: a handler that deduplicated onto a job
+// finishing concurrently must not wait forever.
+func (s *server) waitFor(id uint64) chan response {
+	ch := make(chan response, 1)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if resp, ok := s.done[id]; ok {
+		ch <- resp
+		return ch
+	}
+	if s.waiters == nil {
+		s.waiters = make(map[uint64][]chan response)
+	}
+	s.waiters[id] = append(s.waiters[id], ch)
+	return ch
+}
+
+func (s *server) dropWaiter(id uint64, ch chan response) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	kept := s.waiters[id][:0]
+	for _, c := range s.waiters[id] {
+		if c != ch {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.waiters, id)
+	} else {
+		s.waiters[id] = kept
+	}
+}
+
+func (s *server) deliver(id uint64, resp response) {
+	s.wmu.Lock()
+	chans := s.waiters[id]
+	delete(s.waiters, id)
+	if s.done == nil {
+		s.done = make(map[uint64]response)
+	}
+	s.done[id] = resp
+	s.doneIDs = append(s.doneIDs, id)
+	if len(s.doneIDs) > doneKeep {
+		delete(s.done, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+	s.wmu.Unlock()
+	for _, ch := range chans {
+		ch <- resp
+	}
+}
+
+// process is the queue worker's job body: decode, verify, and either
+// complete the job or ask for a retry when the verdict degraded —
+// transient faults (solver budget, contained panic, torn artifact)
+// often clear on a later attempt, which is how the service converges
+// back to the clean verdict instead of surfacing the fault.
+func (s *server) process(_ context.Context, job *queue.Job) error {
+	var sub jsonSubmission
+	if err := json.Unmarshal(job.Payload, &sub); err != nil {
+		// A payload that does not decode never will; no retry.
+		s.complete(job, response{BatchVerdict: verify.BatchVerdict{
+			Name: "journal-entry", Error: "corrupt journal payload: " + err.Error()}})
+		return nil
+	}
+	p, err := click.Parse(elements.Default(), sub.Config)
+	if err != nil {
+		s.complete(job, response{BatchVerdict: verify.BatchVerdict{
+			Name: sub.Name, Error: "parse: " + err.Error()}})
+		return nil
+	}
+	resp := s.admit(sub.Name, p)
+	degraded := resp.Error != "" || resp.Unresolved > 0
+	if degraded && job.Attempts < s.maxAttempts {
+		return fmt.Errorf("degraded verdict (unresolved %d, error %q)", resp.Unresolved, resp.Error)
+	}
+	s.complete(job, resp)
+	return nil
+}
+
+// exhausted retires a job whose retry or deadline budget ran out; its
+// waiters get the failure, never a fabricated verdict.
+func (s *server) exhausted(job *queue.Job, err error) {
+	s.complete(job, response{BatchVerdict: verify.BatchVerdict{
+		Error: fmt.Sprintf("queue: retired after %d attempt(s): %v", job.Attempts, err)}})
+}
+
+// complete records a job's terminal verdict — durably in the verdict
+// log, then to every waiting handler.
+func (s *server) complete(job *queue.Job, resp response) {
+	if s.verdictLog != "" {
+		s.logMu.Lock()
+		if err := appendVerdict(s.verdictLog, job.Key, resp.BatchVerdict); err != nil {
+			log.Printf("vsdserve: verdict log: %v", err)
+		}
+		s.logMu.Unlock()
+	}
+	s.deliver(job.ID, resp)
+}
+
+// verdictRecord is one verdicts.jsonl line. WallMS and the latency
+// delta stay out: the record must be a pure function of the submission
+// so clean, faulted, and replayed runs compare byte for byte.
+type verdictRecord struct {
+	Key     string              `json:"key"`
+	Verdict verify.BatchVerdict `json:"verdict"`
+}
+
+func appendVerdict(path, key string, v verify.BatchVerdict) error {
+	line, err := json.Marshal(verdictRecord{Key: key, Verdict: v})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -150,8 +397,33 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"seq_spec_refuted":     st.SeqSpecRefuted,
 		},
 	}
+	// The degradation ladder, observable (DESIGN.md §9): every rung the
+	// service stepped down — contained panics, watchdog interrupts,
+	// rejected artifacts, queue retries — is a counter here, so an
+	// operator can tell "degraded under faults" from "healthy".
+	robust := map[string]int64{
+		"panics_recovered": int64(st.PanicsRecovered),
+		"watchdog_fired":   int64(st.WatchdogFired),
+	}
 	if s.store != nil {
 		out["store"] = s.store.Stats()
+		robust["store_corrupt"] = s.store.Stats().Corrupt
+	}
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		robust["queue_depth"] = int64(s.queue.Depth())
+		robust["queue_enqueued"] = qs.Enqueued
+		robust["queue_deduped"] = qs.Deduped
+		robust["queue_overflows"] = qs.Overflows
+		robust["queue_replayed"] = qs.Replayed
+		robust["queue_quarantined"] = qs.Quarantined
+		robust["queue_completed"] = qs.Completed
+		robust["queue_retries"] = qs.Retries
+		robust["queue_exhausted"] = qs.Exhausted
+	}
+	out["robustness"] = robust
+	if s.injector != nil {
+		out["faults_injected"] = s.injector.Stats()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -176,6 +448,20 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
+// newHTTPServer wraps the mux in a server with read/write timeouts so
+// a stuck or trickling client cannot wedge the daemon's connections.
+// The generous write timeout covers long verifications.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8847", "listen address")
 	storeDir := flag.String("store", "", "persistent summary store directory (empty = in-memory only)")
@@ -184,14 +470,27 @@ func main() {
 	baseline := flag.String("baseline", "", "operator baseline pipeline for the latency-delta report")
 	smoke := flag.String("smoke", "", "self-test: serve on an ephemeral port, submit every .click file in this directory, exit")
 	solverTimeout := flag.Duration("solver-timeout", 0, "per-obligation wall budget (0 = none); exceeded obligations report unresolved, never a verdict")
+	queueDir := flag.String("queue", "", "crash-safe submission queue journal directory (empty = synchronous, no journal)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests and queued jobs; undrained jobs stay journaled")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall deadline in the queue (0 = none)")
+	watchdog := flag.Duration("watchdog", 0, "per-job verification watchdog budget (0 = off); interrupted obligations report unresolved, never a verdict")
+	chaos := flag.String("chaos", "", "chaos smoke: run the fault-injection self-test over every .click file in this directory, exit")
+	chaosSeed := flag.Uint64("chaos-seed", 0xc0ffee, "deterministic seed for -chaos")
 	flag.Parse()
+
+	if *chaos != "" {
+		if err := runChaos(*chaos, *chaosSeed, *maxLen); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// A long-lived admission service opts into the process-wide clause
 	// exchange: learnt clauses from one submission accelerate the next
 	// when their element programs blast to the same CNF.
 	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel,
 		SolverTimeout: *solverTimeout, SolverExchange: smt.SharedExchange()}
-	s := &server{}
+	s := &server{jobBudget: *watchdog}
 	if *storeDir != "" {
 		store, err := verify.NewDiskStore(*storeDir)
 		if err != nil {
@@ -225,8 +524,61 @@ func main() {
 		return
 	}
 
+	if *queueDir != "" {
+		q, err := queue.Open(queue.Options{Dir: *queueDir, JobTimeout: *jobTimeout})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.queue = q
+		s.maxAttempts = 3 // the queue.Options default retry budget
+		s.verdictLog = filepath.Join(*queueDir, "verdicts.jsonl")
+		if qs := q.Stats(); qs.Replayed > 0 || qs.Quarantined > 0 {
+			log.Printf("vsdserve: journal replayed %d job(s), quarantined %d", qs.Replayed, qs.Quarantined)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	workerCtx, cancelWorkers := context.WithCancel(context.Background())
+	defer cancelWorkers()
+	var workers sync.WaitGroup
+	if s.queue != nil {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			s.queue.Run(workerCtx, s.process, s.exhausted)
+		}()
+	}
+
+	srv := newHTTPServer(*addr, s.mux())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("vsdserve: admission service listening on %s (maxlen %d)", *addr, *maxLen)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: stop accepting, let in-flight requests and queued
+	// jobs finish within the budget. Whatever does not drain stays in
+	// the journal for the next start — shutdown loses no submission.
+	log.Printf("vsdserve: shutting down (drain budget %v)", *drainTimeout)
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("vsdserve: http shutdown: %v", err)
+	}
+	cancelShut()
+	if s.queue != nil {
+		if s.queue.Drain(*drainTimeout) {
+			log.Printf("vsdserve: queue drained")
+		} else {
+			log.Printf("vsdserve: %d job(s) still journaled; they replay on restart", s.queue.Depth())
+		}
+	}
+	cancelWorkers()
+	workers.Wait()
 }
 
 // runSmoke drives the server end to end over real HTTP: every .click
@@ -245,7 +597,7 @@ func runSmoke(s *server, dir string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: s.mux()}
+	srv := newHTTPServer("", s.mux())
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

@@ -6,12 +6,17 @@ package main
 // malformed traffic a public endpoint actually sees.
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"vsd/internal/queue"
 	"vsd/internal/verify"
 )
 
@@ -152,6 +157,151 @@ func TestStatsExposesRefinementAndInductionCounters(t *testing.T) {
 	}
 	if out.Counters["induction_proved"] != 1 {
 		t.Errorf("induction_proved = %d, want 1", out.Counters["induction_proved"])
+	}
+}
+
+// queuedServer builds a server backed by a durable queue in a fresh
+// journal directory (no worker running yet).
+func queuedServer(t *testing.T, depth int) *server {
+	t.Helper()
+	dir := t.TempDir()
+	q, err := queue.Open(queue.Options{Dir: dir, MaxDepth: depth, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer()
+	s.queue = q
+	s.maxAttempts = 3
+	s.verdictLog = filepath.Join(dir, "verdicts.jsonl")
+	return s
+}
+
+func TestVerifyRejectsOversizedBody(t *testing.T) {
+	s := testServer()
+	big := strings.Repeat("x", maxConfigBytes+1)
+	rec := do(t, s, http.MethodPost, "/verify", "text/plain", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", rec.Code)
+	}
+}
+
+func TestQueuedVerifyDeliversVerdictAndLogsIt(t *testing.T) {
+	s := queuedServer(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.queue.Run(ctx, s.process, s.exhausted)
+
+	rec := do(t, s, http.MethodPost, "/verify?name=q.click", "text/plain", validConfig)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("queued submission = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Certified || resp.Name != "q.click" {
+		t.Errorf("queued verdict: %+v", resp.BatchVerdict)
+	}
+	// The verdict is durably logged under the submission's fingerprint.
+	var rc struct {
+		Key     string              `json:"key"`
+		Verdict verify.BatchVerdict `json:"verdict"`
+	}
+	readLog := func() bool {
+		data, err := os.ReadFile(s.verdictLog)
+		if err != nil || len(data) == 0 {
+			return false
+		}
+		if err := json.Unmarshal([]byte(strings.Split(strings.TrimSpace(string(data)), "\n")[0]), &rc); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !readLog() {
+		if time.Now().After(deadline) {
+			t.Fatal("verdict log never written")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rc.Key != resp.Fingerprint || !rc.Verdict.Certified {
+		t.Errorf("verdict log: key %q verdict %+v", rc.Key, rc.Verdict)
+	}
+}
+
+func TestOverloadReturns503WithRetryAfter(t *testing.T) {
+	s := queuedServer(t, 1)
+	// Fill the single slot directly; no worker runs, so it stays pending.
+	if _, err := s.queue.Enqueue("occupied", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodPost, "/verify", "text/plain", validConfig)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded queue = %d, want 503 (body: %s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+}
+
+// TestDrainRefusesNewWorkAndKeepsJournal is the graceful-shutdown
+// contract at the handler level: after the drain starts, new
+// submissions get an explicit 503, and whatever did not drain is still
+// journaled for the next start.
+func TestDrainRefusesNewWorkAndKeepsJournal(t *testing.T) {
+	s := queuedServer(t, 8)
+	if _, err := s.queue.Enqueue("stuck", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// No worker is running, so the drain must time out with the job
+	// still pending.
+	if s.queue.Drain(20 * time.Millisecond) {
+		t.Fatal("drain reported success with a pending job and no worker")
+	}
+	rec := do(t, s, http.MethodPost, "/verify", "text/plain", validConfig)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining service = %d, want 503 (body: %s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("draining 503 without Retry-After header")
+	}
+	// Restart: the undrained job replays from the journal.
+	q2, err := queue.Open(queue.Options{Dir: filepath.Dir(s.verdictLog)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Stats().Replayed; got != 1 {
+		t.Fatalf("restart replayed %d job(s), want 1", got)
+	}
+}
+
+func TestStatsExposesRobustnessCounters(t *testing.T) {
+	s := queuedServer(t, 8)
+	rec := do(t, s, http.MethodGet, "/stats", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var out struct {
+		Robustness map[string]int64 `json:"robustness"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"panics_recovered", "watchdog_fired", "queue_depth",
+		"queue_enqueued", "queue_replayed", "queue_quarantined", "queue_retries", "queue_exhausted"} {
+		if _, ok := out.Robustness[key]; !ok {
+			t.Errorf("/stats robustness missing %q", key)
+		}
+	}
+}
+
+// TestHTTPServerHasTimeouts pins the header/read/write timeouts a
+// public daemon needs so one stuck client cannot wedge it.
+func TestHTTPServerHasTimeouts(t *testing.T) {
+	srv := newHTTPServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 {
+		t.Fatalf("server missing timeouts: header=%v read=%v write=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"vsd/internal/click"
 	"vsd/internal/dataplane"
 	"vsd/internal/elements"
+	"vsd/internal/faultinject"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
 	"vsd/internal/smt"
@@ -830,4 +831,101 @@ func S1Induction(maxLen uint64, parallelism int) ([]S1Row, error) {
 		})
 	}
 	return rows, nil
+}
+
+// R1Row is one degradation-ladder pass: the corpus verified clean,
+// then again under injected disk and solver faults.
+type R1Row struct {
+	Run             string // "clean" or "faulted"
+	Pipelines       int
+	Certified       int
+	Unresolved      int // unresolved obligations summed over verdicts
+	FaultsInjected  int64
+	SolverPanics    int64 // injected panics...
+	PanicsRecovered int   // ...and the containments that must match them
+	StoreCorrupt    int64 // corrupted artifacts the store rejected (misses)
+	Duration        time.Duration
+	Solver          smt.Stats
+}
+
+// R1Degradation exercises the robustness layer (DESIGN.md §9) as a
+// benchmark: the example corpus is admitted once clean and once under
+// a seeded fault script — torn/stale store artifacts plus a budgeted
+// burst of solver faults. The ladder's contract is enforced, not just
+// measured: every injected panic must be contained, and a faulted
+// verdict is either byte-identical to the clean one or degraded to
+// uncertified-with-unresolved — never a flipped certification.
+func R1Degradation(maxLen uint64, seed uint64) ([]R1Row, error) {
+	var items []verify.BatchItem
+	for _, c := range Corpus() {
+		items = append(items, verify.BatchItem{Name: c.Name, Pipeline: MustParse(c.Src)})
+	}
+	// Serial verification keeps the injector's decision stream — and so
+	// the whole row — a pure function of (corpus, seed).
+	base := verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: 1}
+	cleanVerdicts, st, dur := verify.Batch(items, base)
+	rows := []R1Row{{
+		Run: "clean", Pipelines: len(items), Certified: countCertified(cleanVerdicts),
+		Duration: dur, Solver: st.Solver,
+	}}
+
+	dir, err := os.MkdirTemp("", "vsd-r1-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	disk, err := verify.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	in := faultinject.New(seed, faultinject.Rates{
+		SolverPanic:   0.05,
+		SolverUnknown: 0.05,
+		TornWrite:     0.5,
+		Stale:         0.25,
+	})
+	in.SolverBudget = 8
+	faulted := base
+	faulted.Store = faultinject.WrapStore(in, disk)
+	faulted.SolverFaultHook = in.SolverHook()
+	verdicts, fst, fdur := verify.Batch(items, faulted)
+
+	ist := in.Stats()
+	if ist.Total() == 0 {
+		return nil, fmt.Errorf("r1: fault script injected nothing (seed %#x)", seed)
+	}
+	if fst.PanicsRecovered != int(ist.SolverPanics) {
+		return nil, fmt.Errorf("r1: recovered %d panics for %d injected", fst.PanicsRecovered, ist.SolverPanics)
+	}
+	unresolved := 0
+	for i, vd := range verdicts {
+		unresolved += vd.Unresolved
+		if vd.Certified && vd.Unresolved > 0 {
+			return nil, fmt.Errorf("r1: %s certified with %d unresolved obligations", vd.Name, vd.Unresolved)
+		}
+		if vd.Certified {
+			clean, _ := json.Marshal(cleanVerdicts[i])
+			got, _ := json.Marshal(vd)
+			if string(clean) != string(got) {
+				return nil, fmt.Errorf("r1: %s verdict drifted under faults:\nclean: %s\nfaulty: %s", vd.Name, clean, got)
+			}
+		}
+	}
+	rows = append(rows, R1Row{
+		Run: "faulted", Pipelines: len(items), Certified: countCertified(verdicts),
+		Unresolved: unresolved, FaultsInjected: ist.Total(), SolverPanics: ist.SolverPanics,
+		PanicsRecovered: fst.PanicsRecovered, StoreCorrupt: disk.Stats().Corrupt,
+		Duration: fdur, Solver: fst.Solver,
+	})
+	return rows, nil
+}
+
+func countCertified(verdicts []verify.BatchVerdict) int {
+	n := 0
+	for _, vd := range verdicts {
+		if vd.Certified {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,32 @@
+package faultinject
+
+import "vsd/internal/smt"
+
+// SolverHook returns the per-search fault function to plug into
+// verify.Options.SolverFaultHook (or smt.Options.FaultHook directly).
+// Each SAT search consumes one decision from the injector's stream:
+// NoFault lets the search run, ForceUnknown/ForceTimeout make it
+// degrade, ForcePanic raises inside it — which must then be contained
+// by the verify layer's recover, never reach the daemon.
+func (in *Injector) SolverHook() func() smt.SolveFault {
+	return func() smt.SolveFault {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.SolverBudget > 0 &&
+			in.stats.SolverUnknowns+in.stats.SolverTimeouts+in.stats.SolverPanics >= in.SolverBudget {
+			return smt.NoFault
+		}
+		switch {
+		case in.roll(in.Rates.SolverPanic):
+			in.stats.SolverPanics++
+			return smt.ForcePanic
+		case in.roll(in.Rates.SolverTimeout):
+			in.stats.SolverTimeouts++
+			return smt.ForceTimeout
+		case in.roll(in.Rates.SolverUnknown):
+			in.stats.SolverUnknowns++
+			return smt.ForceUnknown
+		}
+		return smt.NoFault
+	}
+}

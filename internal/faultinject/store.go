@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"time"
+
+	"vsd/internal/ir"
+	"vsd/internal/symbex"
+	"vsd/internal/verify"
+)
+
+// Store wraps a DiskStore and injects the disk-side failure modes
+// around it. The wrapped store's own validation (magic, embedded key,
+// checksum) is the mechanism under test: every injected corruption
+// must surface as a miss at the verify layer — re-summarization, never
+// a wrong hit and never a panic. Store implements verify.SummaryStore.
+type Store struct {
+	in    *Injector
+	inner *verify.DiskStore
+}
+
+// WrapStore interposes the injector on a disk store.
+func WrapStore(in *Injector, inner *verify.DiskStore) *Store {
+	return &Store{in: in, inner: inner}
+}
+
+// Inner returns the wrapped store (for its stats).
+func (s *Store) Inner() *verify.DiskStore { return s.inner }
+
+// Load implements verify.SummaryStore: it may stall (slow read) or
+// re-key the artifact to a wrong fingerprint (stale artifact) before
+// delegating; the inner store's content addressing must reject the
+// stale entry.
+func (s *Store) Load(fp ir.Fingerprint) (*symbex.Summary, bool) {
+	s.in.mu.Lock()
+	slow := s.in.roll(s.in.Rates.SlowRead)
+	stale := s.in.roll(s.in.Rates.Stale)
+	if slow {
+		s.in.stats.SlowReads++
+	}
+	if stale {
+		s.in.stats.StaleArtifacts++
+	}
+	delay := s.in.SlowReadDelay
+	s.in.mu.Unlock()
+	if slow {
+		if delay == 0 {
+			delay = 10 * time.Millisecond
+		}
+		time.Sleep(delay)
+	}
+	if stale {
+		// A stale artifact is a well-formed entry that answers to the
+		// wrong key — exactly what a mis-rename or a content drift would
+		// produce. Flipping one embedded-fingerprint byte fabricates it.
+		corruptFile(s.inner.Path(fp), func(data []byte) []byte {
+			if i := staleOffset(len(data)); i >= 0 {
+				data[i] ^= 0x01
+			}
+			return data
+		})
+	}
+	return s.inner.Load(fp)
+}
+
+// staleOffset picks the byte to re-key: the first fingerprint byte,
+// which sits right after the 10-byte magic. -1 when the file is too
+// short to carry one.
+func staleOffset(n int) int {
+	const magicLen = 10 // "VSDSTORE1\n"
+	if n <= magicLen {
+		return -1
+	}
+	return magicLen
+}
+
+// Save implements verify.SummaryStore: it may drop the save (ENOSPC),
+// or complete it and then tear or bit-flip the artifact on disk.
+func (s *Store) Save(fp ir.Fingerprint, sum *symbex.Summary) {
+	s.in.mu.Lock()
+	fail := s.in.roll(s.in.Rates.WriteFail)
+	torn := s.in.roll(s.in.Rates.TornWrite)
+	flip := s.in.roll(s.in.Rates.BitFlip)
+	switch {
+	case fail:
+		s.in.stats.WriteFailures++
+	case torn:
+		s.in.stats.TornWrites++
+	case flip:
+		s.in.stats.BitFlips++
+	}
+	s.in.mu.Unlock()
+	if fail {
+		return
+	}
+	s.inner.Save(fp, sum)
+	switch {
+	case torn:
+		corruptFile(s.inner.Path(fp), func(data []byte) []byte {
+			return data[:len(data)/2]
+		})
+	case flip:
+		corruptFile(s.inner.Path(fp), func(data []byte) []byte {
+			if len(data) > 0 {
+				data[len(data)-1] ^= 0x40
+			}
+			return data
+		})
+	}
+}

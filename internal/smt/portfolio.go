@@ -37,6 +37,11 @@ var portfolioSeats = []portfolioSeat{
 	{restartBase: 16, varDecay: 0.85, shuffleSeed: 0x94d049bb133111eb},
 }
 
+// seatStartHook is a test seam: when non-nil it runs at the start of
+// every seat goroutine, inside the recover scope, so tests can make a
+// seat panic and pin the containment behavior. Always nil in production.
+var seatStartHook func(seat int)
+
 // splitmix64 is the standard deterministic 64-bit mixer.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
@@ -111,15 +116,22 @@ func (s *SatSolver) cloneAt0(seat portfolioSeat) *SatSolver {
 
 // racePortfolio races n clones of base under the given assumptions, each
 // with conflict budget (<=0 unbounded) and deadline (zero = none). The
-// first decisive clone cancels the rest. It returns the verdict and the
-// winning clone (nil when every seat came back unknown). When ex is
-// non-nil the clones share learnt clauses through it mid-race, under the
-// base solver's fingerprint.
-func racePortfolio(base *SatSolver, assumptions []Lit, n int, budget int64, deadline time.Time, ex *ClauseExchange) (SatResult, *SatSolver) {
+// first decisive clone cancels the rest. It returns the verdict, the
+// winning clone (nil when every seat came back unknown), and the number
+// of seats whose search panicked. When ex is non-nil the clones share
+// learnt clauses through it mid-race, under the base solver's
+// fingerprint.
+//
+// A seat goroutine panicking must never take the process down: seats
+// run engine code under injectable faults (and, in principle, engine
+// bugs), and the race's contract is that a dead seat simply counts as
+// Unknown — a lost opportunity, never a lost daemon or a verdict.
+func racePortfolio(base *SatSolver, assumptions []Lit, n int, budget int64, deadline time.Time, ex *ClauseExchange) (SatResult, *SatSolver, int64) {
 	if n > len(portfolioSeats) {
 		n = len(portfolioSeats)
 	}
 	var stop atomic.Bool
+	var panics atomic.Int64
 	type seatResult struct {
 		verdict SatResult
 		clone   *SatSolver
@@ -131,6 +143,7 @@ func racePortfolio(base *SatSolver, assumptions []Lit, n int, budget int64, dead
 		clone.MaxConflicts = budget
 		clone.Deadline = deadline
 		clone.Stop = &stop
+		clone.Interrupt = base.Interrupt
 		var detach func()
 		if ex != nil {
 			detach = ex.attach(clone, map[uint64]int{})
@@ -139,10 +152,22 @@ func racePortfolio(base *SatSolver, assumptions []Lit, n int, budget int64, dead
 		wg.Add(1)
 		go func(i int, clone *SatSolver) {
 			defer wg.Done()
-			v := clone.Solve(assumptions...)
-			if detach != nil {
-				detach()
+			defer func() {
+				if r := recover(); r != nil {
+					// Containment: the seat's verdict stays SatUnknown and
+					// its (possibly inconsistent) clone must never win, so
+					// the race result is exactly as if the seat had hit its
+					// budget.
+					panics.Add(1)
+				}
+				if detach != nil {
+					detach()
+				}
+			}()
+			if seatStartHook != nil {
+				seatStartHook(i)
 			}
+			v := clone.Solve(assumptions...)
 			results[i].verdict = v
 			if v != SatUnknown {
 				stop.Store(true)
@@ -154,10 +179,10 @@ func racePortfolio(base *SatSolver, assumptions []Lit, n int, budget int64, dead
 	// as a race can be (verdicts can never disagree, only model choice).
 	for i := range results {
 		if results[i].verdict != SatUnknown {
-			return results[i].verdict, results[i].clone
+			return results[i].verdict, results[i].clone, panics.Load()
 		}
 	}
-	return SatUnknown, nil
+	return SatUnknown, nil, panics.Load()
 }
 
 // raceImportGlue is the per-race cap on learnt clauses merged back from

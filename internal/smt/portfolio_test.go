@@ -61,7 +61,7 @@ func TestSatFuzzDifferentialPortfolio(t *testing.T) {
 		if trial%3 == 0 {
 			ex = NewClauseExchange(0, 0)
 		}
-		verdict, winner := racePortfolio(s, assumptions, seats, -1, time.Time{}, ex)
+		verdict, winner, _ := racePortfolio(s, assumptions, seats, -1, time.Time{}, ex)
 		if winner == nil || verdict == SatUnknown {
 			t.Fatalf("trial %d: unbounded race returned no verdict", trial)
 		}

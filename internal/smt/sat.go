@@ -208,8 +208,12 @@ type SatSolver struct {
 	// Deadline, when nonzero, bounds the search's wall time; Stop, when
 	// non-nil, is an external cancellation flag (a portfolio winner
 	// cancelling its losers). Either makes Solve return SatUnknown.
-	Deadline time.Time
-	Stop     *atomic.Bool
+	// Interrupt is a second, caller-owned cancellation flag with the same
+	// effect: it outlives any single race (the watchdog's lever), so it
+	// must not be overwritten by portfolio plumbing the way Stop is.
+	Deadline  time.Time
+	Stop      *atomic.Bool
+	Interrupt *atomic.Bool
 
 	// model is the assignment snapshot of the last SatSat answer, with
 	// eliminated variables reconstructed from elimStack. Kept separate
@@ -294,6 +298,7 @@ func (s *SatSolver) reset() {
 	s.MaxConflicts = 0
 	s.Deadline = time.Time{}
 	s.Stop = nil
+	s.Interrupt = nil
 	s.model = s.model[:0]
 	s.elim = s.elim[:0]
 	s.elimStack = s.elimStack[:0]
@@ -1016,6 +1021,10 @@ func (s *SatSolver) Solve(assumptions ...Lit) SatResult {
 		// clock only every few hundred (a time read per decision would be
 		// measurable on propagation-bound instances).
 		if s.Stop != nil && s.Stop.Load() {
+			s.cancelUntil(0)
+			return SatUnknown
+		}
+		if s.Interrupt != nil && s.Interrupt.Load() {
 			s.cancelUntil(0)
 			return SatUnknown
 		}

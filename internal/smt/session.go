@@ -83,6 +83,16 @@ func (sess *IncrementalSession) recycle() {
 	sess.exchCursors = map[uint64]int{}
 }
 
+// Reset recycles the session's SAT instance and every piece of state
+// tied to it. It exists for callers that contained a panic mid-query
+// (DESIGN.md §9): a search that unwound partway through asserting atoms
+// may have left the instance with a guard literal whose defining clause
+// set is incomplete, and a later solve over that instance could return
+// a wrong Unsat. After Reset the session is equivalent to a freshly
+// opened one (learnt clauses are dropped — relearning is the price of
+// not trusting poisoned state).
+func (sess *IncrementalSession) Reset() { sess.recycle() }
+
 // rewriteSelects rewrites an expression replacing every select node by
 // its session variable, registering new selects (and their pairwise
 // functional-consistency axioms) as they appear.

@@ -60,7 +60,38 @@ type Options struct {
 	// solver instances whose CNF fingerprints coincide (publish at
 	// recording, import at restart boundaries).
 	Exchange *ClauseExchange
+	// Interrupt, when non-nil, is an external cancellation flag checked
+	// during every SAT search (including portfolio seats): setting it
+	// makes in-flight and future solves return Unknown. It is the
+	// watchdog's lever — a job that exceeds its wall budget is cancelled
+	// here even when QueryTimeout is unset or the search is stuck in a
+	// propagation storm between deadline checks.
+	Interrupt *atomic.Bool
+	// FaultHook, when non-nil, is consulted before each SAT search by the
+	// fault-injection harness (internal/faultinject): it may force the
+	// search to return Unknown, to behave as if its deadline expired, or
+	// to panic — exercising the degradation ladder without real faults.
+	// Production configurations leave it nil.
+	FaultHook func() SolveFault
 }
+
+// SolveFault is a fault-injection directive for one SAT search.
+type SolveFault int8
+
+// Solver-level injectable faults.
+const (
+	// NoFault runs the search normally.
+	NoFault SolveFault = iota
+	// ForceUnknown makes the search return Unknown immediately, as if
+	// its conflict budget were exhausted.
+	ForceUnknown
+	// ForceTimeout makes the search return Unknown as if its wall
+	// deadline had expired.
+	ForceTimeout
+	// ForcePanic makes the search panic, exercising the engine-panic
+	// containment (recover in verify workers, never a downed daemon).
+	ForcePanic
+)
 
 // DefaultMaxConflicts bounds a single SAT search unless overridden.
 const DefaultMaxConflicts = 2_000_000
@@ -115,6 +146,10 @@ type Stats struct {
 	PortfolioRaces   int64 // obligations escalated to a portfolio race
 	PortfolioWins    int64 // races some clone decided (the rest hit the budget)
 	Unknowns         int64 // SAT searches ending Unknown (budget/deadline/cancel)
+	// Robustness counters (DESIGN.md §9).
+	InjectedFaults int64 // searches redirected by Options.FaultHook
+	SeatPanics     int64 // portfolio seats that panicked and were contained
+	Interrupted    int64 // searches cancelled through Options.Interrupt
 }
 
 // Solver decides satisfiability of conjunctions of 1-bit bitvector
@@ -136,6 +171,7 @@ type Solver struct {
 		binaryProps, propagations, decisions, restarts, assumLevels  atomic.Int64
 		preRuns, varsElim, subsumed, strengthened                    atomic.Int64
 		published, imported, races, raceWins, unknowns               atomic.Int64
+		injected, seatPanics, interrupted                            atomic.Int64
 	}
 	mu    sync.Mutex
 	cache map[uint64][]cacheEntry
@@ -243,6 +279,9 @@ func (s *Solver) Stats() Stats {
 		PortfolioRaces:   s.stats.races.Load(),
 		PortfolioWins:    s.stats.raceWins.Load(),
 		Unknowns:         s.stats.unknowns.Load(),
+		InjectedFaults:   s.stats.injected.Load(),
+		SeatPanics:       s.stats.seatPanics.Load(),
+		Interrupted:      s.stats.interrupted.Load(),
 	}
 }
 
@@ -309,6 +348,26 @@ func (s *Solver) preprocessIfDue(b *blaster, frozen []bool) {
 // is merged back into sat. The verdict is exact (Sat/Unsat) or Unknown;
 // budget exhaustion never fabricates a verdict.
 func (s *Solver) satSolve(sat *SatSolver, cursors map[uint64]int, assumptions ...Lit) SatResult {
+	// Fault injection first: a forced verdict must not consume budget or
+	// touch the exchange, so an injected fault reproduces identically
+	// regardless of solver state.
+	if s.Opts.FaultHook != nil {
+		switch s.Opts.FaultHook() {
+		case ForceUnknown, ForceTimeout:
+			s.stats.injected.Add(1)
+			s.stats.unknowns.Add(1)
+			return SatUnknown
+		case ForcePanic:
+			s.stats.injected.Add(1)
+			panic("smt: injected solver panic (faultinject)")
+		}
+	}
+	if s.Opts.Interrupt != nil && s.Opts.Interrupt.Load() {
+		s.stats.interrupted.Add(1)
+		s.stats.unknowns.Add(1)
+		return SatUnknown
+	}
+	sat.Interrupt = s.Opts.Interrupt
 	budget := s.Opts.maxConflicts()
 	sat.Deadline = time.Time{}
 	if s.Opts.QueryTimeout > 0 {
@@ -342,7 +401,8 @@ func (s *Solver) satSolve(sat *SatSolver, cursors map[uint64]int, assumptions ..
 		expired := s.Opts.QueryTimeout > 0 && !time.Now().Before(sat.Deadline)
 		if (budget <= 0 || remaining > 0) && !expired {
 			s.stats.races.Add(1)
-			raced, winner := racePortfolio(sat, assumptions, s.Opts.Portfolio, remaining, sat.Deadline, s.Opts.Exchange)
+			raced, winner, seatPanics := racePortfolio(sat, assumptions, s.Opts.Portfolio, remaining, sat.Deadline, s.Opts.Exchange)
+			s.stats.seatPanics.Add(seatPanics)
 			if winner != nil {
 				s.stats.raceWins.Add(1)
 				sat.adoptRaceResult(winner, raced)
@@ -352,6 +412,9 @@ func (s *Solver) satSolve(sat *SatSolver, cursors map[uint64]int, assumptions ..
 	}
 	if verdict == SatUnknown {
 		s.stats.unknowns.Add(1)
+		if s.Opts.Interrupt != nil && s.Opts.Interrupt.Load() {
+			s.stats.interrupted.Add(1)
+		}
 	}
 	return verdict
 }

@@ -10,12 +10,31 @@ package verify
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"vsd/internal/click"
 	"vsd/internal/ir"
 )
+
+// degradeOrFail folds a property-gate error into the verdict. An
+// unresolved degradation — contained engine panic, solver budget,
+// watchdog interrupt — becomes a counted unresolved obligation with a
+// one-line cause (stacks stay in Error strings and logs upstream);
+// anything else stays a hard admission error. Either way the
+// submission is not certified: degradation withholds certification,
+// never fabricates it.
+func degradeOrFail(verdict *BatchVerdict, err error) {
+	verdict.Certified = false
+	if errors.Is(err, errUnresolved) {
+		verdict.Unresolved++
+		verdict.UnresolvedCauses = append(verdict.UnresolvedCauses, unresolvedCause(err))
+		return
+	}
+	verdict.Error = err.Error()
+}
 
 // BatchItem is one pipeline submitted for admission.
 type BatchItem struct {
@@ -100,6 +119,15 @@ type BatchVerdict struct {
 	// the automatic crash-freedom induction for stateful pipelines plus
 	// any attached StateInvariants.
 	Induction []InductionResult `json:"induction,omitempty"`
+	// Unresolved counts obligations left undecided across the admission's
+	// property gates — solver-budget exhaustion, contained engine panics,
+	// watchdog interrupts. Nonzero blocks Certified: the service degrades
+	// to "not certified, here is why", never to a fabricated verdict.
+	// omitempty keeps clean-run verdicts byte-identical to earlier runs.
+	Unresolved int `json:"unresolved,omitempty"`
+	// UnresolvedCauses attributes each unresolved obligation, one sorted
+	// line per count (stacks of contained panics stay in logs).
+	UnresolvedCauses []string `json:"unresolved_causes,omitempty"`
 	// Error reports a verification failure (budget exhaustion and the
 	// like); the other fields are meaningless when set.
 	Error string `json:"error,omitempty"`
@@ -149,22 +177,36 @@ func (v *Verifier) Batch(items []BatchItem) []BatchVerdict {
 }
 
 // admit runs the full admission pipeline for one submission.
-func (v *Verifier) admit(it BatchItem) BatchVerdict {
-	verdict := BatchVerdict{
+func (v *Verifier) admit(it BatchItem) (verdict BatchVerdict) {
+	verdict = BatchVerdict{
 		Name:        it.Name,
 		Fingerprint: it.Pipeline.Fingerprint().String(),
 	}
+	defer func() {
+		// Last-resort backstop: the property drivers contain their own
+		// panics (panics.go), so anything arriving here escaped every
+		// session-aware recover. Degrade the one submission to an error
+		// verdict — never the whole batch, never the daemon.
+		if r := recover(); r != nil {
+			v.panicsRecovered.Add(1)
+			verdict.Certified = false
+			verdict.Error = fmt.Sprintf("verify: panic during admission: %v (contained)", r)
+		}
+		sort.Strings(verdict.UnresolvedCauses)
+	}()
 	crash, err := v.CrashFreedom(it.Pipeline)
 	if err != nil {
-		verdict.Error = err.Error()
+		degradeOrFail(&verdict, err)
 		return verdict
 	}
 	verdict.CrashFree = crash.Verified
 	verdict.Discharged = crash.Discharged
+	verdict.Unresolved += crash.Unresolved
+	verdict.UnresolvedCauses = append(verdict.UnresolvedCauses, crash.UnresolvedCauses...)
 	verdict.Witnesses = append(verdict.Witnesses, batchWitnesses(crash.Witnesses)...)
 	bound, err := v.BoundedInstructions(it.Pipeline)
 	if err != nil {
-		verdict.Error = err.Error()
+		degradeOrFail(&verdict, err)
 		return verdict
 	}
 	verdict.BoundSteps = bound.MaxSteps
@@ -173,9 +215,11 @@ func (v *Verifier) admit(it BatchItem) BatchVerdict {
 	for _, spec := range it.Specs {
 		rep, err := v.VerifyFunc(it.Pipeline, spec)
 		if err != nil {
-			verdict.Error = err.Error()
+			degradeOrFail(&verdict, err)
 			return verdict
 		}
+		verdict.Unresolved += rep.Unresolved
+		verdict.UnresolvedCauses = append(verdict.UnresolvedCauses, rep.UnresolvedCauses...)
 		if rep.Verified {
 			verdict.SpecsPassed = append(verdict.SpecsPassed, spec.Name)
 		} else {
@@ -206,14 +250,16 @@ func (v *Verifier) admit(it BatchItem) BatchVerdict {
 	for _, spec := range it.SeqSpecs {
 		ends, err := prep()
 		if err != nil {
-			verdict.Error = err.Error()
+			degradeOrFail(&verdict, err)
 			return verdict
 		}
 		rep, err := v.verifySeq(it.Pipeline, ends, spec)
 		if err != nil {
-			verdict.Error = err.Error()
+			degradeOrFail(&verdict, err)
 			return verdict
 		}
+		verdict.Unresolved += rep.Unresolved
+		verdict.UnresolvedCauses = append(verdict.UnresolvedCauses, rep.UnresolvedCauses...)
 		if rep.Verified {
 			verdict.SpecsPassed = append(verdict.SpecsPassed, spec.Name)
 		} else {
@@ -256,12 +302,12 @@ func inductionResult(p *click.Pipeline, name string, prep func() ([]seqEnd, erro
 	res := InductionResult{Invariant: name}
 	ends, err := prep()
 	if err != nil {
-		res.Error = err.Error()
+		res.Error = unresolvedCause(err)
 		return res
 	}
 	rep, err := run(ends)
 	if err != nil {
-		res.Error = err.Error()
+		res.Error = unresolvedCause(err)
 		return res
 	}
 	// A refutation or CTI only counts if the concrete dataplane

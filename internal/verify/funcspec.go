@@ -3,6 +3,7 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"vsd/internal/click"
 	"vsd/internal/expr"
@@ -162,9 +163,12 @@ type FuncReport struct {
 	Trivial int
 	// Discharged counts crash paths ruled out by the bad-value analysis.
 	Discharged int
-	// Unresolved counts obligations the solver budget left undecided;
-	// they block Verified.
+	// Unresolved counts obligations left undecided — solver budget,
+	// contained engine panics, or a watchdog interrupt; they block
+	// Verified.
 	Unresolved int
+	// UnresolvedCauses carries one line per unresolved obligation, sorted.
+	UnresolvedCauses []string
 	// Witnesses lists violations: concrete input packets together with
 	// the concrete output packet the pipeline produces for them.
 	Witnesses []Witness
@@ -193,6 +197,12 @@ func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, er
 				return nil
 			}
 			w, err := v.witness(p, end.state, spec.Pre)
+			if errors.Is(err, errUnresolved) {
+				rep.Unresolved++
+				rep.Verified = false
+				rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
+				return nil
+			}
 			if err != nil {
 				return err
 			}
@@ -223,12 +233,15 @@ func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, er
 		if unknown {
 			rep.Unresolved++
 			rep.Verified = false
+			rep.UnresolvedCauses = append(rep.UnresolvedCauses,
+				fmt.Sprintf("spec %s: obligation on %s unresolved within solver budget", spec.Name, endName(pi)))
 			return nil
 		}
 		w, err := v.specWitness(p, end.state, m, spec.Pre, expr.Not(post))
 		if errors.Is(err, errUnresolved) {
 			rep.Unresolved++
 			rep.Verified = false
+			rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
 			return nil
 		}
 		if err != nil {
@@ -239,10 +252,17 @@ func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, er
 		rep.Witnesses = append(rep.Witnesses, w)
 		return nil
 	})
+	if errors.Is(err, errUnresolved) {
+		rep.Unresolved++
+		rep.Verified = false
+		rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
+		err = nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	sortWitnesses(rep.Witnesses)
+	sort.Strings(rep.UnresolvedCauses)
 	return rep, nil
 }
 
@@ -261,8 +281,9 @@ func endName(pi *PathInfo) string {
 // obligation: a checkedModel of the path constraint conjoined with the
 // negated postcondition (m is the violation model when the solver
 // produced one). Like witness(), it must only run under visitMu.
-func (v *Verifier) specWitness(p *click.Pipeline, st *composed, m *expr.Assignment, extraPre []*expr.Expr, negPost *expr.Expr) (Witness, error) {
-	m, err := v.checkedModel(p, st, m, extraPre, negPost)
+func (v *Verifier) specWitness(p *click.Pipeline, st *composed, m *expr.Assignment, extraPre []*expr.Expr, negPost *expr.Expr) (w Witness, err error) {
+	defer v.capturePanic("spec witness extraction", v.rootSession, &err)
+	m, err = v.checkedModel(p, st, m, extraPre, negPost)
 	if err != nil {
 		return Witness{}, err
 	}

@@ -24,6 +24,7 @@ package verify
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -339,13 +340,16 @@ func (v *Verifier) SeqCrashFreedom(p *click.Pipeline, opts SeqOptions) (*Inducti
 	return v.seqCrashFreedom(p, ends, opts)
 }
 
-func (v *Verifier) seqCrashFreedom(p *click.Pipeline, ends []seqEnd, opts SeqOptions) (*InductionReport, error) {
-	rep := &InductionReport{Property: "crash-freedom"}
+func (v *Verifier) seqCrashFreedom(p *click.Pipeline, ends []seqEnd, opts SeqOptions) (rep *InductionReport, err error) {
+	rep = &InductionReport{Property: "crash-freedom"}
 	ctx := &seqCtx{v: v, p: p, sess: v.getSession(), budget: opts.maxSequences()}
 	defer func() {
 		rep.Sequences = ctx.explored
 		v.putSession(ctx.sess)
 	}()
+	// Registered after the session-return defer, so containment resets the
+	// (possibly poisoned) session before it re-enters the pool.
+	defer v.capturePanic("crash-freedom induction", ctx.sess, &err)
 	maxK := opts.maxK()
 	var cti *MultiWitness
 	for k := 1; k <= maxK; k++ {
@@ -524,13 +528,14 @@ func (v *Verifier) ProveInvariant(p *click.Pipeline, inv StateInvariant, opts Se
 	return v.proveInvariant(p, ends, inv, opts)
 }
 
-func (v *Verifier) proveInvariant(p *click.Pipeline, ends []seqEnd, inv StateInvariant, opts SeqOptions) (*InductionReport, error) {
-	rep := &InductionReport{Property: inv.Name}
+func (v *Verifier) proveInvariant(p *click.Pipeline, ends []seqEnd, inv StateInvariant, opts SeqOptions) (rep *InductionReport, err error) {
+	rep = &InductionReport{Property: inv.Name}
 	ctx := &seqCtx{v: v, p: p, sess: v.getSession(), budget: opts.maxSequences()}
 	defer func() {
 		rep.Sequences = ctx.explored
 		v.putSession(ctx.sess)
 	}()
+	defer v.capturePanic(fmt.Sprintf("induction for invariant %s", inv.Name), ctx.sess, &err)
 	maxK := opts.maxK()
 	var cti *MultiWitness
 	for k := 1; k <= maxK; k++ {
@@ -752,7 +757,12 @@ type SeqReport struct {
 	Obligations int
 	Proved      int
 	Trivial     int
-	Witnesses   []*MultiWitness
+	// Unresolved counts obligations left undecided (solver budget,
+	// contained panics, watchdog interrupts); they block Verified.
+	Unresolved int
+	// UnresolvedCauses carries one line per unresolved obligation, sorted.
+	UnresolvedCauses []string
+	Witnesses        []*MultiWitness
 }
 
 // VerifySeq checks a sequence contract over every feasible sequence of
@@ -810,6 +820,15 @@ func (v *Verifier) verifySeq(p *click.Pipeline, ends []seqEnd, spec SeqSpec) (*S
 			rep.Proved++
 			return nil
 		}
+		if r == smt.Unknown {
+			// Undecided is neither proved nor violated: report it, never
+			// guess (the solver-budget contract, DESIGN.md §9).
+			rep.Unresolved++
+			rep.Verified = false
+			rep.UnresolvedCauses = append(rep.UnresolvedCauses,
+				fmt.Sprintf("spec %s: obligation on a %d-packet sequence unresolved within solver budget", spec.Name, len(pre.steps)))
+			return nil
+		}
 		broken := &seqPrefix{steps: pre.steps, conds: cons, store: pre.store, model: m}
 		w, err := v.seqWitness(p, broken)
 		if err != nil {
@@ -845,9 +864,20 @@ func (v *Verifier) verifySeq(p *click.Pipeline, ends []seqEnd, spec SeqSpec) (*S
 		}
 		return nil
 	}
-	if err := walk(newSeqRoot(p, symbex.InitDefault)); err != nil {
+	err := func() (err error) {
+		defer v.capturePanic(fmt.Sprintf("sequence walk for spec %s", spec.Name), ctx.sess, &err)
+		return walk(newSeqRoot(p, symbex.InitDefault))
+	}()
+	if errors.Is(err, errUnresolved) {
+		rep.Unresolved++
+		rep.Verified = false
+		rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
+		err = nil
+	}
+	if err != nil {
 		return nil, err
 	}
+	sort.Strings(rep.UnresolvedCauses)
 	if !rep.Verified {
 		v.countSeqRefuted()
 	}
@@ -870,6 +900,9 @@ func (v *Verifier) seqWitness(p *click.Pipeline, pre *seqPrefix) (*MultiWitness,
 		v.solverQueries.Add(1)
 		r, got := v.rootSession.Check(all)
 		v.visitMu.Unlock()
+		if r == smt.Unknown {
+			return nil, fmt.Errorf("%w: sequence witness query", errUnresolved)
+		}
 		if r == smt.Unsat || got == nil {
 			return nil, fmt.Errorf("verify: cannot produce witness for feasible sequence")
 		}

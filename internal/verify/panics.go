@@ -1,0 +1,79 @@
+package verify
+
+// Panic isolation (DESIGN.md §9). Every engine worker — Step-1
+// summarization, Step-2 walkers, witness extraction on the root session
+// — runs under recover(): an engine panic (a solver bug, an injected
+// fault) is converted into an *unresolved obligation* carrying the
+// captured stack, exactly like a solver-budget exhaustion. The two
+// invariants are:
+//
+//  1. Never a fabricated verdict: a contained panic always lands on the
+//     errUnresolved degradation path, which blocks Verified/Certified
+//     and can only ever widen what the report admits it does not know.
+//  2. Never a downed daemon: no panic raised below a property driver
+//     escapes it.
+//
+// State hygiene matters as much as the recover itself: a panic that
+// unwound mid-query may have left its incremental SAT session with a
+// half-asserted atom, and a poisoned session could answer a later query
+// with a wrong Unsat. Containment therefore resets the session it was
+// guarding before reporting the obligation unresolved.
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"vsd/internal/smt"
+)
+
+// maxPanicStack bounds the stack bytes embedded in reports and
+// verdicts; panics are diagnostics, not payload.
+const maxPanicStack = 4 << 10
+
+// panicError is a recovered engine panic. It unwraps to errUnresolved,
+// so every existing errors.Is(err, errUnresolved) degradation path
+// treats contained panics exactly like budget exhaustion.
+type panicError struct {
+	where string
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("verify: panic in %s: %v (contained)\n%s", e.where, e.val, e.stack)
+}
+
+func (e *panicError) Unwrap() error { return errUnresolved }
+
+// capturePanic is the deferred containment hook: it converts an
+// in-flight panic into a panicError assigned to *errp, counts it, and
+// resets sess (when non-nil) so a poisoned SAT instance never serves
+// another query.
+// unresolvedCause renders err as the one-line cause recorded in report
+// UnresolvedCauses fields. For contained panics this keeps the header
+// ("panic in <where>") and drops the stack — the stack belongs in logs
+// (Error), not in verdicts.
+func unresolvedCause(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+func (v *Verifier) capturePanic(where string, sess *smt.IncrementalSession, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	v.panicsRecovered.Add(1)
+	if sess != nil {
+		sess.Reset()
+	}
+	stack := debug.Stack()
+	if len(stack) > maxPanicStack {
+		stack = stack[:maxPanicStack]
+	}
+	*errp = &panicError{where: where, val: r, stack: stack}
+}

@@ -3,6 +3,7 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"vsd/internal/click"
@@ -29,6 +30,11 @@ type Witness struct {
 // it into an Unresolved count — never into a verdict.
 var errUnresolved = errors.New("verify: obligation unresolved within solver budget")
 
+// errInterrupted marks work cancelled by a watchdog Interrupt; it is an
+// errUnresolved, so every degradation path treats it like budget
+// exhaustion.
+var errInterrupted = fmt.Errorf("%w: cancelled by watchdog interrupt", errUnresolved)
+
 // CrashReport is the outcome of the crash-freedom property.
 type CrashReport struct {
 	// Verified is true when no packet can crash the pipeline.
@@ -40,9 +46,13 @@ type CrashReport struct {
 	// data-structure refinement (see stateful.go).
 	Discharged int
 	// Unresolved counts crash paths the solver budget left undecided
-	// (Options.SolverMaxConflicts / SolverTimeout). They block Verified:
-	// an undecided obligation is reported, never assumed away.
+	// (Options.SolverMaxConflicts / SolverTimeout), plus obligations lost
+	// to contained engine panics or a watchdog interrupt. They block
+	// Verified: an undecided obligation is reported, never assumed away.
 	Unresolved int
+	// UnresolvedCauses carries one line per unresolved obligation (sorted
+	// for determinism) so reports and /stats can attribute degradation.
+	UnresolvedCauses []string
 }
 
 // CrashFreedom proves that no input packet can crash the pipeline, for
@@ -55,6 +65,11 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 	// Summarization fans out across the worker pool; when the check
 	// fails, walk reuses every summary from the cache.
 	summaries, err := v.summarizeAll(p.Elements)
+	if errors.Is(err, errUnresolved) {
+		// A contained summarization panic or interrupt: without summaries
+		// nothing can be proved, but the daemon degrades, never fabricates.
+		return &CrashReport{Unresolved: 1, UnresolvedCauses: []string{unresolvedCause(err)}}, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +108,7 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 		if errors.Is(err, errUnresolved) {
 			rep.Unresolved++
 			rep.Verified = false
+			rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
 			return nil
 		}
 		if err != nil {
@@ -103,10 +119,20 @@ func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
 		rep.Witnesses = append(rep.Witnesses, w)
 		return nil
 	})
+	if errors.Is(err, errUnresolved) {
+		// The walk itself degraded (contained walker panic, watchdog
+		// interrupt): the unexplored part of the path tree is an
+		// unresolved obligation, not an error.
+		rep.Unresolved++
+		rep.Verified = false
+		rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
+		err = nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	sortWitnesses(rep.Witnesses)
+	sort.Strings(rep.UnresolvedCauses)
 	return rep, nil
 }
 
@@ -195,8 +221,11 @@ type ReachReport struct {
 	Verified  bool
 	Witnesses []Witness
 	// Unresolved counts violating paths left undecided by the solver
-	// budget (they block Verified, like CrashReport.Unresolved).
+	// budget, contained panics, or a watchdog interrupt (they block
+	// Verified, like CrashReport.Unresolved).
 	Unresolved int
+	// UnresolvedCauses carries one line per unresolved obligation, sorted.
+	UnresolvedCauses []string
 }
 
 // Reachability proves a ReachSpec over the pipeline.
@@ -227,6 +256,7 @@ func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport
 		if errors.Is(err, errUnresolved) {
 			rep.Unresolved++
 			rep.Verified = false
+			rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
 			return nil
 		}
 		if err != nil {
@@ -237,10 +267,17 @@ func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport
 		rep.Witnesses = append(rep.Witnesses, w)
 		return nil
 	})
+	if errors.Is(err, errUnresolved) {
+		rep.Unresolved++
+		rep.Verified = false
+		rep.UnresolvedCauses = append(rep.UnresolvedCauses, unresolvedCause(err))
+		err = nil
+	}
 	if err != nil {
 		return nil, err
 	}
 	sortWitnesses(rep.Witnesses)
+	sort.Strings(rep.UnresolvedCauses)
 	return rep, nil
 }
 
@@ -276,8 +313,11 @@ func (v *Verifier) checkedModel(p *click.Pipeline, st *composed, m *expr.Assignm
 }
 
 // witness turns a feasible composed path into a concrete packet (under
-// the same visitMu caveat as checkedModel).
-func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (Witness, error) {
+// the same visitMu caveat as checkedModel). A panic during extraction is
+// contained into an unresolved obligation and resets the root session
+// it was querying.
+func (v *Verifier) witness(p *click.Pipeline, st *composed, extraPre []*expr.Expr) (w Witness, err error) {
+	defer v.capturePanic("witness extraction", v.rootSession, &err)
 	m, err := v.checkedModel(p, st, st.model, extraPre, nil)
 	if err != nil {
 		return Witness{}, err

@@ -1,0 +1,148 @@
+package verify
+
+// Panic-isolation and watchdog tests (DESIGN.md §9). The invariants
+// under test mirror internal/smt's robustness suite one layer up: an
+// injected engine panic must degrade to an unresolved obligation — a
+// report, never a fabricated verdict, never a downed process — and the
+// watchdog must cancel runaway work and then restore service.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vsd/internal/packet"
+	"vsd/internal/smt"
+)
+
+// panicVerifier returns a verifier whose every SAT search panics.
+func panicVerifier() *Verifier {
+	return New(Options{
+		MinLen: packet.MinFrame, MaxLen: 64,
+		SolverFaultHook: func() smt.SolveFault { return smt.ForcePanic },
+	})
+}
+
+func TestSolverPanicContainedAsUnresolved(t *testing.T) {
+	p := parsePipeline(t, `
+		src :: InfiniteSource;
+		e2 :: ToyE2;
+		sink :: Discard;
+		src -> e2 -> sink;
+	`)
+	v := panicVerifier()
+	rep, err := v.CrashFreedom(p)
+	if err != nil {
+		t.Fatalf("contained panic surfaced as an error: %v", err)
+	}
+	if rep.Verified {
+		t.Fatal("a panicking solver must not certify the pipeline")
+	}
+	if rep.Unresolved == 0 || len(rep.UnresolvedCauses) == 0 {
+		t.Fatalf("contained panic not reported as unresolved: %+v", rep)
+	}
+	for _, c := range rep.UnresolvedCauses {
+		if strings.Contains(c, "\n") {
+			t.Fatalf("unresolved cause carries a stack, want one line: %q", c)
+		}
+	}
+	if v.Stats().PanicsRecovered == 0 {
+		t.Fatal("PanicsRecovered counter not bumped")
+	}
+
+	// A fresh, clean verifier over the same pipeline still works — the
+	// containment left no poisoned global state behind.
+	clean := New(Options{MinLen: packet.MinFrame, MaxLen: 64})
+	crep, err := clean.CrashFreedom(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Verified || len(crep.Witnesses) == 0 {
+		t.Fatalf("clean run after contained panics lost the witness: %+v", crep)
+	}
+}
+
+func TestBatchSurvivesInjectedPanics(t *testing.T) {
+	p1 := parsePipeline(t, `
+		src :: InfiniteSource; e1 :: ToyE1; sink :: Discard;
+		src -> e1 -> sink;`)
+	p2 := parsePipeline(t, `
+		src :: InfiniteSource; e2 :: ToyE2; sink :: Discard;
+		src -> e2 -> sink;`)
+	v := panicVerifier()
+	verdicts := v.Batch([]BatchItem{
+		{Name: "a", Pipeline: p1},
+		{Name: "b", Pipeline: p2},
+	})
+	if len(verdicts) != 2 {
+		t.Fatalf("batch returned %d verdicts, want 2", len(verdicts))
+	}
+	for _, verdict := range verdicts {
+		if verdict.Certified {
+			t.Fatalf("%s: fabricated certification under injected panics", verdict.Name)
+		}
+		if verdict.Unresolved == 0 && verdict.Error == "" {
+			t.Fatalf("%s: degradation not reported: %+v", verdict.Name, verdict)
+		}
+	}
+}
+
+func TestWatchdogCancelsRunawayVerification(t *testing.T) {
+	// The IP-options loop needs real search; a 1ms wall budget cannot
+	// finish it, so the watchdog must fire, every in-flight search must
+	// degrade to Unknown, and the report must say "unresolved".
+	p := parsePipeline(t, `
+		src :: InfiniteSource;
+		src -> Strip(14) -> chk :: CheckIPHeader(NOCHECKSUM);
+		chk[0] -> opt :: IPOptions; chk[1] -> Discard;
+		opt[1] -> Discard;`)
+	v := New(Options{MinLen: packet.MinFrame, MaxLen: 40})
+	var rep *CrashReport
+	fired, err := v.WithWatchdog(time.Millisecond, func() error {
+		var ferr error
+		rep, ferr = v.CrashFreedom(p)
+		return ferr
+	})
+	if err != nil {
+		t.Fatalf("watchdogged run surfaced an error: %v", err)
+	}
+	if !fired {
+		t.Fatal("watchdog did not fire on runaway verification")
+	}
+	if rep.Verified || rep.Unresolved == 0 {
+		t.Fatalf("interrupted run must degrade to unresolved: %+v", rep)
+	}
+	if v.Stats().WatchdogFired == 0 {
+		t.Fatal("WatchdogFired counter not bumped")
+	}
+
+	// The watchdog resumed the verifier: the same instance still decides
+	// fresh obligations afterwards.
+	easy := parsePipeline(t, `
+		src :: InfiniteSource; e1 :: ToyE1; sink :: Discard;
+		src -> e1 -> sink;`)
+	after, err := v.CrashFreedom(easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Verified || after.Unresolved != 0 {
+		t.Fatalf("verifier did not recover after watchdog: %+v", after)
+	}
+}
+
+func TestWatchdogIdleOnFastWork(t *testing.T) {
+	v := New(Options{MinLen: packet.MinFrame, MaxLen: 64})
+	p := parsePipeline(t, `
+		src :: InfiniteSource; e1 :: ToyE1; sink :: Discard;
+		src -> e1 -> sink;`)
+	fired, err := v.WithWatchdog(time.Minute, func() error {
+		_, err := v.CrashFreedom(p)
+		return err
+	})
+	if err != nil || fired {
+		t.Fatalf("fast work under a generous budget: fired=%v err=%v", fired, err)
+	}
+	if v.Stats().WatchdogFired != 0 {
+		t.Fatalf("idle watchdog counted a firing: %+v", v.Stats())
+	}
+}

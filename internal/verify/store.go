@@ -154,6 +154,12 @@ func (s *DiskStore) path(fp ir.Fingerprint) string {
 	return filepath.Join(s.dir, fp.String()+summaryExt)
 }
 
+// Path returns the file a given key is (or would be) stored at. It
+// exists for the fault-injection harness and for operational tooling;
+// writing to the path directly bypasses the store's durability
+// protocol.
+func (s *DiskStore) Path(fp ir.Fingerprint) string { return s.path(fp) }
+
 // Load implements SummaryStore.
 func (s *DiskStore) Load(fp ir.Fingerprint) (*symbex.Summary, bool) {
 	data, err := os.ReadFile(s.path(fp))
@@ -206,9 +212,15 @@ func (s *DiskStore) Save(fp ir.Fingerprint, sum *symbex.Summary) {
 		s.saveFails.Add(1)
 		return
 	}
+	// Write, fsync, close, rename, fsync the directory: the entry must
+	// be durable before it becomes visible under its key, and the rename
+	// must itself survive a crash (a torn entry would be caught by the
+	// checksum and degrade to a miss, but a journaled service should not
+	// re-summarize after every power cut either).
 	_, werr := tmp.Write(buf)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
 		s.saveFails.Add(1)
 		return
@@ -218,7 +230,20 @@ func (s *DiskStore) Save(fp ir.Fingerprint, sum *symbex.Summary) {
 		s.saveFails.Add(1)
 		return
 	}
+	syncDir(s.dir)
 	s.saves.Add(1)
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+// Best-effort: some filesystems refuse directory fsync; the checksum
+// framing still protects readers.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // Stats returns a snapshot of the store counters.

@@ -337,3 +337,53 @@ func TestMaxRefinedReadsOption(t *testing.T) {
 		t.Error("cap=8 should discharge the two-read path")
 	}
 }
+
+// TestDiskStoreTornWriteDegradesToMiss covers every torn-write shape a
+// crashed writer (or the fault injector) can leave at an entry's path:
+// empty file, partial magic, magic-only, header-without-payload, and a
+// valid entry cut mid-checksum. Each must degrade to a miss — never a
+// panic, never a summary that was not stored under the key.
+func TestDiskStoreTornWriteDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := parsePipeline(t, storeTestPipeline)
+	v := New(Options{MinLen: packet.MinFrame, MaxLen: 48, Store: store})
+	if _, err := v.CrashFreedom(p); err != nil {
+		t.Fatal(err)
+	}
+	key := StoreKey(p.Elements[0].Program(), Options{MinLen: packet.MinFrame, MaxLen: 48})
+	path := store.Path(key)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("expected an artifact at Path(%s): %v", key, err)
+	}
+	torn := [][]byte{
+		{},
+		[]byte(diskMagic[:4]),
+		[]byte(diskMagic),
+		whole[:len(diskMagic)+len(key)],
+		whole[:len(whole)-7],
+	}
+	for i, frag := range torn {
+		if err := os.WriteFile(path, frag, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if sum, ok := store.Load(key); ok || sum != nil {
+			t.Fatalf("torn shape %d (%d bytes) loaded as a hit", i, len(frag))
+		}
+	}
+	// All five shapes are rejections, not absences.
+	if st := store.Stats(); st.Corrupt < int64(len(torn)) {
+		t.Fatalf("torn writes not counted as corrupt: %+v", st)
+	}
+	// Restoring the original bytes restores the hit.
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(key); !ok {
+		t.Fatal("restored entry no longer loads")
+	}
+}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -70,6 +71,11 @@ type Options struct {
 	// cost of cross-instance reproducibility of witness bytes (verdicts
 	// are unaffected).
 	SolverExchange *smt.ClauseExchange
+	// SolverFaultHook forwards to smt.Options.FaultHook: the
+	// fault-injection harness's solver-level hook (internal/faultinject)
+	// forcing Unknown verdicts, timeouts, or panics into individual SAT
+	// searches. Production configurations leave it nil.
+	SolverFaultHook func() smt.SolveFault
 }
 
 // DefaultPortfolio is the number of diversified solver clones raced on a
@@ -86,6 +92,7 @@ func (o Options) solverOptions() smt.Options {
 		MaxConflicts: o.SolverMaxConflicts,
 		QueryTimeout: o.SolverTimeout,
 		Preprocess:   !o.DisableSATPreprocess,
+		FaultHook:    o.SolverFaultHook,
 	}
 	if !o.DisablePortfolio {
 		so.Portfolio = DefaultPortfolio
@@ -121,6 +128,12 @@ type Stats struct {
 	// read more state values than Options.MaxRefinedReads allows the
 	// bad-value search to enumerate.
 	RefinementTruncated int
+	// Robustness counters (DESIGN.md §9). PanicsRecovered counts engine
+	// panics contained by the workers (each surfaced as an unresolved
+	// obligation, never a verdict); WatchdogFired counts wall-budget
+	// cancellations delivered through Interrupt.
+	PanicsRecovered int
+	WatchdogFired   int
 	// Sequence-verification counters (induction.go, DESIGN.md §8).
 	SeqSequences     int // feasible multi-packet sequences explored
 	SeqInfeasible    int // sequence extensions discharged as infeasible
@@ -154,6 +167,15 @@ type Verifier struct {
 	composedPaths      atomic.Int64
 	composedInfeasible atomic.Int64
 	solverQueries      atomic.Int64
+	panicsRecovered    atomic.Int64
+	watchdogFired      atomic.Int64
+
+	// interrupt is the watchdog's cancellation flag, shared with the
+	// solver (smt.Options.Interrupt): setting it makes every in-flight
+	// and future SAT search return Unknown and stops walkers at the next
+	// subtree boundary, so all affected obligations degrade to
+	// unresolved — never to a verdict.
+	interrupt atomic.Bool
 
 	// visitMu serializes walk visit callbacks; rootSession backs the
 	// solver queries made from inside them (witnesses, the stateful
@@ -182,13 +204,57 @@ func New(opts Options) *Verifier {
 	if opts.MaxLen == 0 {
 		opts.MaxLen = 1514
 	}
-	solver := smt.New(opts.solverOptions())
-	return &Verifier{
-		solver:      solver,
-		rootSession: solver.NewSession(),
-		opts:        opts,
-		cache:       map[ir.Fingerprint]*summaryEntry{},
+	v := &Verifier{
+		opts:  opts,
+		cache: map[ir.Fingerprint]*summaryEntry{},
 	}
+	so := opts.solverOptions()
+	so.Interrupt = &v.interrupt
+	v.solver = smt.New(so)
+	v.rootSession = v.solver.NewSession()
+	return v
+}
+
+// Interrupt cancels all in-flight and future solver work on this
+// Verifier: SAT searches return Unknown, walkers stop at the next
+// subtree boundary, and every affected obligation degrades to
+// unresolved (DESIGN.md §9). It never fabricates a verdict. Interrupt
+// is verifier-wide: under a shared Verifier, concurrent verifications
+// all degrade — acceptable collateral for a watchdog whose alternative
+// is a wedged daemon. Resume restores service.
+func (v *Verifier) Interrupt() { v.interrupt.Store(true) }
+
+// Resume clears an Interrupt, restoring normal solving for subsequent
+// queries.
+func (v *Verifier) Resume() { v.interrupt.Store(false) }
+
+// WithWatchdog runs fn under a wall budget: if fn has not returned
+// within budget, the verifier is interrupted — cancelling solver work
+// even when the solver ignores its own deadline (a propagation storm
+// between deadline checks, an injected stall) — and fn's obligations
+// degrade to unresolved. The interrupt is cleared before returning.
+// fired reports whether the watchdog had to step in. budget <= 0 runs
+// fn unguarded.
+func (v *Verifier) WithWatchdog(budget time.Duration, fn func() error) (fired bool, err error) {
+	if budget <= 0 {
+		return false, fn()
+	}
+	interrupted := make(chan struct{})
+	t := time.AfterFunc(budget, func() {
+		defer close(interrupted)
+		v.watchdogFired.Add(1)
+		v.Interrupt()
+	})
+	err = fn()
+	// Stop returning false means the callback has fired (or is mid-run):
+	// wait for its Interrupt to land before clearing it, so a late timer
+	// can never leave the verifier permanently interrupted.
+	if !t.Stop() {
+		<-interrupted
+		v.Resume()
+		return true, err
+	}
+	return false, err
 }
 
 // parallelism resolves Options.Parallelism.
@@ -209,6 +275,8 @@ func (v *Verifier) Stats() Stats {
 	s.ComposedPaths = int(v.composedPaths.Load())
 	s.ComposedInfeasible = int(v.composedInfeasible.Load())
 	s.SolverQueries = v.solverQueries.Load()
+	s.PanicsRecovered = int(v.panicsRecovered.Load())
+	s.WatchdogFired = int(v.watchdogFired.Load())
 	s.Solver = v.solver.Stats()
 	return s
 }
@@ -286,6 +354,17 @@ func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
 	}
 	v.mu.Unlock()
 	ent.once.Do(func() { ent.segs, ent.merged, ent.err = v.loadOrSummarize(e) })
+	if ent.err != nil && errors.Is(ent.err, errUnresolved) {
+		// A transient failure — contained engine panic, watchdog
+		// interrupt — must not poison the cache: drop the entry so a
+		// later admission (or a queued retry) re-runs the engine
+		// instead of inheriting this fault forever.
+		v.mu.Lock()
+		if v.cache[key] == ent {
+			delete(v.cache, key)
+		}
+		v.mu.Unlock()
+	}
 	return ent.segs, ent.err
 }
 
@@ -356,11 +435,15 @@ func (v *Verifier) countSummary(segs []*symbex.Segment, merged, fromStore bool) 
 // summarize is the uncached Step-1 engine run. The second result
 // reports whether loop-state merging occurred during this run (making
 // the summary's step counts upper bounds; the flag is persisted with
-// the artifact).
-func (v *Verifier) summarize(e *click.Instance) ([]*symbex.Segment, bool, error) {
+// the artifact). An engine panic is contained here (DESIGN.md §9): the
+// possibly-poisoned engine is dropped instead of repooled, and the
+// element's summary becomes an unresolved obligation, never a partial
+// summary.
+func (v *Verifier) summarize(e *click.Instance) (segs []*symbex.Segment, merged bool, err error) {
+	defer v.capturePanic(fmt.Sprintf("step-1 summarization of %s", e.Name()), nil, &err)
 	eng := v.getEngine()
-	segs, err := eng.Run(e.Program(), v.input())
-	merged := eng.Stats().Merged
+	segs, err = eng.Run(e.Program(), v.input())
+	merged = eng.Stats().Merged
 	v.putEngine(eng)
 	if err != nil {
 		return nil, false, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
@@ -655,10 +738,37 @@ func (w *walker) doVisit(end pathEnd) error {
 	return w.visit(end)
 }
 
+// safeDFS runs one walk task under panic containment: a panic anywhere
+// in the subtree — stitching, feasibility solving, a visit callback —
+// is converted into an unresolved-obligation error, and the worker's
+// session is reset so poisoned SAT state cannot serve later queries.
+func (w *walker) safeDFS(sess *smt.IncrementalSession, elem int, st *composed) (err error) {
+	defer func() {
+		var pe *panicError
+		if err == nil || !errors.As(err, &pe) {
+			return
+		}
+		// The panic may have unwound through a visit callback mid-query
+		// on the shared root session; don't trust that instance either.
+		w.v.visitMu.Lock()
+		w.v.rootSession.Reset()
+		w.v.visitMu.Unlock()
+	}()
+	defer w.v.capturePanic("step-2 composed-path walk", sess, &err)
+	return w.dfs(sess, elem, st)
+}
+
 // dfs explores the subtree rooted at (elem, st) on the worker's session.
 func (w *walker) dfs(sess *smt.IncrementalSession, elem int, st *composed) error {
 	if w.stopped.Load() {
 		return nil
+	}
+	// A watchdog interrupt stops exploration outright: with the solver
+	// cancelled every feasibility query would come back Unknown (treated
+	// feasible), so continuing would enumerate the full unpruned tree to
+	// no benefit. The whole walk degrades to one unresolved obligation.
+	if w.v.interrupt.Load() {
+		return errInterrupted
 	}
 	inst := w.p.Elements[elem].Name()
 	for _, seg := range w.summaries[elem] {
@@ -732,7 +842,7 @@ func (v *Verifier) walk(p *click.Pipeline, extraPre []*expr.Expr, visit func(pat
 	par := v.parallelism()
 	if par <= 1 {
 		sess := v.getSession()
-		err := w.dfs(sess, p.Entry, root)
+		err := w.safeDFS(sess, p.Entry, root)
 		v.putSession(sess)
 		if err != nil {
 			return err
@@ -748,7 +858,7 @@ func (v *Verifier) walk(p *click.Pipeline, extraPre []*expr.Expr, visit func(pat
 			sess := v.getSession()
 			defer v.putSession(sess)
 			for t := range w.tasks {
-				if err := w.dfs(sess, t.elem, t.st); err != nil {
+				if err := w.safeDFS(sess, t.elem, t.st); err != nil {
 					w.recordErr(err)
 				}
 				w.pending.Done()
