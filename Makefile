@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke chaos-smoke
+.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke chaos-smoke tput-smoke
 
 # tier1 is the repo's gate: everything must build, vet clean, and every
 # test pass.
@@ -85,9 +85,23 @@ chaos-smoke:
 	$(GO) test -race ./internal/verify -run 'Panic|Watchdog|DiskStore'
 	@echo "chaos-smoke: zero crashes, zero verdict flips, journal replay converged (seed $(CHAOS_SEED))"
 
+# tput-smoke is the compiled-dataplane gate (DESIGN.md §10): both
+# execution tiers forward the same fixed-seed traces through every
+# corpus pipeline with the differential oracle demanding identical
+# dispositions, egress, bytes, meta, state, and step counts; the
+# compile-tier unit tests (step parity, optimizer soundness,
+# definitely-assigned analysis) re-run under the race detector, which
+# also exercises ProcessBatch's frame pooling for races (CI runs it).
+TPUT_SEED ?= 2009
+tput-smoke:
+	$(GO) run ./cmd/vsdrun -compare -n 20000 -seed $(TPUT_SEED) examples/corpus/router.click
+	$(GO) run ./cmd/vsdrun -compare -n 20000 -seed $(TPUT_SEED) -workload adversarial examples/corpus/nat.click
+	$(GO) test -race ./internal/dataplane/... -run 'Compare|Compiled|Parity|DefAssign|Batch'
+	@echo "tput-smoke: interpreter and compiled VM agreed on every observable (seed $(TPUT_SEED))"
+
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT
 # for the next snapshot.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_9.json
 bench-json:
 	$(GO) run ./cmd/vsdbench -json > $(BENCH_OUT).tmp && mv $(BENCH_OUT).tmp $(BENCH_OUT)

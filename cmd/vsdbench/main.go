@@ -13,7 +13,10 @@
 //
 // With -json the results are emitted as a JSON array of records — one
 // per benchmark row — in the BENCH_*.json shape: benchmark name, wall
-// time, and a flat map of custom metrics.
+// time, and a flat map of custom metrics. Every record also carries the
+// measuring host's GOMAXPROCS, GOARCH, and Go version, so BENCH files
+// from different hosts compare honestly (the tput cells especially are
+// meaningless without them).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,10 +33,16 @@ import (
 	"vsd/internal/smt"
 )
 
-// benchRecord is one BENCH_*.json-compatible result row.
+// benchRecord is one BENCH_*.json-compatible result row. The three
+// environment fields are stamped centrally on every record (see
+// main's record closure): cross-host numbers only compare when the
+// host that produced them is part of the record.
 type benchRecord struct {
 	Name       string             `json:"name"`
 	WallTimeNS int64              `json:"wall_time_ns"`
+	GoVersion  string             `json:"go_version"`
+	GoArch     string             `json:"goarch"`
+	GoMaxProcs int                `json:"gomaxprocs"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
@@ -79,6 +89,7 @@ var experimentTable = []experiment{
 	{"b1", "batch admission against the persistent summary store (DESIGN.md §7)", runB1},
 	{"s1", "multi-packet state verification: k-induction vs bounded unrolling (DESIGN.md §8)", runS1},
 	{"r1", "degradation ladder under injected disk and solver faults (DESIGN.md §9)", runR1},
+	{"tput", "forwarding throughput: interpreter vs compiled VM vs batched, plus the differential fuzz gate (DESIGN.md §10)", runTput},
 }
 
 func experimentNames() []string {
@@ -180,6 +191,9 @@ func main() {
 			// Defense in depth for experiments without cell plumbing: a
 			// filtered-out cell that ran anyway still stays out of the JSON.
 			if benchRE == nil || benchRE.MatchString(r.Name) {
+				r.GoVersion = runtime.Version()
+				r.GoArch = runtime.GOARCH
+				r.GoMaxProcs = runtime.GOMAXPROCS(0)
 				records = append(records, r)
 			}
 		},
@@ -480,6 +494,51 @@ func runS1(ctx *benchCtx) error {
 		}
 		ctx.record(benchRecord{Name: name, WallTimeNS: int64(r.Duration), Metrics: m})
 	}
+	return nil
+}
+
+// tputPackets/tputFuzzPackets size the tput cells: enough packets that
+// per-call overhead vanishes, and ≥1M fuzzed packets so the quoted
+// speedup rides on a meaningful equivalence sample.
+const (
+	tputPackets     = 2_000_000
+	tputFuzzPackets = 1_000_000
+	tputSeed        = 0x7d9
+)
+
+func runTput(ctx *benchCtx) error {
+	ctx.printf("paper: a dataplane that is verified AND fast — three tiers, one semantics, machine-checked equal\n")
+	res, err := experiments.Tput(tputPackets, tputFuzzPackets, tputSeed)
+	if err != nil {
+		return err
+	}
+	ctx.printf("%-16s %12s %10s %10s %9s %11s %12s\n",
+		"tier", "packets", "Mpps", "ns/pkt", "speedup", "steps/pkt", "allocs/pkt")
+	for _, r := range res.Rows {
+		ctx.printf("%-16s %12d %10.3f %10.1f %8.2fx %11.1f %12.4f\n",
+			r.Tier, r.Packets, r.Mpps, r.NsPerPkt, r.Speedup, r.StepsPerPkt, r.AllocsPerPkt)
+		ctx.record(benchRecord{
+			Name: "tput/" + r.Tier, WallTimeNS: int64(r.Duration),
+			Metrics: map[string]float64{
+				"packets":        float64(r.Packets),
+				"mpps":           r.Mpps,
+				"ns-per-pkt":     r.NsPerPkt,
+				"speedup":        r.Speedup,
+				"steps-per-pkt":  r.StepsPerPkt,
+				"allocs-per-pkt": r.AllocsPerPkt,
+			},
+		})
+	}
+	ctx.printf("fuzz gate: %d packets over %d corpus pipelines, zero divergences (%v)\n",
+		res.FuzzPackets, res.FuzzPipelines, res.FuzzDuration.Round(1e6))
+	ctx.record(benchRecord{
+		Name: "tput/fuzz-gate", WallTimeNS: int64(res.FuzzDuration),
+		Metrics: map[string]float64{
+			"packets":     float64(res.FuzzPackets),
+			"pipelines":   float64(res.FuzzPipelines),
+			"divergences": 0, // Tput errors out on any divergence
+		},
+	})
 	return nil
 }
 

@@ -3,6 +3,14 @@
 // verify-then-run story: the IR vsdverify proves properties about is
 // the IR vsdrun forwards packets with.
 //
+// Two execution tiers share that IR's semantics: the tree-walking
+// interpreter (the reference) and the compiled bytecode VM (the fast
+// path, DESIGN.md §10). -compiled selects the fast tier; -compare runs
+// BOTH tiers over the trace and fails loudly unless every observable —
+// disposition, egress port, output bytes, metadata, element-private
+// state, and exact step counts — is identical packet for packet, which
+// is the differential oracle that keeps the fast tier honest.
+//
 // Usage:
 //
 //	vsdrun [flags] config.click
@@ -10,6 +18,8 @@
 //	-n N        number of packets to generate (default 1000)
 //	-seed S     trace generator seed
 //	-workload   mix|ipv4|random|adversarial
+//	-compiled   forward on the compiled VM tier instead of the interpreter
+//	-compare    run interpreter AND compiled tiers, fail on any divergence
 package main
 
 import (
@@ -28,6 +38,8 @@ func main() {
 	n := flag.Int("n", 1000, "number of packets")
 	seed := flag.Int64("seed", 1, "trace seed")
 	workload := flag.String("workload", "mix", "workload: mix, ipv4, random, or adversarial")
+	compiled := flag.Bool("compiled", false, "execute on the compiled bytecode VM tier")
+	compare := flag.Bool("compare", false, "differential mode: run both tiers, fail on any divergence")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vsdrun [flags] config.click")
@@ -63,15 +75,39 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q", *workload))
 	}
 
-	runner := dataplane.NewRunner(pipeline)
-	sum := runner.RunTrace(pkts)
+	if *compare {
+		rep, err := dataplane.Compare(pipeline, pkts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vsdrun: DIVERGENCE:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tiers agree on %d packets: %d forwarded, %d dropped, %d crashed, %d steps\n",
+			rep.Packets, rep.Emitted, rep.Dropped, rep.Crashed, rep.Steps)
+		fmt.Println("interpreted, compiled, and batched execution produced identical dispositions, egress, bytes, meta, state, and step counts")
+		return
+	}
+
+	var sum dataplane.Summary
+	var counters string
+	if *compiled {
+		runner, err := dataplane.NewCompiled(pipeline)
+		if err != nil {
+			fatal(err)
+		}
+		sum = runner.RunTrace(pkts)
+		counters = runner.FormatCounters()
+	} else {
+		runner := dataplane.NewRunner(pipeline)
+		sum = runner.RunTrace(pkts)
+		counters = runner.FormatCounters()
+	}
 	fmt.Printf("processed %d packets: %d forwarded, %d dropped, %d crashed\n",
 		sum.Packets, sum.Emitted, sum.Dropped, sum.Crashed)
 	for egress, count := range sum.PerEgress {
 		fmt.Printf("  egress %-20s %d\n", pipeline.EgressName(egress), count)
 	}
 	fmt.Println()
-	fmt.Print(runner.FormatCounters())
+	fmt.Print(counters)
 	if sum.FirstCrash != nil {
 		fmt.Printf("\nFIRST CRASH at element %s: %v\n", sum.FirstCrash.CrashAt, sum.FirstCrash.Crash)
 		fmt.Println("run vsdverify on this configuration to obtain a minimal witness")

@@ -430,7 +430,7 @@ func replayAndPrint(p *click.Pipeline, w *verify.MultiWitness) {
 		fatal(err)
 	}
 	fmt.Print(verify.FormatMultiWitness(w))
-	fmt.Println("  replay: the sequence reproduces byte-for-byte on the concrete dataplane")
+	fmt.Println("  replay: the sequence reproduces byte-for-byte on the concrete dataplane (both the interpreter and the compiled VM tier)")
 }
 
 // runBatch is the admission-service mode: every .click file in dir is a

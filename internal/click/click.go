@@ -127,7 +127,10 @@ type Pipeline struct {
 	Entry int
 	// egress assigns a stable id to every unconnected output port.
 	egress map[[2]int]int
-	nEgr   int
+	// egrNames caches the rendered name per egress id; the dataplane
+	// reads it per packet, so it must not format on demand.
+	egrNames []string
+	nEgr     int
 }
 
 // NewPipeline builds and validates a pipeline. Connections are given as
@@ -236,6 +239,7 @@ func (p *Pipeline) numberEgress() {
 		for port, e := range p.Edges[i] {
 			if e.To < 0 {
 				p.egress[[2]int{i, port}] = p.nEgr
+				p.egrNames = append(p.egrNames, fmt.Sprintf("%s[%d]", p.Elements[i].Name(), port))
 				p.nEgr++
 			}
 		}
@@ -257,10 +261,8 @@ func (p *Pipeline) EgressID(elem, port int) int {
 
 // EgressName renders an egress id for reports ("rt[2]").
 func (p *Pipeline) EgressName(id int) string {
-	for key, got := range p.egress {
-		if got == id {
-			return fmt.Sprintf("%s[%d]", p.Elements[key[0]].Name(), key[1])
-		}
+	if id >= 0 && id < len(p.egrNames) {
+		return p.egrNames[id]
 	}
 	return fmt.Sprintf("egress%d", id)
 }

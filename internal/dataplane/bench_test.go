@@ -1,0 +1,76 @@
+package dataplane
+
+import (
+	"testing"
+
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+)
+
+// benchTrace is a fixed working set shared by the forwarding
+// benchmarks; ipv4-only so every packet takes the full router path.
+func benchTrace(n int) []*packet.Buffer {
+	g := trace.New(trace.Spec{Seed: 5})
+	pkts := make([]*packet.Buffer, n)
+	for i := range pkts {
+		pkts[i] = g.IPv4()
+	}
+	return pkts
+}
+
+func BenchmarkInterpreterProcess(b *testing.B) {
+	p, err := routerPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRunner(p)
+	pkts := benchTrace(1024)
+	r.RunTrace(pkts) // warmup: size the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.scratch.CopyFrom(pkts[i%len(pkts)])
+		r.Process(r.scratch)
+	}
+}
+
+func BenchmarkCompiledProcess(b *testing.B) {
+	p, err := routerPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewCompiled(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := benchTrace(1024)
+	scratch := packet.NewBuffer(nil)
+	for _, pkt := range pkts { // warmup
+		scratch.CopyFrom(pkt)
+		r.Process(scratch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch.CopyFrom(pkts[i%len(pkts)])
+		r.Process(scratch)
+	}
+}
+
+func BenchmarkCompiledBatch(b *testing.B) {
+	p, err := routerPipeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewCompiled(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts := benchTrace(1024)
+	r.RunTrace(pkts) // warmup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(pkts) {
+		r.RunTrace(pkts)
+	}
+}

@@ -1,0 +1,210 @@
+package dataplane
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+
+	"vsd/internal/click"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// Divergence reports one packet on which the interpreted and compiled
+// tiers disagreed — by construction a soundness bug in the compiler or
+// VM, never in the workload.
+type Divergence struct {
+	Packet int    // index into the trace
+	Field  string // which observable differed
+	Interp string // interpreter-tier value
+	Comp   string // compiled-tier value
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("dataplane: tiers diverge on packet %d: %s: interpreted=%s compiled=%s",
+		d.Packet, d.Field, d.Interp, d.Comp)
+}
+
+// CompareReport summarizes one differential run over a trace.
+type CompareReport struct {
+	Packets int64
+	Emitted int64
+	Dropped int64
+	Crashed int64
+	Steps   int64 // total dynamic statements (identical across tiers)
+}
+
+// stateCheckInterval spaces out full private-state comparisons: state
+// grows with traffic (a NAT table holds thousands of flows), so
+// checking every packet would make the fuzzer quadratic. Cheap
+// per-packet observables still catch a divergence the moment it leaks
+// into behavior; the periodic sweep catches silent state skew within
+// the window. Must stay a multiple of batchSize so checkpoints land on
+// chunk boundaries, where all tiers have consumed equal packet counts.
+const stateCheckInterval = 1024
+
+var _ = [1]struct{}{}[stateCheckInterval%batchSize] // multiple-of-batchSize guard
+
+// Compare drives the same trace through three executions of the
+// pipeline — interpreted (Runner), compiled per-packet
+// (Compiled.Process), and compiled batched (Compiled.ProcessBatch) —
+// with each tier keeping its own persistent private state, and demands
+// they agree packet by packet on every observable: disposition, egress
+// port and name, crash site/kind/message, step and hop counts, output
+// bytes, final metadata, and (periodically and at the end) all private
+// state. It returns the first divergence found, or a summary if there
+// is none.
+//
+// This is the soundness oracle behind `vsdrun -compare` and the tput
+// fuzz cell: the compiled tier is fast because it proves, millions of
+// packets at a time, that it is not wrong.
+func Compare(p *click.Pipeline, trace []*packet.Buffer) (CompareReport, error) {
+	ri := NewRunner(p)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		return CompareReport{}, err
+	}
+	rb, err := NewCompiled(p)
+	if err != nil {
+		return CompareReport{}, err
+	}
+	var rep CompareReport
+
+	// The batched tier runs in lockstep with the per-packet loop: each
+	// chunk is processed just before the loop reaches it, so at any
+	// state checkpoint all three tiers have consumed exactly the same
+	// number of packets (stateful elements would otherwise legitimately
+	// differ — a NAT table that has seen the whole trace is ahead of one
+	// that has seen a quarter of it).
+	bbufs := make([]*packet.Buffer, len(trace))
+	for i, b := range trace {
+		bbufs[i] = b.Clone()
+	}
+	bress := make([]Result, len(trace))
+
+	for i, orig := range trace {
+		if i%batchSize == 0 {
+			end := min(i+batchSize, len(trace))
+			rb.ProcessBatch(bbufs[i:end], bress[i:end])
+		}
+		bi := orig.Clone()
+		bc := orig.Clone()
+		resI := ri.Process(bi)
+		resC := rc.Process(bc)
+		if d := diffResults(i, &resI, &resC, "compiled"); d != nil {
+			return rep, d
+		}
+		if !bytes.Equal(bi.Data, bc.Data) {
+			return rep, &Divergence{i, "output bytes (compiled)", fmt.Sprintf("%x", bi.Data), fmt.Sprintf("%x", bc.Data)}
+		}
+		if !maps.Equal(bi.Meta, bc.Meta) {
+			return rep, &Divergence{i, "final metadata (compiled)", fmt.Sprintf("%v", bi.Meta), fmt.Sprintf("%v", bc.Meta)}
+		}
+		if d := diffResults(i, &resI, &bress[i], "batched"); d != nil {
+			return rep, d
+		}
+		if !bytes.Equal(bi.Data, bbufs[i].Data) {
+			return rep, &Divergence{i, "output bytes (batched)", fmt.Sprintf("%x", bi.Data), fmt.Sprintf("%x", bbufs[i].Data)}
+		}
+		if !maps.Equal(bi.Meta, bbufs[i].Meta) {
+			return rep, &Divergence{i, "final metadata (batched)", fmt.Sprintf("%v", bi.Meta), fmt.Sprintf("%v", bbufs[i].Meta)}
+		}
+		rep.Packets++
+		rep.Steps += resI.Steps
+		switch resI.Disposition {
+		case ir.Emitted:
+			rep.Emitted++
+		case ir.Dropped:
+			rep.Dropped++
+		case ir.Crashed:
+			rep.Crashed++
+		}
+		if (i+1)%stateCheckInterval == 0 {
+			if d := diffState(i, ri, rc, rb); d != nil {
+				return rep, d
+			}
+		}
+	}
+	if d := diffState(len(trace)-1, ri, rc, rb); d != nil {
+		return rep, d
+	}
+	return rep, nil
+}
+
+// diffResults compares every observable of two Results; tier names the
+// compiled execution mode for the report.
+func diffResults(pkt int, a, b *Result, tier string) *Divergence {
+	f := func(field, av, bv string) *Divergence {
+		return &Divergence{pkt, field + " (" + tier + ")", av, bv}
+	}
+	if a.Disposition != b.Disposition {
+		return f("disposition", a.Disposition.String(), b.Disposition.String())
+	}
+	if a.Egress != b.Egress {
+		return f("egress", fmt.Sprint(a.Egress), fmt.Sprint(b.Egress))
+	}
+	if a.EgressName != b.EgressName {
+		return f("egress name", a.EgressName, b.EgressName)
+	}
+	if a.CrashAt != b.CrashAt {
+		return f("crash site", a.CrashAt, b.CrashAt)
+	}
+	if (a.Crash == nil) != (b.Crash == nil) {
+		return f("crash presence", fmt.Sprint(a.Crash), fmt.Sprint(b.Crash))
+	}
+	if a.Crash != nil {
+		if a.Crash.Kind != b.Crash.Kind {
+			return f("crash kind", a.Crash.Kind.String(), b.Crash.Kind.String())
+		}
+		if a.Crash.Msg != b.Crash.Msg {
+			return f("crash message", a.Crash.Msg, b.Crash.Msg)
+		}
+	}
+	if a.Steps != b.Steps {
+		return f("step count", fmt.Sprint(a.Steps), fmt.Sprint(b.Steps))
+	}
+	if a.Hops != b.Hops {
+		return f("hop count", fmt.Sprint(a.Hops), fmt.Sprint(b.Hops))
+	}
+	return nil
+}
+
+// diffState compares every element's private state across the three
+// tiers. An empty store and an absent one are the same state.
+func diffState(pkt int, ri *Runner, rc, rb *Compiled) *Divergence {
+	for i := range ri.states {
+		si := ri.states[i]
+		for tier, r := range map[string]*Compiled{"compiled": rc, "batched": rb} {
+			sc := r.stateSnapshot(i)
+			if !statesEqual(si, sc) {
+				return &Divergence{pkt, fmt.Sprintf("private state of element %d (%s)", i, tier),
+					fmt.Sprintf("%v", si), fmt.Sprintf("%v", sc)}
+			}
+		}
+	}
+	return nil
+}
+
+// statesEqual treats empty maps as absent, matching how the
+// interpreter lazily materializes stores.
+func statesEqual(a, b ir.State) bool {
+	for name, m := range a {
+		if len(m) == 0 {
+			continue
+		}
+		if !maps.Equal(m, b[name]) {
+			return false
+		}
+	}
+	for name, m := range b {
+		if len(m) == 0 {
+			continue
+		}
+		// Non-empty a[name] was already matched above; only an absent or
+		// empty counterpart remains to catch.
+		if len(a[name]) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,550 @@
+// Package compile lowers verified ir.Programs into a compact flat
+// bytecode and executes it on a GC-free register virtual machine — the
+// dataplane's fast tier.
+//
+// The tree-walking interpreter in internal/ir is the reference
+// semantics: it is what the symbolic engine models and what witnesses
+// replay against. This package exists to make the same semantics fast
+// enough to carry traffic, which it does by paying every name
+// resolution and allocation at compile time instead of per packet:
+//
+//   - control flow (If/Loop/Break) flattens to conditional jumps over a
+//     linear instruction array, so execution is a tight pc loop instead
+//     of a recursive tree walk;
+//   - registers become a flat []uint64 with per-register width masks
+//     precomputed, so bitvector arithmetic is plain machine arithmetic
+//     plus one AND;
+//   - metadata slots resolve to integer indices in a pipeline-wide
+//     packet.MetaLayout, so MetaLoad/MetaStore index a flat array
+//     instead of hashing a string into a map;
+//   - state stores and static tables pre-bind to their declarations, so
+//     StateRead/StateWrite/StaticLookup never scan by name;
+//   - crash messages with no dynamic parts are preformatted.
+//
+// The VM executes with zero per-packet heap allocations in the steady
+// state: the register file is reused and cleared in place, packet
+// frames come from the runner's pools, and only an actual crash
+// allocates (its CrashInfo and message).
+//
+// # The equivalence obligation
+//
+// Because the verifier's guarantees are stated about the interpreted
+// semantics, the compiled tier is only sound if it is observationally
+// identical: same disposition, same output bytes, same metadata, same
+// private state, same crash kind and message, and the same Steps count,
+// for every packet. Step counts must match exactly — the paper's
+// bounded-execution property is a statement about dynamic statement
+// counts, and verify.E2-style bounds are checked against concrete
+// executions of either tier. The lowering therefore preserves the
+// interpreter's step accounting to the statement: each IR statement
+// costs one step at its head instruction, a loop costs one step at
+// entry plus one per back edge actually taken, and auxiliary jumps cost
+// nothing. dataplane.Compare and the differential fuzzer machine-check
+// this equivalence over millions of random packets (DESIGN.md §10).
+package compile
+
+import (
+	"fmt"
+
+	"vsd/internal/bv"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// op is a bytecode opcode. The set mirrors the IR statement forms, with
+// control flow flattened to jumps and packet accesses specialized per
+// byte count.
+type op uint8
+
+const (
+	opConst op = iota
+	// Binary ALU ops; operands and destination are already
+	// width-masked, the destination mask is reapplied where the raw
+	// 64-bit result can overflow the width.
+	opAdd
+	opSub
+	opMul
+	opUDiv // aux: preformatted div-by-zero message
+	opURem // aux: preformatted div-by-zero message
+	opAnd
+	opOr
+	opXor
+	opShl  // imm: operand width in bits
+	opLShr // imm: operand width in bits
+	opAShr // imm: operand width in bits
+	opEq
+	opNe
+	opUlt
+	opUle
+	opSlt // imm: 64 - operand width (sign-extension shift)
+	opSle // imm: 64 - operand width
+	opNot
+	opMov   // zero-extension: value is unchanged, widths only grow
+	opTrunc // mask to destination width
+	opSExt  // imm: source width mask
+	opSel   // dst = regs[a]==1 ? regs[b] : regs[aux]
+	opLoad1
+	opLoad2
+	opLoad4
+	opStore1
+	opStore2
+	opStore4
+	opPktLen
+	opMetaLoad  // aux: slot index
+	opMetaStore // aux: slot index
+	opStateRead // aux: store index
+	opStateWrite
+	opLookup // aux: table index; imm: value-width mask
+	opAssert // aux: preformatted message
+	// Control flow. Costs mirror the interpreter's step accounting:
+	// opBr is the If statement (1 step), opBreak is the Break statement
+	// (1 step), opJump and opCrashEnd are synthetic (0 steps),
+	// opLoopInit is the Loop entry (1 step), opLoopBack costs 1 step
+	// when the back edge is taken and 0 when the loop exits.
+	opBr   // if regs[a] != 1: pc = aux
+	opJump // pc = aux
+	opBreak
+	opLoopInit // regs[dst] = imm (the static bound)
+	opLoopBack // regs[a]--; if regs[a] > 0: pc = aux
+	opEmit     // aux: output port
+	opDrop
+	opCrashEnd // fell off the program end (unreachable for built programs)
+
+	// Superinstructions, produced only by the peephole optimizer. Each
+	// carries the summed step cost of the IR statements it replaces, so
+	// fusion never changes the observable step count.
+	//
+	// ALU with an immediate second operand (from a const used once):
+	opAddImm
+	opSubImm
+	opMulImm
+	opAndImm
+	opOrImm
+	opXorImm
+	opShlImm  // imm: shift amount, < operand width
+	opLShrImm // imm: shift amount, < operand width
+	opAShrImm // imm: shift amount, < operand width
+	opEqImm
+	opNeImm
+	opUltImm
+	opUleImm
+	opSltImm // imm: sign-extended constant; aux: 64 - width
+	opSleImm // imm: sign-extended constant; aux: 64 - width
+	// Packet access at a constant offset:
+	opLoad1C       // imm: byte offset
+	opLoad2C       // imm: byte offset
+	opLoad4C       // imm: byte offset
+	opStore1C      // b: value reg; imm: byte offset
+	opStore2C      // b: value reg; imm: byte offset
+	opStore4C      // b: value reg; imm: byte offset
+	opMetaStoreImm // aux: slot index; imm: value
+	// Fused compare+branch, named for the branch-taken condition (the
+	// negation of the fused compare, since opBr jumps when the condition
+	// is false). Signed forms keep the sign shift in dst.
+	opBrNe     // from Eq: jump when a != b
+	opBrEq     // from Ne
+	opBrUge    // from Ult
+	opBrUgt    // from Ule
+	opBrSge    // from Slt; dst: 64 - width
+	opBrSgt    // from Sle; dst: 64 - width
+	opBrNeImm  // from EqImm
+	opBrEqImm  // from NeImm
+	opBrUgeImm // from UltImm
+	opBrUgtImm // from UleImm
+	opBrSgeImm // from SltImm; imm sign-extended; dst: 64 - width
+	opBrSgtImm // from SleImm; imm sign-extended; dst: 64 - width
+	// Address-formation fusions. O forms fold a constant displacement
+	// into the access; S forms also fold a scaled index. aux carries the
+	// register index whose width mask bounds the folded address
+	// arithmetic (the fused AddImm/MulAddImm destination).
+	opMulAddImm // dst = (regs[b] + regs[a]*imm) & masks[dst]
+	opLoad1O    // dst = data[(regs[a]+imm) & masks[aux]]
+	opLoad2O
+	opLoad4O
+	opStore1O // data[(regs[a]+imm) & masks[aux]] = regs[b]
+	opStore2O
+	opStore4O
+	opLoad1S // dst = data[(regs[b]+regs[a]*imm) & masks[aux]]
+	opLoad2S
+	opLoad4S
+	// Constant-value stores. V forms store imm at a register offset; VO
+	// forms add a constant displacement (in dst) to a base register.
+	opStore1V // data[regs[a]] = imm
+	opStore2V
+	opStore4V
+	opStore1VO // data[(regs[a]+dst) & masks[aux]] = imm
+	opStore2VO
+	opStore4VO
+	// Positive fused branches: a Not folded into opBr flips the jump
+	// condition back to the compare itself (opBrIf when the compare
+	// cannot fuse). Signed forms keep the sign shift in dst.
+	opBrIf     // jump when regs[a] == 1
+	opBrLtU    // from Ult+Not+Br: jump when a < b
+	opBrLeU    // from Ule
+	opBrLtS    // from Slt; dst: 64 - width
+	opBrLeS    // from Sle; dst: 64 - width
+	opBrLtUImm // from UltImm
+	opBrLeUImm // from UleImm
+	opBrLtSImm // from SltImm; imm sign-extended; dst: 64 - width
+	opBrLeSImm // from SleImm; imm sign-extended; dst: 64 - width
+
+	// Loop-body superinstructions: the inner-loop shapes the lowering
+	// produces for byte scans (the IP checksum) and header rewrites
+	// (EtherEncap) fused one level further.
+	opLoad2SAdd      // dst = (dst + load2(data, (regs[b]+regs[a]*imm) & masks[aux])) & masks[dst]
+	opAddImmLoopBack // dst = (regs[a]+imm) & masks[dst]; regs[b]--; if regs[b] > 0: pc = aux
+	opStoreV2P       // data[(regs[a]+dst) & masks[aux]] = imm>>8; data[(regs[a]+b) & masks[aux]] = imm; trail: second store's cost
+	opAndShrAdd      // dst = ((regs[a] & imm) + (regs[a] >> aux)) & masks[dst]
+	// Inverted-loop back edges (see invertLoops): the header's exit test
+	// (BrUgt + Break) is replicated into the back edge, so iterations
+	// dispatch one instruction instead of three. The header stays in
+	// place for loop entry; imm bits 40..47 carry the test's step cost
+	// and bits 48..55 the break's, charged exactly when each replica
+	// conceptually executes.
+	opLoopNext    // dst += imm&(2^40-1); b--; if b>0: test regs[a] > regs[dst] -> aux or fall through
+	opLoopBackUgt // a--; if a>0: test regs[b] > regs[dst] -> aux or fall through
+	// Whole-loop superinstruction (see fuseChkLoop): a counted
+	// accumulate loop whose body is a single opLoad2SAdd runs entirely
+	// inside one dispatch. dst = accumulator, a = index, b = base,
+	// aux = loop counter; imm packs (8 bits each, low to high) scale,
+	// index increment, address mask index, limit register, and — in
+	// bits 40..63 — the continue/fail/latch step costs.
+	opLoad2AddLoop
+)
+
+// instr is one bytecode instruction. dst/a/b name registers, aux is an
+// opcode-specific small operand (jump target, slot/store/table/message
+// index, port), imm an opcode-specific 64-bit operand. cost is the
+// number of IR statements this instruction accounts for in the step
+// count: 1 for plain lowered statements, 0 for synthetic jumps, the sum
+// for fused superinstructions. trail is the share of cost contributed
+// by fused statements that sit AFTER the instruction's fault point
+// (width-normalizing copies and accumulates folded into a load): a
+// crash must not charge them, because the interpreter never reached
+// them — the crashing statement itself is the last one counted.
+type instr struct {
+	op    op
+	cost  uint8
+	trail uint8
+	dst   int32
+	a, b  int32
+	aux   int32
+	imm   uint64
+}
+
+// stateInfo is a StateDecl with its runtime-relevant fields pre-masked.
+type stateInfo struct {
+	decl ir.StateDecl
+	defv uint64 // Default masked to ValW
+}
+
+// Program is a compiled element body, immutable and shareable across
+// VMs (instances with content-identical ir.Programs can share one).
+type Program struct {
+	src     *ir.Program
+	code    []instr
+	masks   []uint64 // per-register width mask, loop counters included
+	numRegs int
+	// clearRegs is set when the definitely-assigned proof failed, so
+	// Run must zero the register file to stay deterministic across
+	// packets; the lowering's own output always proves clean.
+	clearRegs bool
+	states    []stateInfo
+	tables    []*ir.StaticTable
+	msgs      []string
+}
+
+// Source returns the ir.Program this was compiled from.
+func (p *Program) Source() *ir.Program { return p.src }
+
+// NumInstrs returns the flat instruction count, for reports.
+func (p *Program) NumInstrs() int { return len(p.code) }
+
+// BuildLayout merges the metadata slot declarations of the given
+// programs into one pipeline-wide layout. It fails if two elements
+// declare the same slot at different widths — such a pipeline has no
+// consistent flat representation (and the element library never does
+// this; packet.MetaWidth fixes the well-known slots).
+func BuildLayout(progs []*ir.Program) (*packet.MetaLayout, error) {
+	slots := map[string]bv.Width{}
+	for _, p := range progs {
+		for name, w := range p.MetaSlots {
+			if got, ok := slots[name]; ok && got != w {
+				return nil, fmt.Errorf("compile: metadata slot %q declared at widths %s and %s", name, got, w)
+			}
+			slots[name] = w
+		}
+	}
+	return packet.NewMetaLayout(slots)
+}
+
+// Compile lowers p to bytecode against the pipeline-wide metadata
+// layout. Every slot p references must be present in lay (BuildLayout
+// over the pipeline's programs guarantees this).
+func Compile(p *ir.Program, lay *packet.MetaLayout) (*Program, error) {
+	c := &compiler{p: p, lay: lay}
+	c.masks = make([]uint64, len(p.RegWidths), len(p.RegWidths)+p.NumLoops())
+	for i, w := range p.RegWidths {
+		c.masks[i] = w.Mask()
+	}
+	for _, s := range p.States {
+		c.states = append(c.states, stateInfo{decl: s, defv: s.Default & s.ValW.Mask()})
+	}
+	c.tables = p.Tables
+	c.block(p.Body)
+	// Build guarantees every path terminates; the guard keeps VM
+	// dispatch total and mirrors the interpreter's fell-off-the-end
+	// crash for hand-assembled programs.
+	c.emit(instr{op: opCrashEnd, aux: c.msg("fell off program end")})
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.code = optimize(c.code, c.masks)
+	return &Program{
+		src:       p,
+		code:      c.code,
+		masks:     c.masks,
+		numRegs:   len(c.masks),
+		clearRegs: !definitelyAssigned(c.code, len(c.masks)),
+		states:    c.states,
+		tables:    c.tables,
+		msgs:      c.msgs,
+	}, nil
+}
+
+// compiler is one lowering pass.
+type compiler struct {
+	p      *ir.Program
+	lay    *packet.MetaLayout
+	code   []instr
+	masks  []uint64
+	states []stateInfo
+	tables []*ir.StaticTable
+	msgs   []string
+	msgIdx map[string]int32
+	// breaks collects the opBreak instruction indices of the innermost
+	// open loop, patched to the loop end when the loop closes.
+	breaks [][]int
+	err    error
+}
+
+func (c *compiler) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("compile: "+format, args...)
+	}
+}
+
+// emit appends an instruction and returns its index (for patching).
+// Synthetic jumps cost no step; everything else is one IR statement.
+func (c *compiler) emit(in instr) int {
+	if in.op != opJump && in.op != opCrashEnd {
+		in.cost = 1
+	}
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+// patch sets the jump target of the instruction at idx.
+func (c *compiler) patch(idx, target int) { c.code[idx].aux = int32(target) }
+
+// msg interns a preformatted crash message.
+func (c *compiler) msg(s string) int32 {
+	if c.msgIdx == nil {
+		c.msgIdx = map[string]int32{}
+	}
+	if i, ok := c.msgIdx[s]; ok {
+		return i
+	}
+	i := int32(len(c.msgs))
+	c.msgs = append(c.msgs, s)
+	c.msgIdx[s] = i
+	return i
+}
+
+// loopCounter allocates a hidden 64-bit register for a loop's remaining
+// iteration count.
+func (c *compiler) loopCounter() int32 {
+	c.masks = append(c.masks, ^uint64(0))
+	return int32(len(c.masks) - 1)
+}
+
+func (c *compiler) width(r ir.Reg) bv.Width { return c.p.RegWidths[r] }
+
+func (c *compiler) block(body []ir.Stmt) {
+	for _, s := range body {
+		c.stmt(s)
+	}
+}
+
+func (c *compiler) stmt(s ir.Stmt) {
+	switch st := s.(type) {
+	case ir.ConstStmt:
+		c.emit(instr{op: opConst, dst: int32(st.Dst), imm: st.Val.U})
+	case ir.BinStmt:
+		c.bin(st)
+	case ir.NotStmt:
+		c.emit(instr{op: opNot, dst: int32(st.Dst), a: int32(st.A)})
+	case ir.CastStmt:
+		switch st.Kind {
+		case ir.ZExt:
+			c.emit(instr{op: opMov, dst: int32(st.Dst), a: int32(st.A)})
+		case ir.SExt:
+			c.emit(instr{op: opSExt, dst: int32(st.Dst), a: int32(st.A), imm: c.width(st.A).Mask()})
+		case ir.Trunc:
+			c.emit(instr{op: opTrunc, dst: int32(st.Dst), a: int32(st.A)})
+		}
+	case ir.SelStmt:
+		c.emit(instr{op: opSel, dst: int32(st.Dst), a: int32(st.Cond), b: int32(st.A), aux: int32(st.B)})
+	case ir.LoadPktStmt:
+		var o op
+		switch st.N {
+		case 1:
+			o = opLoad1
+		case 2:
+			o = opLoad2
+		default:
+			o = opLoad4
+		}
+		c.emit(instr{op: o, dst: int32(st.Dst), a: int32(st.Off)})
+	case ir.StorePktStmt:
+		var o op
+		switch st.N {
+		case 1:
+			o = opStore1
+		case 2:
+			o = opStore2
+		default:
+			o = opStore4
+		}
+		c.emit(instr{op: o, a: int32(st.Off), b: int32(st.Src)})
+	case ir.PktLenStmt:
+		c.emit(instr{op: opPktLen, dst: int32(st.Dst)})
+	case ir.MetaLoadStmt:
+		slot, ok := c.lay.Index(st.Slot)
+		if !ok {
+			c.fail("%s: metadata slot %q not in the pipeline layout", c.p.Name, st.Slot)
+			return
+		}
+		c.emit(instr{op: opMetaLoad, dst: int32(st.Dst), aux: int32(slot)})
+	case ir.MetaStoreStmt:
+		slot, ok := c.lay.Index(st.Slot)
+		if !ok {
+			c.fail("%s: metadata slot %q not in the pipeline layout", c.p.Name, st.Slot)
+			return
+		}
+		c.emit(instr{op: opMetaStore, a: int32(st.Src), aux: int32(slot)})
+	case ir.StateReadStmt:
+		idx := c.p.StateIndex(st.Store)
+		if idx < 0 {
+			c.fail("%s: undeclared state store %q", c.p.Name, st.Store)
+			return
+		}
+		c.emit(instr{op: opStateRead, dst: int32(st.Dst), a: int32(st.Key), aux: int32(idx)})
+	case ir.StateWriteStmt:
+		idx := c.p.StateIndex(st.Store)
+		if idx < 0 {
+			c.fail("%s: undeclared state store %q", c.p.Name, st.Store)
+			return
+		}
+		c.emit(instr{op: opStateWrite, a: int32(st.Key), b: int32(st.Val), aux: int32(idx)})
+	case ir.StaticLookupStmt:
+		idx := c.p.TableIndex(st.Table)
+		if idx < 0 {
+			c.fail("%s: undeclared table %q", c.p.Name, st.Table)
+			return
+		}
+		c.emit(instr{op: opLookup, dst: int32(st.Dst), a: int32(st.Key),
+			aux: int32(idx), imm: c.p.Tables[idx].ValW.Mask()})
+	case ir.AssertStmt:
+		c.emit(instr{op: opAssert, a: int32(st.Cond),
+			aux: c.msg(fmt.Sprintf("%s in %s", st.Msg, c.p.Name))})
+	case ir.IfStmt:
+		br := c.emit(instr{op: opBr, a: int32(st.Cond)})
+		c.block(st.Then)
+		if len(st.Else) > 0 {
+			j := c.emit(instr{op: opJump})
+			c.patch(br, len(c.code))
+			c.block(st.Else)
+			c.patch(j, len(c.code))
+		} else {
+			c.patch(br, len(c.code))
+		}
+	case ir.LoopStmt:
+		ctr := c.loopCounter()
+		c.emit(instr{op: opLoopInit, dst: ctr, imm: uint64(st.Bound)})
+		top := len(c.code)
+		c.breaks = append(c.breaks, nil)
+		c.block(st.Body)
+		c.emit(instr{op: opLoopBack, a: ctr, aux: int32(top)})
+		end := len(c.code)
+		for _, idx := range c.breaks[len(c.breaks)-1] {
+			c.patch(idx, end)
+		}
+		c.breaks = c.breaks[:len(c.breaks)-1]
+	case ir.BreakStmt:
+		if len(c.breaks) == 0 {
+			c.fail("%s: break outside loop", c.p.Name)
+			return
+		}
+		idx := c.emit(instr{op: opBreak})
+		c.breaks[len(c.breaks)-1] = append(c.breaks[len(c.breaks)-1], idx)
+	case ir.EmitStmt:
+		c.emit(instr{op: opEmit, aux: int32(st.Port)})
+	case ir.DropStmt:
+		c.emit(instr{op: opDrop})
+	default:
+		c.fail("%s: unknown statement %T", c.p.Name, s)
+	}
+}
+
+func (c *compiler) bin(st ir.BinStmt) {
+	in := instr{dst: int32(st.Dst), a: int32(st.A), b: int32(st.B)}
+	w := c.width(st.A)
+	switch st.Op {
+	case ir.Add:
+		in.op = opAdd
+	case ir.Sub:
+		in.op = opSub
+	case ir.Mul:
+		in.op = opMul
+	case ir.UDiv:
+		in.op = opUDiv
+		in.aux = c.msg(fmt.Sprintf("%s by zero in %s", st.Op, c.p.Name))
+	case ir.URem:
+		in.op = opURem
+		in.aux = c.msg(fmt.Sprintf("%s by zero in %s", st.Op, c.p.Name))
+	case ir.And:
+		in.op = opAnd
+	case ir.Or:
+		in.op = opOr
+	case ir.Xor:
+		in.op = opXor
+	case ir.Shl:
+		in.op = opShl
+		in.imm = uint64(w)
+	case ir.LShr:
+		in.op = opLShr
+		in.imm = uint64(w)
+	case ir.AShr:
+		in.op = opAShr
+		in.imm = uint64(w)
+	case ir.Eq:
+		in.op = opEq
+	case ir.Ne:
+		in.op = opNe
+	case ir.Ult:
+		in.op = opUlt
+	case ir.Ule:
+		in.op = opUle
+	case ir.Slt:
+		in.op = opSlt
+		in.imm = uint64(64 - w)
+	case ir.Sle:
+		in.op = opSle
+		in.imm = uint64(64 - w)
+	default:
+		c.fail("%s: unknown binop %v", c.p.Name, st.Op)
+		return
+	}
+	c.emit(in)
+}

@@ -1,0 +1,377 @@
+package compile
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"testing"
+
+	"vsd/internal/bv"
+	"vsd/internal/elements"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// pin is one parity input: packet bytes plus entry metadata.
+type pin struct {
+	data []byte
+	meta map[string]bv.V
+}
+
+// runParity executes p on the tree-walking interpreter and on the
+// compiled VM over the same inputs (with private state persisting
+// across packets on both tiers) and fails on any observable
+// difference: disposition, egress port, crash kind/message, exact step
+// count, output bytes, exported metadata, and private state.
+func runParity(t *testing.T, p *ir.Program, inputs []pin) {
+	t.Helper()
+	lay, err := BuildLayout([]*ir.Program{p})
+	if err != nil {
+		t.Fatalf("BuildLayout: %v", err)
+	}
+	cp, err := Compile(p, lay)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	vm := NewVM(cp)
+	es := NewElemState(cp)
+	fr := NewFrame(lay.NumSlots())
+	ist := ir.NewState()
+	for i, in := range inputs {
+		env := &ir.ExecEnv{
+			Pkt:   append([]byte(nil), in.data...),
+			Meta:  maps.Clone(in.meta),
+			State: ist,
+		}
+		if env.Meta == nil {
+			env.Meta = map[string]bv.V{}
+		}
+		iout := ir.Exec(p, env)
+
+		buf := &packet.Buffer{Data: append([]byte(nil), in.data...), Meta: in.meta}
+		fr.ResetFrom(lay, buf)
+		cout := vm.Run(fr, es)
+
+		ctx := fmt.Sprintf("input %d (%x)", i, in.data)
+		if iout.Disposition != cout.Disposition {
+			t.Fatalf("%s: disposition interp=%v compiled=%v", ctx, iout.Disposition, cout.Disposition)
+		}
+		if iout.Disposition == ir.Emitted && iout.Port != cout.Port {
+			t.Fatalf("%s: port interp=%d compiled=%d", ctx, iout.Port, cout.Port)
+		}
+		if (iout.Crash == nil) != (cout.Crash == nil) {
+			t.Fatalf("%s: crash interp=%v compiled=%v", ctx, iout.Crash, cout.Crash)
+		}
+		if iout.Crash != nil &&
+			(iout.Crash.Kind != cout.Crash.Kind || iout.Crash.Msg != cout.Crash.Msg) {
+			t.Fatalf("%s: crash interp=%q compiled=%q", ctx, iout.Crash.Error(), cout.Crash.Error())
+		}
+		if iout.Steps != cout.Steps {
+			t.Fatalf("%s: steps interp=%d compiled=%d", ctx, iout.Steps, cout.Steps)
+		}
+		if !bytes.Equal(env.Pkt, fr.Data) {
+			t.Fatalf("%s: bytes interp=%x compiled=%x", ctx, env.Pkt, fr.Data)
+		}
+		cm := map[string]bv.V{}
+		lay.Export(fr.MetaVals, fr.MetaPresent, cm)
+		if !maps.Equal(env.Meta, cm) {
+			t.Fatalf("%s: meta interp=%v compiled=%v", ctx, env.Meta, cm)
+		}
+		if !stateEq(ist, es.Snapshot()) {
+			t.Fatalf("%s: state interp=%v compiled=%v", ctx, ist, es.Snapshot())
+		}
+	}
+}
+
+// stateEq compares private state treating empty stores as absent —
+// the interpreter materializes stores lazily.
+func stateEq(a, b ir.State) bool {
+	for name, m := range a {
+		if len(m) > 0 && !maps.Equal(m, b[name]) {
+			return false
+		}
+	}
+	for name, m := range b {
+		if len(m) > 0 && len(a[name]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rng is a tiny deterministic generator so failures reproduce.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	*r ^= *r << 13
+	*r ^= *r >> 7
+	*r ^= *r << 17
+	return uint64(*r)
+}
+
+func (r *rng) bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.next())
+	}
+	return b
+}
+
+// fuzzInputs mixes lengths from empty through 64 bytes so OOB crash
+// paths, loop exits, and the happy path all get hit.
+func fuzzInputs(seed rng, n int, meta func(i int) map[string]bv.V) []pin {
+	r := seed
+	var in []pin
+	for i := 0; i < n; i++ {
+		var m map[string]bv.V
+		if meta != nil {
+			m = meta(i)
+		}
+		in = append(in, pin{data: r.bytes(int(r.next() % 65)), meta: m})
+	}
+	in = append(in, pin{data: nil}, pin{data: []byte{0}}, pin{data: []byte{0xff}})
+	return in
+}
+
+// checksumProg mirrors the CheckIPHeader checksum idiom — a counted
+// accumulate loop with a data-dependent Break — which is the shape the
+// optimizer inverts and fuses into the whole-loop superinstruction.
+func checksumProg() *ir.Program {
+	b := ir.NewBuilder("chk", 1, 2)
+	hoff := b.MetaLoad(packet.MetaHeaderOffset, 32)
+	n := b.ZExt(b.LoadPkt(hoff, 1), 32) // halfword count taken from the packet
+	sum := b.Mov(b.ConstU(32, 0))
+	j := b.Mov(b.ConstU(32, 0))
+	b.Loop(30, func() {
+		b.If(b.Bin(ir.Ule, n, j), func() { b.Break() }, nil)
+		hw := b.LoadPkt(b.Bin(ir.Add, hoff, b.BinC(ir.Mul, j, 2)), 2)
+		b.SetReg(sum, b.Bin(ir.Add, sum, b.ZExt(hw, 32)))
+		b.SetReg(j, b.BinC(ir.Add, j, 1))
+	})
+	b.If(b.BinC(ir.Ult, sum, 0x80000), func() { b.Emit(0) }, func() { b.Emit(1) })
+	return b.MustBuild()
+}
+
+// arithProg covers division crashes, casts, Select, Assert, packet
+// stores, and metadata writes.
+func arithProg() *ir.Program {
+	b := ir.NewBuilder("arith", 1, 2)
+	x := b.LoadPktC(0, 1)
+	y := b.LoadPktC(1, 1)
+	b.Assert(b.BinC(ir.Ne, x, 0xee), "x is the poison byte")
+	q := b.Bin(ir.UDiv, x, y) // crashes when y == 0
+	r := b.Bin(ir.URem, x, y)
+	s := b.SExt(b.Trunc(b.ZExt(q, 32), 8), 16)
+	cond := b.BinC(ir.Ult, x, 128)
+	sel := b.Select(cond, b.ZExt(r, 16), b.BinC(ir.Xor, s, 0xff))
+	b.StorePkt(b.ConstU(32, 2), b.Trunc(sel, 8), 1)
+	b.MetaStore("arith.out", sel)
+	b.If(cond, func() { b.Emit(0) }, func() { b.Emit(1) })
+	return b.MustBuild()
+}
+
+// stateProg covers StateRead/StateWrite with a small capacity bound
+// and a non-zero default, keyed by packet bytes.
+func stateProg() *ir.Program {
+	b := ir.NewBuilder("st", 1, 1)
+	b.DeclareState(ir.StateDecl{Name: "tbl", KeyW: 8, ValW: 16, Default: 7, Capacity: 2})
+	k := b.LoadPktC(0, 1)
+	v := b.StateRead("tbl", k)
+	b.StateWrite("tbl", k, b.BinC(ir.Add, v, 1))
+	k2 := b.LoadPktC(1, 1)
+	b.MetaStore("st.v", v)
+	b.MetaStore("st.v2", b.StateRead("tbl", k2))
+	b.Emit(0)
+	return b.MustBuild()
+}
+
+// tableProg covers static range-table lookups and byte stores.
+func tableProg() *ir.Program {
+	b := ir.NewBuilder("tbl", 1, 1)
+	b.DeclareTable(&ir.StaticTable{
+		Name: "cls", KeyW: 8, ValW: 8, Default: 9,
+		Entries: []ir.RangeEntry{{Lo: 0, Hi: 63, Val: 1}, {Lo: 64, Hi: 127, Val: 2}, {Lo: 192, Hi: 255, Val: 3}},
+	})
+	v := b.StaticLookup("cls", b.LoadPktC(0, 1))
+	b.StorePkt(b.ConstU(32, 1), v, 1)
+	b.Emit(0)
+	return b.MustBuild()
+}
+
+// oobProg loads and stores at packet-controlled offsets so both OOB
+// crash sites (read and write) are exercised, plus wide accesses.
+func oobProg() *ir.Program {
+	b := ir.NewBuilder("oob", 1, 1)
+	off := b.ZExt(b.LoadPktC(0, 1), 32)
+	w := b.LoadPkt(off, 2)
+	b.StorePkt(b.ZExt(b.LoadPktC(1, 1), 32), w, 2)
+	b.StorePkt(b.ConstU(32, 4), b.LoadPkt(b.BinC(ir.Add, off, 2), 4), 4)
+	b.Drop()
+	return b.MustBuild()
+}
+
+func TestParityHandBuilt(t *testing.T) {
+	metaOff := func(i int) map[string]bv.V {
+		if i%3 == 0 {
+			return nil // exercise the absent-slot default path
+		}
+		return map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, uint64(i%5))}
+	}
+	cases := []struct {
+		name string
+		prog *ir.Program
+		in   []pin
+	}{
+		{"checksum", checksumProg(), fuzzInputs(1, 200, metaOff)},
+		{"arith", arithProg(), append(fuzzInputs(2, 100, nil),
+			pin{data: []byte{0xee, 1, 0}}, pin{data: []byte{5, 0, 0}})},
+		{"state", stateProg(), fuzzInputs(3, 200, nil)},
+		{"table", tableProg(), fuzzInputs(4, 100, nil)},
+		{"oob", oobProg(), fuzzInputs(5, 200, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runParity(t, tc.prog, tc.in) })
+	}
+}
+
+// TestParityCheckIPHeader pins the optimizer's headline result: the
+// real CheckIPHeader element must compile with its checksum loop fused
+// into the whole-loop superinstruction, prove definite assignment (no
+// per-packet register clear), and still agree with the interpreter on
+// every observable — including crash position and step count when the
+// loop runs off a truncated packet.
+func TestParityCheckIPHeader(t *testing.T) {
+	p, err := elements.CheckIPHeader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := BuildLayout([]*ir.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := false
+	for i := range cp.code {
+		if cp.code[i].op == opLoad2AddLoop {
+			fused = true
+		}
+	}
+	if !fused {
+		t.Error("checksum loop did not fuse into opLoad2AddLoop")
+	}
+	if cp.clearRegs {
+		t.Error("lowered CheckIPHeader failed the definitely-assigned proof")
+	}
+
+	// A well-formed 20-byte IPv4 header with a correct checksum.
+	hdr := []byte{
+		0x45, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+		0x0a, 0x00, 0x00, 0x02,
+	}
+	csum := uint32(0)
+	for i := 0; i < len(hdr); i += 2 {
+		csum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	csum = (csum & 0xffff) + csum>>16
+	csum = (csum & 0xffff) + csum>>16
+	hdr[10] = byte(^csum >> 8)
+	hdr[11] = byte(^csum)
+
+	bad := append([]byte(nil), hdr...)
+	bad[8]++ // breaks the checksum
+	truncated := hdr[:12]
+	var ihl15 []byte
+	ihl15 = append(ihl15, hdr...)
+	ihl15[0] = 0x4f // claims a 60-byte header: length check fails
+	inputs := []pin{
+		{data: hdr, meta: map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, 0)}},
+		{data: bad, meta: map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, 0)}},
+		{data: truncated, meta: map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, 0)}},
+		{data: ihl15, meta: map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, 0)}},
+		{data: hdr, meta: map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, 9)}},
+		{data: nil},
+	}
+	inputs = append(inputs, fuzzInputs(6, 200, func(i int) map[string]bv.V {
+		return map[string]bv.V{packet.MetaHeaderOffset: bv.New(32, uint64(i%4))}
+	})...)
+	runParity(t, p, inputs)
+}
+
+// TestDefAssignLowered checks that lowering's own output always
+// proves definitely-assigned, so compiled programs skip the register
+// clear.
+func TestDefAssignLowered(t *testing.T) {
+	progs := []*ir.Program{checksumProg(), arithProg(), stateProg(), tableProg(), oobProg()}
+	for _, mk := range []func(string) (*ir.Program, error){elements.CheckIPHeader, elements.DecIPTTL} {
+		p, err := mk("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	for _, p := range progs {
+		lay, err := BuildLayout([]*ir.Program{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := Compile(p, lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.clearRegs {
+			t.Errorf("%s: lowered code failed the definitely-assigned proof", p.Name)
+		}
+		if !definitelyAssigned(cp.code, cp.numRegs) {
+			t.Errorf("%s: definitelyAssigned disagrees with clearRegs", p.Name)
+		}
+	}
+}
+
+// TestDefAssignBytecode exercises the analysis on hand-assembled
+// bytecode, including the branch-join case the proof exists for: a
+// register written on only one arm of a branch is NOT definitely
+// assigned at the join.
+func TestDefAssignBytecode(t *testing.T) {
+	cases := []struct {
+		name string
+		code []instr
+		regs int
+		want bool
+	}{
+		{"read before write", []instr{
+			{op: opMov, dst: 1, a: 0},
+			{op: opDrop},
+		}, 2, false},
+		{"write then read", []instr{
+			{op: opConst, dst: 0, imm: 1},
+			{op: opMov, dst: 1, a: 0},
+			{op: opDrop},
+		}, 2, true},
+		{"written on one arm only", []instr{
+			{op: opConst, dst: 0, imm: 1},
+			{op: opBrIf, a: 0, aux: 3},
+			{op: opConst, dst: 1, imm: 5},
+			{op: opMov, dst: 2, a: 1}, // join: reg 1 unwritten on the taken path
+			{op: opDrop},
+		}, 3, false},
+		{"written on both arms", []instr{
+			{op: opConst, dst: 0, imm: 1},
+			{op: opBrIf, a: 0, aux: 4},
+			{op: opConst, dst: 1, imm: 5},
+			{op: opJump, aux: 5},
+			{op: opConst, dst: 1, imm: 6},
+			{op: opMov, dst: 2, a: 1},
+			{op: opDrop},
+		}, 3, true},
+		{"no registers", []instr{{op: opDrop}}, 0, true},
+	}
+	for _, tc := range cases {
+		if got := definitelyAssigned(tc.code, tc.regs); got != tc.want {
+			t.Errorf("%s: definitelyAssigned = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package compile
+
+// Definitely-assigned analysis: a forward must-dataflow over the
+// bytecode CFG proving that every register read is preceded by a write
+// on ALL paths from entry. When the proof goes through, the VM skips
+// the per-run register-file clear — the lowering produces def-before-use
+// code by construction (expressions write their temporaries before use,
+// loop counters are initialized by LoopInit), so the clear is pure
+// per-packet overhead; the analysis turns that observation into a
+// checked fact instead of an assumption. Stale values from a previous
+// run still respect the VM's width invariant (regs[r] <= masks[r]:
+// every writer masks), so skipping the clear is invisible exactly when
+// no stale value can be read.
+
+// regRefs appends the registers in reads and writes to the given
+// slices. Field meanings are opcode-specific; this table must cover
+// every opcode that names a register. The aux of O/S-form accesses is
+// a mask index, not a live register, and is not included.
+func regRefs(in *instr, reads, writes []int32) ([]int32, []int32) {
+	switch in.op {
+	case opConst, opPktLen, opMetaLoad, opLoopInit,
+		opLoad1C, opLoad2C, opLoad4C:
+		writes = append(writes, in.dst)
+	case opAdd, opSub, opMul, opUDiv, opURem, opAnd, opOr, opXor,
+		opShl, opLShr, opAShr, opEq, opNe, opUlt, opUle, opSlt, opSle,
+		opMulAddImm, opLoad1S, opLoad2S, opLoad4S:
+		reads = append(reads, in.a, in.b)
+		writes = append(writes, in.dst)
+	case opAddImm, opSubImm, opMulImm, opAndImm, opOrImm, opXorImm,
+		opShlImm, opLShrImm, opAShrImm, opEqImm, opNeImm, opUltImm,
+		opUleImm, opSltImm, opSleImm,
+		opLoad1O, opLoad2O, opLoad4O:
+		reads = append(reads, in.a)
+		writes = append(writes, in.dst)
+	case opNot, opMov, opTrunc, opSExt, opLoad1, opLoad2, opLoad4,
+		opStateRead, opLookup:
+		reads = append(reads, in.a)
+		writes = append(writes, in.dst)
+	case opSel:
+		reads = append(reads, in.a, in.b, in.aux)
+		writes = append(writes, in.dst)
+	case opStore1, opStore2, opStore4, opStateWrite,
+		opStore1O, opStore2O, opStore4O:
+		reads = append(reads, in.a, in.b)
+	case opStore1C, opStore2C, opStore4C:
+		reads = append(reads, in.b)
+	case opMetaStore, opAssert, opBr, opBrIf,
+		opStore1V, opStore2V, opStore4V,
+		opStore1VO, opStore2VO, opStore4VO,
+		opBrNeImm, opBrEqImm, opBrUgeImm, opBrUgtImm, opBrSgeImm, opBrSgtImm,
+		opBrLtUImm, opBrLeUImm, opBrLtSImm, opBrLeSImm:
+		reads = append(reads, in.a)
+	case opBrNe, opBrEq, opBrUge, opBrUgt, opBrSge, opBrSgt,
+		opBrLtU, opBrLeU, opBrLtS, opBrLeS:
+		reads = append(reads, in.a, in.b)
+	case opLoopBack:
+		reads = append(reads, in.a)
+		writes = append(writes, in.a)
+	case opLoad2SAdd:
+		reads = append(reads, in.a, in.b, in.dst)
+		writes = append(writes, in.dst)
+	case opLoopNext:
+		reads = append(reads, in.a, in.b, in.dst)
+		writes = append(writes, in.dst, in.b)
+	case opLoopBackUgt:
+		reads = append(reads, in.a, in.b, in.dst)
+		writes = append(writes, in.a)
+	case opLoad2AddLoop:
+		reads = append(reads, in.a, in.b, in.dst, in.aux, int32(in.imm>>24&0xff))
+		writes = append(writes, in.dst, in.a, in.aux)
+	case opAddImmLoopBack:
+		reads = append(reads, in.a, in.b)
+		writes = append(writes, in.dst, in.b)
+	case opStoreV2P:
+		reads = append(reads, in.a)
+	case opAndShrAdd:
+		reads = append(reads, in.a)
+		writes = append(writes, in.dst)
+	case opMetaStoreImm, opJump, opBreak, opEmit, opDrop, opCrashEnd:
+		// no register operands
+	}
+	return reads, writes
+}
+
+// regSet is a bitset over register indices.
+type regSet []uint64
+
+func (s regSet) has(r int32) bool { return s[r>>6]&(1<<(uint(r)&63)) != 0 }
+func (s regSet) add(r int32)      { s[r>>6] |= 1 << (uint(r) & 63) }
+
+// intersectInto sets dst = dst ∩ src, reporting whether dst changed.
+func (s regSet) intersectInto(src regSet) bool {
+	changed := false
+	for w := range s {
+		if n := s[w] & src[w]; n != s[w] {
+			s[w] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// definitelyAssigned proves that on every path from entry, each
+// register is written before it is read. in[i] is the set of registers
+// definitely written at the entry of instruction i (meet = intersection
+// over predecessors; unreached instructions stay at ⊤). The fixpoint is
+// reached by sweeping until nothing changes — the CFG is tiny and loop
+// nesting shallow, so a worklist would be overkill.
+func definitelyAssigned(code []instr, numRegs int) bool {
+	if numRegs == 0 {
+		return true
+	}
+	words := (numRegs + 63) / 64
+	sets := make([]uint64, (len(code)+1)*words)
+	entry := make([]regSet, len(code)+1)
+	for i := range entry {
+		entry[i] = sets[i*words : (i+1)*words]
+		if i > 0 {
+			for w := range entry[i] {
+				entry[i][w] = ^uint64(0) // ⊤: refined by flow below
+			}
+		}
+	}
+	var rbuf, wbuf [4]int32
+	out := make(regSet, words)
+	for changed := true; changed; {
+		changed = false
+		for i := range code {
+			in := &code[i]
+			copy(out, entry[i])
+			_, writes := regRefs(in, rbuf[:0], wbuf[:0])
+			for _, r := range writes {
+				out.add(r)
+			}
+			flow := func(succ int32) {
+				if entry[succ].intersectInto(out) {
+					changed = true
+				}
+			}
+			switch {
+			case isTerminator(in.op):
+				// no successors
+			case in.op == opJump || in.op == opBreak:
+				flow(in.aux)
+			case isBranch(in.op):
+				flow(in.aux)
+				flow(int32(i) + 1)
+			default:
+				flow(int32(i) + 1)
+			}
+		}
+	}
+	for i := range code {
+		reads, _ := regRefs(&code[i], rbuf[:0], wbuf[:0])
+		for _, r := range reads {
+			if !entry[i].has(r) {
+				return false
+			}
+		}
+	}
+	return true
+}

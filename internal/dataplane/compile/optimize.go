@@ -1,0 +1,813 @@
+package compile
+
+import "math"
+
+// The peephole optimizer fuses adjacent instruction pairs into
+// superinstructions: a constant feeding its single use becomes an
+// immediate operand, a compare feeding only a branch becomes a fused
+// conditional branch, address arithmetic folds into the load or store
+// it feeds, and the width-widening copies the lowering emits (Mov,
+// or-with-zero) disappear into their producers. Dispatch overhead
+// dominates a bytecode VM, so executing fewer, fatter instructions is
+// the main throughput lever; a constant-sinking pass moves single-use
+// constants next to their consumer so the pair rules can see them.
+//
+// Fusion is invisible to every observable the differential oracle
+// checks. In particular the step count is preserved exactly: a fused
+// instruction's cost field carries the summed IR-statement cost of the
+// pair, and the VM adds cost (not 1) per dispatch. A pair is only fused
+// when (a) no jump targets the second instruction, so control can never
+// enter the middle of the pair, and (b) for value fusions, the
+// intermediate register is written and read exactly once in the whole
+// program, so dropping the write cannot change any other instruction's
+// input (loops re-execute the fused pair as a unit, which re-executes
+// the same two statements the interpreter would).
+//
+// Width correctness leans on the VM's register invariant — regs[r] <=
+// masks[r] at all times — and on truncation being a congruence for
+// power-of-two masks: (x&m + y)&m == (x+y)&m, so an intermediate mask
+// can be dropped whenever producer and consumer share a width.
+
+// optimize runs sinking and fusion passes to a fixpoint, then inverts
+// counted loops whose header is a simple exit test.
+func optimize(code []instr, masks []uint64) []instr {
+	fix := func() {
+		for {
+			c1 := sinkConsts(code, masks)
+			next, c2 := fusePass(code, masks)
+			code = next
+			if !c1 && !c2 {
+				break
+			}
+		}
+	}
+	fix()
+	// Inversion exposes one more shape — a single-instruction loop body
+	// followed by its own back edge — so fusion runs once more over it.
+	invertLoops(code)
+	fix()
+	return code
+}
+
+// invertLoops rewrites back edges whose header is the shape
+//
+//	H:   BrUgt limit, i -> body
+//	H+1: Break -> exit
+//
+// into opLoopNext/opLoopBackUgt, which replicate the test so the
+// steady-state iteration never revisits the header (the header stays
+// for loop entry, and exit is the back edge's fallthrough — the Break's
+// target, which the lowering places right after the back edge). The
+// rewrite is in place: no instruction moves, so no branch retargeting.
+func invertLoops(code []instr) {
+	for i := range code {
+		in := &code[i]
+		if in.op != opAddImmLoopBack && in.op != opLoopBack {
+			continue
+		}
+		h := in.aux
+		if int(h)+1 >= len(code) {
+			continue
+		}
+		hb, br := &code[h], &code[h+1]
+		if hb.op != opBrUgt || br.op != opBreak || br.aux != int32(i)+1 {
+			continue
+		}
+		costs := uint64(hb.cost)<<40 | uint64(br.cost)<<48
+		if in.op == opAddImmLoopBack {
+			// The increment must be in place (dst==a frees the a field
+			// for the limit register) and the test must watch the
+			// incremented register.
+			if in.dst != in.a || hb.b != in.dst || in.imm >= 1<<40 {
+				continue
+			}
+			in.op = opLoopNext
+			in.a = hb.a
+			in.imm |= costs
+		} else {
+			in.op = opLoopBackUgt
+			in.dst = hb.b
+			in.b = hb.a
+			in.imm = costs
+		}
+		in.aux = hb.aux
+	}
+}
+
+// fusePass performs one left-to-right fusion sweep, rewriting jump
+// targets for the compacted layout.
+func fusePass(code []instr, masks []uint64) ([]instr, bool) {
+	reads, writes := countRegRefs(code, len(masks))
+	targeted := branchTargets(code)
+
+	out := make([]instr, 0, len(code))
+	oldToNew := make([]int32, len(code)+1)
+	changed := false
+	for i := 0; i < len(code); i++ {
+		oldToNew[i] = int32(len(out))
+		if i+2 < len(code) && !targeted[i+1] && !targeted[i+2] {
+			if f, ok := fuse3(&code[i], &code[i+1], &code[i+2], reads, writes); ok {
+				f.cost = code[i].cost + code[i+1].cost + code[i+2].cost
+				out = append(out, f)
+				oldToNew[i+1] = int32(len(out) - 1)
+				oldToNew[i+2] = int32(len(out) - 1)
+				i += 2
+				changed = true
+				continue
+			}
+		}
+		if i+1 < len(code) && !targeted[i+1] &&
+			code[i].op == opLoad2SAdd && code[i+1].op == opLoopNext &&
+			code[i+1].aux == int32(i) {
+			if f, ok := fuseChkLoop(&code[i], &code[i+1]); ok {
+				f.cost = code[i].cost + code[i+1].cost
+				out = append(out, f)
+				oldToNew[i+1] = int32(len(out) - 1)
+				i++
+				changed = true
+				continue
+			}
+		}
+		if i+1 < len(code) && !targeted[i+1] {
+			if f, ok := fuse(&code[i], &code[i+1], reads, writes, masks); ok {
+				f.cost = code[i].cost + code[i+1].cost
+				out = append(out, f)
+				oldToNew[i+1] = int32(len(out) - 1)
+				i++
+				changed = true
+				continue
+			}
+		}
+		out = append(out, code[i])
+	}
+	oldToNew[len(code)] = int32(len(out))
+	if changed {
+		for j := range out {
+			if isBranch(out[j].op) {
+				out[j].aux = oldToNew[out[j].aux]
+			}
+		}
+	}
+	return out, changed
+}
+
+// sinkConsts moves a single-use opConst down to sit immediately before
+// its consumer, so fusePass can fold it. Legal only within a basic
+// block (no branches, branch targets, or terminators in between — on a
+// path that bypassed or left early, the move would change which
+// instructions execute) and never across an instruction that can
+// crash, where the step count is observable mid-block. Rotating within
+// the block leaves all other indices fixed, so no branch retargeting
+// is needed. Operates in place.
+func sinkConsts(code []instr, masks []uint64) bool {
+	reads, writes := countRegRefs(code, len(masks))
+	targeted := branchTargets(code)
+	changed := false
+	for i := 0; i < len(code); i++ {
+		if code[i].op != opConst || !single(code[i].dst, reads, writes) {
+			continue
+		}
+		k := code[i].dst
+		j := i + 1
+		for ; j < len(code); j++ {
+			if targeted[j] || readsReg(&code[j], k) {
+				break
+			}
+			if isBranch(code[j].op) || isTerminator(code[j].op) || canCrash(code[j].op) {
+				j = -1
+				break
+			}
+		}
+		if j <= i+1 || j >= len(code) || targeted[j] || !readsReg(&code[j], k) {
+			continue
+		}
+		// Rotate the const from i down to j-1.
+		c := code[i]
+		copy(code[i:j-1], code[i+1:j])
+		code[j-1] = c
+		changed = true
+		i = j - 1
+	}
+	return changed
+}
+
+// readsReg reports whether in reads register k (per the same field
+// conventions as countRegRefs).
+func readsReg(in *instr, k int32) bool {
+	switch in.op {
+	case opAdd, opSub, opMul, opUDiv, opURem, opAnd, opOr, opXor,
+		opShl, opLShr, opAShr, opEq, opNe, opUlt, opUle, opSlt, opSle,
+		opStore1, opStore2, opStore4, opStateWrite, opMulAddImm,
+		opBrNe, opBrEq, opBrUge, opBrUgt, opBrSge, opBrSgt,
+		opBrLtU, opBrLeU, opBrLtS, opBrLeS,
+		opStore1O, opStore2O, opStore4O,
+		opLoad1S, opLoad2S, opLoad4S, opAddImmLoopBack:
+		return in.a == k || in.b == k
+	case opLoad2SAdd, opLoopNext, opLoopBackUgt:
+		return in.a == k || in.b == k || in.dst == k
+	case opLoad2AddLoop:
+		return in.a == k || in.b == k || in.dst == k || in.aux == k ||
+			int32(in.imm>>24&0xff) == k
+	case opSel:
+		return in.a == k || in.b == k || in.aux == k
+	case opStore1C, opStore2C, opStore4C:
+		return in.b == k
+	case opNot, opMov, opTrunc, opSExt, opLoad1, opLoad2, opLoad4,
+		opStateRead, opLookup, opMetaStore, opAssert, opBr, opLoopBack,
+		opAddImm, opSubImm, opMulImm, opAndImm, opOrImm, opXorImm,
+		opShlImm, opLShrImm, opAShrImm, opEqImm, opNeImm, opUltImm,
+		opUleImm, opSltImm, opSleImm,
+		opBrNeImm, opBrEqImm, opBrUgeImm, opBrUgtImm, opBrSgeImm, opBrSgtImm,
+		opBrIf, opBrLtUImm, opBrLeUImm, opBrLtSImm, opBrLeSImm,
+		opStore1V, opStore2V, opStore4V, opStore1VO, opStore2VO, opStore4VO,
+		opStoreV2P, opAndShrAdd:
+		return in.a == k
+	}
+	return false
+}
+
+// isBranch reports whether in.aux is a jump target.
+func isBranch(o op) bool {
+	switch o {
+	case opBr, opJump, opBreak, opLoopBack, opAddImmLoopBack,
+		opLoopNext, opLoopBackUgt,
+		opBrNe, opBrEq, opBrUge, opBrUgt, opBrSge, opBrSgt,
+		opBrNeImm, opBrEqImm, opBrUgeImm, opBrUgtImm, opBrSgeImm, opBrSgtImm,
+		opBrIf, opBrLtU, opBrLeU, opBrLtS, opBrLeS,
+		opBrLtUImm, opBrLeUImm, opBrLtSImm, opBrLeSImm:
+		return true
+	}
+	return false
+}
+
+// isTerminator reports whether o ends execution of the element.
+func isTerminator(o op) bool {
+	return o == opEmit || o == opDrop || o == opCrashEnd
+}
+
+// canCrash reports whether o can abort with a crash outcome, making
+// the step count observable at its position.
+func canCrash(o op) bool {
+	switch o {
+	case opUDiv, opURem, opAssert,
+		opLoad1, opLoad2, opLoad4, opStore1, opStore2, opStore4,
+		opLoad1C, opLoad2C, opLoad4C, opStore1C, opStore2C, opStore4C,
+		opLoad1O, opLoad2O, opLoad4O, opStore1O, opStore2O, opStore4O,
+		opLoad1S, opLoad2S, opLoad4S,
+		opStore1V, opStore2V, opStore4V, opStore1VO, opStore2VO, opStore4VO,
+		opLoad2SAdd, opStoreV2P, opLoad2AddLoop:
+		return true
+	}
+	return false
+}
+
+// branchTargets marks every instruction index some branch jumps to.
+func branchTargets(code []instr) []bool {
+	t := make([]bool, len(code)+1)
+	for i := range code {
+		if isBranch(code[i].op) {
+			t[code[i].aux] = true
+		}
+	}
+	return t
+}
+
+// countRegRefs tallies, per register, how many instructions read it and
+// how many write it, using the regRefs table.
+func countRegRefs(code []instr, numRegs int) (reads, writes []int) {
+	reads = make([]int, numRegs)
+	writes = make([]int, numRegs)
+	var rbuf, wbuf [4]int32
+	for i := range code {
+		r, w := regRefs(&code[i], rbuf[:0], wbuf[:0])
+		for _, k := range r {
+			reads[k]++
+		}
+		for _, k := range w {
+			writes[k]++
+		}
+	}
+	return reads, writes
+}
+
+// single reports whether register k is written and read exactly once in
+// the whole program — the condition under which its defining
+// instruction can be folded into its one consumer.
+func single(k int32, reads, writes []int) bool {
+	return reads[k] == 1 && writes[k] == 1
+}
+
+// fuse tries to combine a (at pc) followed by b (at pc+1) into one
+// superinstruction, trying each rule family in turn.
+func fuse(a, b *instr, reads, writes []int, masks []uint64) (instr, bool) {
+	if f, ok := fuseCopy(a, b, reads, writes, masks); ok {
+		return f, true
+	}
+	if a.op == opConst {
+		if f, ok := fuseConst(a, b, reads, writes, masks); ok {
+			return f, true
+		}
+	}
+	if b.op == opBr || b.op == opBrIf {
+		if f, ok := fuseCmpBr(a, b, reads, writes, masks); ok {
+			return f, true
+		}
+	}
+	if a.op == opAddImm {
+		if f, ok := fuseAddr(a, b, reads, writes); ok {
+			return f, true
+		}
+	}
+	if a.op == opMulImm && b.op == opAdd {
+		if f, ok := fuseMulAdd(a, b, reads, writes, masks); ok {
+			return f, true
+		}
+	}
+	if a.op == opMulAddImm {
+		if f, ok := fuseScaled(a, b, reads, writes); ok {
+			return f, true
+		}
+	}
+	if b.op == opAndImm {
+		if f, ok := fuseMaskId(a, b, reads, writes); ok {
+			return f, true
+		}
+	}
+	if a.op == opLoad2S && b.op == opAdd {
+		if f, ok := fuseLoadAcc(a, b, reads, writes); ok {
+			return f, true
+		}
+	}
+	if a.op == opAddImm && b.op == opLoopBack {
+		// Glue fusion (nothing eliminated): the handler runs both effects
+		// in order, so any register aliasing keeps sequential semantics.
+		return instr{op: opAddImmLoopBack, dst: a.dst, a: a.a, b: b.a,
+			aux: b.aux, imm: a.imm}, true
+	}
+	if a.op == opStore1VO && b.op == opStore1VO &&
+		a.a == b.a && masks[a.aux] == masks[b.aux] {
+		// Two constant byte stores off the same base at the same address
+		// width pair up regardless of their displacements; the handler
+		// performs them in order with each offset masked as before, and
+		// keeps the second store's cost for a fault at the first.
+		return instr{op: opStoreV2P, a: a.a, dst: a.dst, b: b.dst, aux: a.aux,
+			trail: b.cost, imm: (a.imm&0xff)<<8 | b.imm&0xff}, true
+	}
+	return instr{}, false
+}
+
+// fuse3 tries the one three-instruction rule: the ones-complement
+// checksum fold (s & m) + (s >> k), lowered as two single-use
+// intermediates feeding an Add. Both orders of the And/Shr pair occur.
+func fuse3(a, b, c *instr, reads, writes []int) (instr, bool) {
+	if c.op != opAdd {
+		return instr{}, false
+	}
+	var and, shr *instr
+	switch {
+	case a.op == opAndImm && b.op == opLShrImm:
+		and, shr = a, b
+	case a.op == opLShrImm && b.op == opAndImm:
+		and, shr = b, a
+	default:
+		return instr{}, false
+	}
+	if and.a != shr.a ||
+		!single(and.dst, reads, writes) || !single(shr.dst, reads, writes) {
+		return instr{}, false
+	}
+	if !(c.a == and.dst && c.b == shr.dst) && !(c.a == shr.dst && c.b == and.dst) {
+		return instr{}, false
+	}
+	return instr{op: opAndShrAdd, dst: c.dst, a: and.a,
+		aux: int32(shr.imm), imm: and.imm}, true
+}
+
+// fuseLoadAcc folds a scaled load into a following in-place accumulate:
+// t = load2(base+idx*c); s = s + t becomes s += load2(base+idx*c) — the
+// checksum inner loop. The add's cost moves to trail so a load fault
+// reports exactly the statements that ran.
+func fuseLoadAcc(a, b *instr, reads, writes []int) (instr, bool) {
+	t := a.dst
+	if !single(t, reads, writes) {
+		return instr{}, false
+	}
+	if !(b.a == t && b.b == b.dst) && !(b.b == t && b.a == b.dst) {
+		return instr{}, false
+	}
+	f := *a
+	f.op = opLoad2SAdd
+	f.dst = b.dst
+	f.trail = a.trail + b.cost
+	return f, true
+}
+
+// fuseChkLoop folds a whole counted loop into one dispatch: after
+// inversion, the checksum inner loop is a single opLoad2SAdd body at h
+// followed by an opLoopNext back edge targeting h. The fused handler
+// iterates internally, replaying the pair's per-iteration step
+// accounting bit for bit. Glue fusion: nothing is eliminated, so no
+// single-use requirement — only that every packed field fits its 8-bit
+// imm slot (the latch's own jump is the sole way into the back edge,
+// which fusePass's untargeted check guarantees; jumps into the body
+// land at the fused op, which starts with the load, as before).
+func fuseChkLoop(a, b *instr) (instr, bool) {
+	scale := a.imm
+	inc := b.imm & (1<<40 - 1)
+	test := b.imm >> 40 & 0xff
+	brk := b.imm >> 48 & 0xff
+	cont := uint64(b.cost) + test + uint64(a.cost)
+	fail := uint64(b.cost) + test + brk
+	if b.dst != a.a || // latch must step the load's index register
+		scale > 0xff || inc > 0xff || a.aux > 0xff || b.a > 0xff ||
+		cont > 0xff || fail > 0xff {
+		return instr{}, false
+	}
+	return instr{op: opLoad2AddLoop, dst: a.dst, a: a.a, b: a.b, aux: b.b,
+		trail: a.trail, // a load fault skips the body's trailing statements
+		imm: scale | inc<<8 | uint64(a.aux)<<16 | uint64(b.a)<<24 |
+			cont<<40 | fail<<48 | uint64(b.cost)<<56}, true
+}
+
+// valBound returns a tight upper bound on the value an opcode can
+// produce, independent of its destination width, for the opcodes where
+// one is known: byte/halfword/word loads and boolean compares.
+func valBound(o op) (uint64, bool) {
+	switch o {
+	case opLoad1, opLoad1C, opLoad1O, opLoad1S:
+		return 0xff, true
+	case opLoad2, opLoad2C, opLoad2O, opLoad2S:
+		return 0xffff, true
+	case opLoad4, opLoad4C, opLoad4O, opLoad4S:
+		return 0xffffffff, true
+	case opEq, opNe, opUlt, opUle, opSlt, opSle,
+		opEqImm, opNeImm, opUltImm, opUleImm, opSltImm, opSleImm:
+		return 1, true
+	}
+	return 0, false
+}
+
+// fuseMaskId eliminates an AndImm that cannot clear any bit its
+// producer can set — the width-normalizing masks the lowering emits
+// after byte loads. The And degenerates to a copy, so the producer is
+// redirected to its destination (value-bounded, so any width is fine).
+func fuseMaskId(a, b *instr, reads, writes []int) (instr, bool) {
+	bound, ok := valBound(a.op)
+	if !ok || b.a != a.dst || b.imm&bound != bound || !single(a.dst, reads, writes) {
+		return instr{}, false
+	}
+	f := *a
+	f.dst = b.dst
+	f.trail = a.trail + b.cost // the degenerate And trails a's fault point
+	return f, true
+}
+
+// masksDst marks opcodes whose handler truncates the result with
+// masks[dst]; redirecting their destination is only sound when the
+// widths match. Every other register-writing opcode produces a value
+// already bounded by the source width, so a widening redirect is safe.
+var masksDst = map[op]bool{
+	opAdd: true, opSub: true, opMul: true, opShl: true, opAShr: true,
+	opNot: true, opTrunc: true, opSExt: true,
+	opAddImm: true, opSubImm: true, opMulImm: true,
+	opShlImm: true, opAShrImm: true, opMulAddImm: true, opAndShrAdd: true,
+}
+
+// writesDst marks opcodes whose dst field is a plain result register
+// (excluding opLoopInit, whose dst is the reserved loop counter).
+func writesDst(o op) bool {
+	switch o {
+	case opConst, opPktLen, opMetaLoad,
+		opAdd, opSub, opMul, opUDiv, opURem, opAnd, opOr, opXor,
+		opShl, opLShr, opAShr, opEq, opNe, opUlt, opUle, opSlt, opSle,
+		opNot, opMov, opTrunc, opSExt, opSel,
+		opLoad1, opLoad2, opLoad4, opStateRead, opLookup,
+		opAddImm, opSubImm, opMulImm, opAndImm, opOrImm, opXorImm,
+		opShlImm, opLShrImm, opAShrImm, opEqImm, opNeImm, opUltImm,
+		opUleImm, opSltImm, opSleImm,
+		opLoad1C, opLoad2C, opLoad4C,
+		opLoad1O, opLoad2O, opLoad4O, opLoad1S, opLoad2S, opLoad4S,
+		opMulAddImm, opAndShrAdd:
+		return true
+	}
+	return false
+}
+
+// isCopy reports whether b is a pure register copy of its a operand:
+// an explicit Mov (zero-extending; widths only grow) or an identity
+// immediate op the lowering emits for loop-variable updates. Or/Xor
+// with zero never truncate; Add/Sub with zero truncate to the dst
+// width, which the register invariant makes a no-op for equal or
+// growing widths.
+func isCopy(b *instr) bool {
+	switch b.op {
+	case opMov:
+		return true
+	case opOrImm, opXorImm, opAddImm, opSubImm:
+		return b.imm == 0
+	case opShlImm, opLShrImm:
+		return b.imm == 0
+	}
+	return false
+}
+
+// fuseCopy redirects a producer's destination through a trailing copy,
+// eliminating the copy: X(t); copy(d<-t) => X(d).
+func fuseCopy(a, b *instr, reads, writes []int, masks []uint64) (instr, bool) {
+	if !isCopy(b) || b.a != a.dst || !writesDst(a.op) || !single(a.dst, reads, writes) {
+		return instr{}, false
+	}
+	if masksDst[a.op] && masks[a.dst] != masks[b.dst] {
+		return instr{}, false
+	}
+	f := *a
+	f.dst = b.dst
+	f.trail = a.trail + b.cost // the copy trails a's fault point
+	return f, true
+}
+
+// immALU maps a binary opcode to its immediate form for a constant
+// second operand.
+var immALU = map[op]op{
+	opAdd: opAddImm, opSub: opSubImm, opMul: opMulImm,
+	opAnd: opAndImm, opOr: opOrImm, opXor: opXorImm,
+	opEq: opEqImm, opNe: opNeImm, opUlt: opUltImm, opUle: opUleImm,
+}
+
+// commutative marks ALU ops where a constant FIRST operand can also be
+// folded (by swapping).
+var commutative = map[op]bool{
+	opAdd: true, opMul: true, opAnd: true, opOr: true, opXor: true,
+	opEq: true, opNe: true,
+}
+
+func fuseConst(a, b *instr, reads, writes []int, masks []uint64) (instr, bool) {
+	k := a.dst
+	if !single(k, reads, writes) {
+		return instr{}, false
+	}
+	c := a.imm
+	if o, ok := immALU[b.op]; ok {
+		switch {
+		case b.b == k && b.a != k:
+			return instr{op: o, dst: b.dst, a: b.a, imm: c}, true
+		case b.a == k && b.b != k && commutative[b.op]:
+			return instr{op: o, dst: b.dst, a: b.b, imm: c}, true
+		}
+		return instr{}, false
+	}
+	if v, ok := foldConst(c, b, masks); ok && b.a == k {
+		return instr{op: opConst, dst: b.dst, imm: v}, true
+	}
+	switch b.op {
+	case opShl, opLShr, opAShr:
+		// b.imm is the operand width; only fuse in-range shift amounts,
+		// so the handlers need no overshift branch.
+		if b.b == k && b.a != k && c < b.imm {
+			o := opShlImm
+			if b.op == opLShr {
+				o = opLShrImm
+			} else if b.op == opAShr {
+				o = opAShrImm
+			}
+			return instr{op: o, dst: b.dst, a: b.a, imm: c}, true
+		}
+	case opSlt, opSle:
+		// b.imm is 64-width; pre-sign-extend the constant.
+		if b.b == k && b.a != k {
+			o := opSltImm
+			if b.op == opSle {
+				o = opSleImm
+			}
+			sh := b.imm
+			return instr{op: o, dst: b.dst, a: b.a, aux: int32(sh),
+				imm: uint64(int64(c<<sh) >> sh)}, true
+		}
+	case opLoad1, opLoad2, opLoad4:
+		if b.a == k {
+			o := opLoad1C
+			if b.op == opLoad2 {
+				o = opLoad2C
+			} else if b.op == opLoad4 {
+				o = opLoad4C
+			}
+			return instr{op: o, dst: b.dst, trail: b.trail, imm: c}, true
+		}
+	case opStore1, opStore2, opStore4:
+		if b.a == k && b.b != k {
+			o := opStore1C
+			if b.op == opStore2 {
+				o = opStore2C
+			} else if b.op == opStore4 {
+				o = opStore4C
+			}
+			return instr{op: o, b: b.b, trail: b.trail, imm: c}, true
+		}
+		if b.b == k && b.a != k {
+			o := opStore1V
+			if b.op == opStore2 {
+				o = opStore2V
+			} else if b.op == opStore4 {
+				o = opStore4V
+			}
+			return instr{op: o, a: b.a, trail: b.trail, imm: c}, true
+		}
+	case opMetaStore:
+		if b.a == k {
+			return instr{op: opMetaStoreImm, aux: b.aux, imm: c}, true
+		}
+	}
+	return instr{}, false
+}
+
+// foldConst evaluates a unary or immediate-form op applied to the
+// constant c, mirroring the VM handlers exactly.
+func foldConst(c uint64, b *instr, masks []uint64) (uint64, bool) {
+	m := masks[b.dst]
+	switch b.op {
+	case opMov:
+		return c, true
+	case opTrunc:
+		return c & m, true
+	case opNot:
+		return ^c & m, true
+	case opSExt:
+		// b.imm is the source-width mask.
+		v := c
+		if v&((b.imm>>1)+1) != 0 {
+			v |= ^b.imm
+		}
+		return v & m, true
+	case opAddImm:
+		return (c + b.imm) & m, true
+	case opSubImm:
+		return (c - b.imm) & m, true
+	case opMulImm:
+		return (c * b.imm) & m, true
+	case opAndImm:
+		return c & b.imm, true
+	case opOrImm:
+		return c | b.imm, true
+	case opXorImm:
+		return c ^ b.imm, true
+	case opShlImm:
+		return (c << b.imm) & m, true
+	case opLShrImm:
+		return c >> b.imm, true
+	case opAShrImm:
+		u := c >> b.imm
+		if c&((m>>1)+1) != 0 {
+			u |= m &^ (m >> b.imm)
+		}
+		return u, true
+	case opEqImm:
+		return b2u(c == b.imm), true
+	case opNeImm:
+		return b2u(c != b.imm), true
+	case opUltImm:
+		return b2u(c < b.imm), true
+	case opUleImm:
+		return b2u(c <= b.imm), true
+	case opSltImm:
+		sh := uint64(b.aux)
+		return b2u(int64(c<<sh)>>sh < int64(b.imm)), true
+	case opSleImm:
+		sh := uint64(b.aux)
+		return b2u(int64(c<<sh)>>sh <= int64(b.imm)), true
+	}
+	return 0, false
+}
+
+// brFused maps a compare opcode to the fused branch taken when the
+// compare is FALSE (opBr's convention).
+var brFused = map[op]op{
+	opEq: opBrNe, opNe: opBrEq, opUlt: opBrUge, opUle: opBrUgt,
+	opSlt: opBrSge, opSle: opBrSgt,
+	opEqImm: opBrNeImm, opNeImm: opBrEqImm,
+	opUltImm: opBrUgeImm, opUleImm: opBrUgtImm,
+	opSltImm: opBrSgeImm, opSleImm: opBrSgtImm,
+}
+
+// brFusedPos maps a compare opcode to the fused branch taken when the
+// compare is TRUE (opBrIf's convention, after a Not was folded away).
+var brFusedPos = map[op]op{
+	opEq: opBrEq, opNe: opBrNe, opUlt: opBrLtU, opUle: opBrLeU,
+	opSlt: opBrLtS, opSle: opBrLeS,
+	opEqImm: opBrEqImm, opNeImm: opBrNeImm,
+	opUltImm: opBrLtUImm, opUleImm: opBrLeUImm,
+	opSltImm: opBrLtSImm, opSleImm: opBrLeSImm,
+}
+
+func fuseCmpBr(a, b *instr, reads, writes []int, masks []uint64) (instr, bool) {
+	// A boolean Not folds into either branch form by flipping it.
+	if a.op == opNot && b.a == a.dst && single(a.dst, reads, writes) && masks[a.a] == 1 {
+		o := opBrIf
+		if b.op == opBrIf {
+			o = opBr
+		}
+		return instr{op: o, a: a.a, aux: b.aux}, true
+	}
+	table := brFused
+	if b.op == opBrIf {
+		table = brFusedPos
+	}
+	o, ok := table[a.op]
+	if !ok || b.a != a.dst || !single(a.dst, reads, writes) {
+		return instr{}, false
+	}
+	switch a.op {
+	case opEq, opNe, opUlt, opUle:
+		return instr{op: o, a: a.a, b: a.b, aux: b.aux}, true
+	case opSlt, opSle:
+		// The compare kept 64-width in imm; the branch keeps it in dst
+		// (its aux is the jump target).
+		return instr{op: o, a: a.a, b: a.b, dst: int32(a.imm), aux: b.aux}, true
+	case opEqImm, opNeImm, opUltImm, opUleImm:
+		return instr{op: o, a: a.a, imm: a.imm, aux: b.aux}, true
+	case opSltImm, opSleImm:
+		return instr{op: o, a: a.a, imm: a.imm, dst: a.aux, aux: b.aux}, true
+	}
+	return instr{}, false
+}
+
+// fuseAddr folds an AddImm address computation into the memory access
+// it feeds. The intermediate register's index rides along in aux so
+// the handler can reproduce the AddImm's width mask exactly.
+func fuseAddr(a, b *instr, reads, writes []int) (instr, bool) {
+	t := a.dst
+	if !single(t, reads, writes) {
+		return instr{}, false
+	}
+	switch b.op {
+	case opLoad1, opLoad2, opLoad4:
+		if b.a == t {
+			o := opLoad1O
+			if b.op == opLoad2 {
+				o = opLoad2O
+			} else if b.op == opLoad4 {
+				o = opLoad4O
+			}
+			return instr{op: o, dst: b.dst, a: a.a, aux: t, trail: b.trail, imm: a.imm}, true
+		}
+	case opStore1, opStore2, opStore4:
+		if b.a == t && b.b != t {
+			o := opStore1O
+			if b.op == opStore2 {
+				o = opStore2O
+			} else if b.op == opStore4 {
+				o = opStore4O
+			}
+			return instr{op: o, a: a.a, b: b.b, aux: t, trail: b.trail, imm: a.imm}, true
+		}
+	case opStore1V, opStore2V, opStore4V:
+		if b.a == t && a.imm <= math.MaxInt32 {
+			o := opStore1VO
+			if b.op == opStore2V {
+				o = opStore2VO
+			} else if b.op == opStore4V {
+				o = opStore4VO
+			}
+			return instr{op: o, a: a.a, dst: int32(a.imm), aux: t, trail: b.trail, imm: b.imm}, true
+		}
+	}
+	return instr{}, false
+}
+
+// fuseMulAdd folds MulImm into a following Add: t = x*c; d = y+t
+// becomes d = y + x*c. Dropping the intermediate mask is sound only at
+// equal widths (mod-2^w congruence).
+func fuseMulAdd(a, b *instr, reads, writes []int, masks []uint64) (instr, bool) {
+	t := a.dst
+	if !single(t, reads, writes) || masks[t] != masks[b.dst] {
+		return instr{}, false
+	}
+	switch {
+	case b.b == t && b.a != t:
+		return instr{op: opMulAddImm, dst: b.dst, a: a.a, b: b.a, imm: a.imm}, true
+	case b.a == t && b.b != t:
+		return instr{op: opMulAddImm, dst: b.dst, a: a.a, b: b.b, imm: a.imm}, true
+	}
+	return instr{}, false
+}
+
+// fuseScaled folds a MulAddImm address computation into the load it
+// feeds: t = base + idx*c; d = data[t] becomes a scaled-index load.
+func fuseScaled(a, b *instr, reads, writes []int) (instr, bool) {
+	t := a.dst
+	if !single(t, reads, writes) {
+		return instr{}, false
+	}
+	switch b.op {
+	case opLoad1, opLoad2, opLoad4:
+		if b.a == t {
+			o := opLoad1S
+			if b.op == opLoad2 {
+				o = opLoad2S
+			} else if b.op == opLoad4 {
+				o = opLoad4S
+			}
+			return instr{op: o, dst: b.dst, a: a.a, b: a.b, aux: t, trail: b.trail, imm: a.imm}, true
+		}
+	}
+	return instr{}, false
+}

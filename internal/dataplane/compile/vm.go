@@ -1,0 +1,736 @@
+package compile
+
+import (
+	"fmt"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// Frame is the packet state a VM executes over: raw bytes plus the
+// slot-indexed metadata array of the pipeline's packet.MetaLayout.
+// Frames are pooled by the runner; Reset reuses their storage.
+type Frame struct {
+	Data        []byte
+	MetaVals    []uint64
+	MetaPresent uint64
+}
+
+// NewFrame allocates a frame for a layout with n metadata slots.
+func NewFrame(n int) *Frame {
+	return &Frame{MetaVals: make([]uint64, n)}
+}
+
+// ResetFrom loads the frame with a copy of buf's bytes and metadata,
+// reusing the frame's storage; it allocates only when the data capacity
+// must grow.
+func (fr *Frame) ResetFrom(lay *packet.MetaLayout, buf *packet.Buffer) {
+	if cap(fr.Data) < len(buf.Data) {
+		fr.Data = make([]byte, len(buf.Data))
+	} else {
+		fr.Data = fr.Data[:len(buf.Data)]
+	}
+	copy(fr.Data, buf.Data)
+	fr.MetaPresent = lay.Import(buf.Meta, fr.MetaVals)
+}
+
+// ElemState is the concrete private state of one compiled element
+// instance: one key/value map per declared store, in declaration
+// order. It is the compiled analogue of ir.State and follows the same
+// capacity semantics.
+type ElemState struct {
+	p      *Program
+	stores []map[uint64]uint64
+}
+
+// NewElemState returns empty private state for p.
+func NewElemState(p *Program) *ElemState {
+	s := &ElemState{p: p, stores: make([]map[uint64]uint64, len(p.states))}
+	for i := range s.stores {
+		s.stores[i] = map[uint64]uint64{}
+	}
+	return s
+}
+
+// Seed pre-populates one entry of the named store, honoring the
+// capacity bound exactly like a regular StateWrite — the compiled
+// counterpart of dataplane.Runner.SeedState.
+func (s *ElemState) Seed(store string, key, val uint64) error {
+	idx := s.p.src.StateIndex(store)
+	if idx < 0 {
+		return fmt.Errorf("compile: element %s has no store %q", s.p.src.Name, store)
+	}
+	d := s.p.states[idx].decl
+	s.write(idx, key&d.KeyW.Mask(), val&d.ValW.Mask())
+	return nil
+}
+
+// write applies the IR's state-write semantics: a new key is dropped
+// when a positive capacity is already reached; existing keys always
+// update.
+func (s *ElemState) write(idx int, key, val uint64) {
+	m := s.stores[idx]
+	d := &s.p.states[idx].decl
+	if _, exists := m[key]; !exists && d.Capacity > 0 && len(m) >= d.Capacity {
+		return
+	}
+	m[key] = val
+}
+
+// Snapshot converts the state to the interpreter's map-of-maps form,
+// omitting never-written stores — the shape ir.State takes after the
+// same execution, for differential comparison.
+func (s *ElemState) Snapshot() ir.State {
+	out := ir.State{}
+	for i, m := range s.stores {
+		if len(m) == 0 {
+			continue
+		}
+		c := make(map[uint64]uint64, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		out[s.p.states[i].decl.Name] = c
+	}
+	return out
+}
+
+// VM executes one compiled Program. The register file is allocated once
+// and cleared in place per run; Run performs no heap allocation except
+// on the crash path (the CrashInfo and, for packet-bounds faults, its
+// message).
+type VM struct {
+	p    *Program
+	regs []uint64
+}
+
+// NewVM prepares a reusable VM for p.
+func NewVM(p *Program) *VM {
+	return &VM{p: p, regs: make([]uint64, p.numRegs)}
+}
+
+// Program returns the compiled program this VM executes.
+func (vm *VM) Program() *Program { return vm.p }
+
+// Run executes the program once over the frame and state. Packet bytes
+// and metadata are mutated in place; state updates persist in st. The
+// Outcome — disposition, port, crash, and exact step count — matches
+// ir.Exec on the source program bit for bit (the differential fuzzer's
+// invariant).
+func (vm *VM) Run(fr *Frame, st *ElemState) ir.Outcome {
+	regs := vm.regs
+	if vm.p.clearRegs {
+		// Only when the definitely-assigned proof failed (defassign.go);
+		// proven programs never read a stale register.
+		clear(regs)
+	}
+	code := vm.p.code
+	masks := vm.p.masks
+	data := fr.Data
+	var steps int64
+	pc := 0
+	for {
+		in := &code[pc]
+		pc++
+		steps += int64(in.cost)
+		switch in.op {
+		case opConst:
+			regs[in.dst] = in.imm
+		case opAdd:
+			regs[in.dst] = (regs[in.a] + regs[in.b]) & masks[in.dst]
+		case opSub:
+			regs[in.dst] = (regs[in.a] - regs[in.b]) & masks[in.dst]
+		case opMul:
+			regs[in.dst] = (regs[in.a] * regs[in.b]) & masks[in.dst]
+		case opUDiv:
+			d := regs[in.b]
+			if d == 0 {
+				return vm.crash(ir.CrashDivZero, vm.p.msgs[in.aux], steps-int64(in.trail))
+			}
+			regs[in.dst] = regs[in.a] / d
+		case opURem:
+			d := regs[in.b]
+			if d == 0 {
+				return vm.crash(ir.CrashDivZero, vm.p.msgs[in.aux], steps-int64(in.trail))
+			}
+			regs[in.dst] = regs[in.a] % d
+		case opAnd:
+			regs[in.dst] = regs[in.a] & regs[in.b]
+		case opOr:
+			regs[in.dst] = regs[in.a] | regs[in.b]
+		case opXor:
+			regs[in.dst] = regs[in.a] ^ regs[in.b]
+		case opShl:
+			if sh := regs[in.b]; sh >= in.imm {
+				regs[in.dst] = 0
+			} else {
+				regs[in.dst] = (regs[in.a] << sh) & masks[in.dst]
+			}
+		case opLShr:
+			if sh := regs[in.b]; sh >= in.imm {
+				regs[in.dst] = 0
+			} else {
+				regs[in.dst] = regs[in.a] >> sh
+			}
+		case opAShr:
+			mask := masks[in.dst]
+			a := regs[in.a]
+			sign := a&((mask>>1)+1) != 0
+			if sh := regs[in.b]; sh >= in.imm {
+				if sign {
+					regs[in.dst] = mask
+				} else {
+					regs[in.dst] = 0
+				}
+			} else {
+				u := a >> sh
+				if sign {
+					u |= mask &^ (mask >> sh)
+				}
+				regs[in.dst] = u
+			}
+		case opEq:
+			regs[in.dst] = b2u(regs[in.a] == regs[in.b])
+		case opNe:
+			regs[in.dst] = b2u(regs[in.a] != regs[in.b])
+		case opUlt:
+			regs[in.dst] = b2u(regs[in.a] < regs[in.b])
+		case opUle:
+			regs[in.dst] = b2u(regs[in.a] <= regs[in.b])
+		case opSlt:
+			sh := in.imm
+			regs[in.dst] = b2u(int64(regs[in.a]<<sh)>>sh < int64(regs[in.b]<<sh)>>sh)
+		case opSle:
+			sh := in.imm
+			regs[in.dst] = b2u(int64(regs[in.a]<<sh)>>sh <= int64(regs[in.b]<<sh)>>sh)
+		case opNot:
+			regs[in.dst] = ^regs[in.a] & masks[in.dst]
+		case opMov:
+			regs[in.dst] = regs[in.a]
+		case opTrunc:
+			regs[in.dst] = regs[in.a] & masks[in.dst]
+		case opSExt:
+			v := regs[in.a]
+			if v&((in.imm>>1)+1) != 0 {
+				v |= ^in.imm
+			}
+			regs[in.dst] = v & masks[in.dst]
+		case opSel:
+			if regs[in.a] == 1 {
+				regs[in.dst] = regs[in.b]
+			} else {
+				regs[in.dst] = regs[in.aux]
+			}
+		case opLoad1:
+			off := regs[in.a]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 1, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])
+		case opLoad2:
+			off := regs[in.a]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<8 | uint64(data[off+1])
+		case opLoad4:
+			off := regs[in.a]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 4, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<24 | uint64(data[off+1])<<16 |
+				uint64(data[off+2])<<8 | uint64(data[off+3])
+		case opStore1:
+			off := regs[in.a]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(regs[in.b])
+		case opStore2:
+			off := regs[in.a]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 2, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 8)
+			data[off+1] = byte(v)
+		case opStore4:
+			off := regs[in.a]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 4, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 24)
+			data[off+1] = byte(v >> 16)
+			data[off+2] = byte(v >> 8)
+			data[off+3] = byte(v)
+		case opPktLen:
+			regs[in.dst] = uint64(len(data))
+		case opMetaLoad:
+			regs[in.dst] = fr.MetaVals[in.aux]
+		case opMetaStore:
+			fr.MetaVals[in.aux] = regs[in.a]
+			fr.MetaPresent |= 1 << uint(in.aux)
+		case opStateRead:
+			v, ok := st.stores[in.aux][regs[in.a]]
+			if !ok {
+				v = vm.p.states[in.aux].defv
+			}
+			regs[in.dst] = v
+		case opStateWrite:
+			st.write(int(in.aux), regs[in.a], regs[in.b])
+		case opLookup:
+			v, _ := vm.p.tables[in.aux].Lookup(regs[in.a])
+			regs[in.dst] = v & in.imm
+		case opAssert:
+			if regs[in.a] != 1 {
+				return vm.crash(ir.CrashAssert, vm.p.msgs[in.aux], steps)
+			}
+		case opBr:
+			if regs[in.a] != 1 {
+				pc = int(in.aux)
+			}
+		case opJump:
+			pc = int(in.aux)
+		case opBreak:
+			pc = int(in.aux)
+		case opLoopInit:
+			regs[in.dst] = in.imm
+		case opLoopBack:
+			regs[in.a]--
+			if regs[in.a] > 0 {
+				pc = int(in.aux)
+			} else {
+				steps--
+			}
+		case opEmit:
+			return ir.Outcome{Disposition: ir.Emitted, Port: int(in.aux), Steps: steps}
+		case opDrop:
+			return ir.Outcome{Disposition: ir.Dropped, Steps: steps}
+		case opCrashEnd:
+			return vm.crash(ir.CrashAssert, vm.p.msgs[in.aux], steps)
+
+		// Superinstructions emitted by the peephole optimizer. Each is
+		// semantically the sequential composition of its two source
+		// instructions; the cost field already carries both steps.
+		case opAddImm:
+			regs[in.dst] = (regs[in.a] + in.imm) & masks[in.dst]
+		case opSubImm:
+			regs[in.dst] = (regs[in.a] - in.imm) & masks[in.dst]
+		case opMulImm:
+			regs[in.dst] = (regs[in.a] * in.imm) & masks[in.dst]
+		case opAndImm:
+			regs[in.dst] = regs[in.a] & in.imm
+		case opOrImm:
+			regs[in.dst] = regs[in.a] | in.imm
+		case opXorImm:
+			regs[in.dst] = regs[in.a] ^ in.imm
+		case opShlImm:
+			// Fused only for in-range shift amounts: no overshift case.
+			regs[in.dst] = (regs[in.a] << in.imm) & masks[in.dst]
+		case opLShrImm:
+			regs[in.dst] = regs[in.a] >> in.imm
+		case opAShrImm:
+			mask := masks[in.dst]
+			u := regs[in.a] >> in.imm
+			if regs[in.a]&((mask>>1)+1) != 0 {
+				u |= mask &^ (mask >> in.imm)
+			}
+			regs[in.dst] = u
+		case opEqImm:
+			regs[in.dst] = b2u(regs[in.a] == in.imm)
+		case opNeImm:
+			regs[in.dst] = b2u(regs[in.a] != in.imm)
+		case opUltImm:
+			regs[in.dst] = b2u(regs[in.a] < in.imm)
+		case opUleImm:
+			regs[in.dst] = b2u(regs[in.a] <= in.imm)
+		case opSltImm:
+			sh := uint64(in.aux)
+			regs[in.dst] = b2u(int64(regs[in.a]<<sh)>>sh < int64(in.imm))
+		case opSleImm:
+			sh := uint64(in.aux)
+			regs[in.dst] = b2u(int64(regs[in.a]<<sh)>>sh <= int64(in.imm))
+		case opLoad1C:
+			off := in.imm
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 1, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])
+		case opLoad2C:
+			off := in.imm
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<8 | uint64(data[off+1])
+		case opLoad4C:
+			off := in.imm
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 4, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<24 | uint64(data[off+1])<<16 |
+				uint64(data[off+2])<<8 | uint64(data[off+3])
+		case opStore1C:
+			off := in.imm
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(regs[in.b])
+		case opStore2C:
+			off := in.imm
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 2, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 8)
+			data[off+1] = byte(v)
+		case opStore4C:
+			off := in.imm
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 4, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 24)
+			data[off+1] = byte(v >> 16)
+			data[off+2] = byte(v >> 8)
+			data[off+3] = byte(v)
+		case opMetaStoreImm:
+			fr.MetaVals[in.aux] = in.imm
+			fr.MetaPresent |= 1 << uint(in.aux)
+
+		// Fused compare+branch: each branches when the source compare
+		// was FALSE (opBr's convention), hence the negated names.
+		case opBrNe:
+			if regs[in.a] != regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrEq:
+			if regs[in.a] == regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrUge:
+			if regs[in.a] >= regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrUgt:
+			if regs[in.a] > regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrSge:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh >= int64(regs[in.b]<<sh)>>sh {
+				pc = int(in.aux)
+			}
+		case opBrSgt:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh > int64(regs[in.b]<<sh)>>sh {
+				pc = int(in.aux)
+			}
+		case opBrNeImm:
+			if regs[in.a] != in.imm {
+				pc = int(in.aux)
+			}
+		case opBrEqImm:
+			if regs[in.a] == in.imm {
+				pc = int(in.aux)
+			}
+		case opBrUgeImm:
+			if regs[in.a] >= in.imm {
+				pc = int(in.aux)
+			}
+		case opBrUgtImm:
+			if regs[in.a] > in.imm {
+				pc = int(in.aux)
+			}
+		case opBrSgeImm:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh >= int64(in.imm) {
+				pc = int(in.aux)
+			}
+		case opBrSgtImm:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh > int64(in.imm) {
+				pc = int(in.aux)
+			}
+
+		// Address-formation fusions: aux is the register index whose
+		// mask bounds the folded address arithmetic.
+		case opMulAddImm:
+			regs[in.dst] = (regs[in.b] + regs[in.a]*in.imm) & masks[in.dst]
+		case opLoad1O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 1, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])
+		case opLoad2O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<8 | uint64(data[off+1])
+		case opLoad4O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 4, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<24 | uint64(data[off+1])<<16 |
+				uint64(data[off+2])<<8 | uint64(data[off+3])
+		case opStore1O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(regs[in.b])
+		case opStore2O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 2, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 8)
+			data[off+1] = byte(v)
+		case opStore4O:
+			off := (regs[in.a] + in.imm) & masks[in.aux]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 4, len(data), steps-int64(in.trail))
+			}
+			v := regs[in.b]
+			data[off] = byte(v >> 24)
+			data[off+1] = byte(v >> 16)
+			data[off+2] = byte(v >> 8)
+			data[off+3] = byte(v)
+		case opLoad1S:
+			off := (regs[in.b] + regs[in.a]*in.imm) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 1, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])
+		case opLoad2S:
+			off := (regs[in.b] + regs[in.a]*in.imm) & masks[in.aux]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<8 | uint64(data[off+1])
+		case opLoad4S:
+			off := (regs[in.b] + regs[in.a]*in.imm) & masks[in.aux]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 4, len(data), steps-int64(in.trail))
+			}
+			regs[in.dst] = uint64(data[off])<<24 | uint64(data[off+1])<<16 |
+				uint64(data[off+2])<<8 | uint64(data[off+3])
+		case opStore1V:
+			off := regs[in.a]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm)
+		case opStore2V:
+			off := regs[in.a]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 2, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm >> 8)
+			data[off+1] = byte(in.imm)
+		case opStore4V:
+			off := regs[in.a]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 4, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm >> 24)
+			data[off+1] = byte(in.imm >> 16)
+			data[off+2] = byte(in.imm >> 8)
+			data[off+3] = byte(in.imm)
+		case opStore1VO:
+			off := (regs[in.a] + uint64(in.dst)) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm)
+		case opStore2VO:
+			off := (regs[in.a] + uint64(in.dst)) & masks[in.aux]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 2, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm >> 8)
+			data[off+1] = byte(in.imm)
+		case opStore4VO:
+			off := (regs[in.a] + uint64(in.dst)) & masks[in.aux]
+			if off+4 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 4, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm >> 24)
+			data[off+1] = byte(in.imm >> 16)
+			data[off+2] = byte(in.imm >> 8)
+			data[off+3] = byte(in.imm)
+
+		// Positive fused branches (a Not folded into opBr).
+		case opBrIf:
+			if regs[in.a] == 1 {
+				pc = int(in.aux)
+			}
+		case opBrLtU:
+			if regs[in.a] < regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrLeU:
+			if regs[in.a] <= regs[in.b] {
+				pc = int(in.aux)
+			}
+		case opBrLtS:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh < int64(regs[in.b]<<sh)>>sh {
+				pc = int(in.aux)
+			}
+		case opBrLeS:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh <= int64(regs[in.b]<<sh)>>sh {
+				pc = int(in.aux)
+			}
+		case opBrLtUImm:
+			if regs[in.a] < in.imm {
+				pc = int(in.aux)
+			}
+		case opBrLeUImm:
+			if regs[in.a] <= in.imm {
+				pc = int(in.aux)
+			}
+		case opBrLtSImm:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh < int64(in.imm) {
+				pc = int(in.aux)
+			}
+		case opBrLeSImm:
+			sh := uint64(in.dst)
+			if int64(regs[in.a]<<sh)>>sh <= int64(in.imm) {
+				pc = int(in.aux)
+			}
+
+		// Loop-body superinstructions.
+		case opLoad2SAdd:
+			// Scaled-index 16-bit load accumulated in place (the checksum
+			// inner loop). The trailing statements folded behind the load
+			// (in.trail) have not run when it faults.
+			off := (regs[in.b] + regs[in.a]*in.imm) & masks[in.aux]
+			if off+2 > uint64(len(data)) {
+				return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+			}
+			w := uint64(data[off])<<8 | uint64(data[off+1])
+			regs[in.dst] = (regs[in.dst] + w) & masks[in.dst]
+		case opAddImmLoopBack:
+			regs[in.dst] = (regs[in.a] + in.imm) & masks[in.dst]
+			regs[in.b]--
+			if regs[in.b] > 0 {
+				pc = int(in.aux)
+			} else {
+				steps--
+			}
+		case opStoreV2P:
+			// Two fused constant byte stores at independent displacements
+			// (EtherEncap interleaves destination- and source-MAC bytes).
+			// Each offset is masked exactly like its original Store1VO; a
+			// fault at the first store drops the second's cost (trail).
+			off := (regs[in.a] + uint64(in.dst)) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps-int64(in.trail))
+			}
+			data[off] = byte(in.imm >> 8)
+			off = (regs[in.a] + uint64(in.b)) & masks[in.aux]
+			if off+1 > uint64(len(data)) {
+				return vm.crashOOB("write", off, 1, len(data), steps)
+			}
+			data[off] = byte(in.imm)
+		case opAndShrAdd:
+			// The ones-complement checksum fold: (s & m) + (s >> k).
+			s := regs[in.a]
+			regs[in.dst] = ((s & in.imm) + (s >> uint64(in.aux))) & masks[in.dst]
+
+		// Inverted-loop back edges. Step deltas mirror the unfused paths
+		// exactly: another iteration re-runs the header test (+test
+		// cost); a test failure runs the test and the break (+both); an
+		// exhausted counter falls out before the test (the back edge
+		// itself goes uncounted, like opLoopBack's exit).
+		case opLoopNext:
+			regs[in.dst] = (regs[in.dst] + in.imm&(1<<40-1)) & masks[in.dst]
+			regs[in.b]--
+			if regs[in.b] > 0 {
+				steps += int64(in.imm >> 40 & 0xff)
+				if regs[in.a] > regs[in.dst] {
+					pc = int(in.aux)
+				} else {
+					steps += int64(in.imm >> 48 & 0xff)
+				}
+			} else {
+				steps--
+			}
+		case opLoopBackUgt:
+			regs[in.a]--
+			if regs[in.a] > 0 {
+				steps += int64(in.imm >> 40 & 0xff)
+				if regs[in.b] > regs[in.dst] {
+					pc = int(in.aux)
+				} else {
+					steps += int64(in.imm >> 48 & 0xff)
+				}
+			} else {
+				steps--
+			}
+		case opLoad2AddLoop:
+			// The whole counted loop in one dispatch. Per-iteration step
+			// accounting is identical to the Load2SAdd + LoopNext pair it
+			// fused from: the dispatcher charged both instructions' costs
+			// on entry, so the latch's share is returned first and then
+			// re-charged per path, exactly as the pair would have.
+			scale := in.imm & 0xff
+			inc := in.imm >> 8 & 0xff
+			mask := masks[in.imm>>16&0xff]
+			limit := in.imm >> 24 & 0xff
+			steps -= int64(in.imm >> 56 & 0xff)
+			for {
+				off := (regs[in.b] + regs[in.a]*scale) & mask
+				if off+2 > uint64(len(data)) {
+					return vm.crashOOB("read", off, 2, len(data), steps-int64(in.trail))
+				}
+				w := uint64(data[off])<<8 | uint64(data[off+1])
+				regs[in.dst] = (regs[in.dst] + w) & masks[in.dst]
+				regs[in.a] = (regs[in.a] + inc) & masks[in.a]
+				regs[in.aux]--
+				if regs[in.aux] > 0 {
+					if regs[limit] > regs[in.a] {
+						steps += int64(in.imm >> 40 & 0xff)
+						continue
+					}
+					steps += int64(in.imm >> 48 & 0xff)
+				} else {
+					steps += int64(in.imm>>56&0xff) - 1
+				}
+				break
+			}
+		default:
+			panic(fmt.Sprintf("compile: unknown opcode %d", in.op))
+		}
+	}
+}
+
+func (vm *VM) crash(kind ir.CrashKind, msg string, steps int64) ir.Outcome {
+	return ir.Outcome{
+		Disposition: ir.Crashed,
+		Crash:       &ir.CrashInfo{Kind: kind, Msg: msg},
+		Steps:       steps,
+	}
+}
+
+// crashOOB formats the interpreter's out-of-bounds message; the
+// dynamic offsets keep it off the preformatted table (crash paths may
+// allocate — the steady state never reaches them).
+func (vm *VM) crashOOB(what string, off uint64, n int, pktLen int, steps int64) ir.Outcome {
+	return vm.crash(ir.CrashOOB, fmt.Sprintf("%s [%d,%d) beyond %d-byte packet in %s",
+		what, off, off+uint64(n), pktLen, vm.p.src.Name), steps)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

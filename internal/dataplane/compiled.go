@@ -1,0 +1,362 @@
+package dataplane
+
+import (
+	"fmt"
+	"slices"
+
+	"vsd/internal/bv"
+	"vsd/internal/click"
+	"vsd/internal/dataplane/compile"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// Compiled is the fast-tier runner: the same pipeline semantics as
+// Runner, executed as flat bytecode on the compile package's GC-free VM
+// instead of by walking the IR tree. Construction pays for everything
+// the interpreter does per packet — name resolution, metadata hashing,
+// register-file allocation — so the steady-state forwarding loop
+// performs zero heap allocations.
+//
+// Equivalence with Runner is not assumed, it is machine-checked: the
+// differential oracle (Compare, vsdrun -compare, the tput fuzz cell)
+// drives both tiers over the same traffic and requires identical
+// dispositions, egress, bytes, metadata, private state, and step
+// counts (DESIGN.md §10).
+type Compiled struct {
+	pipeline *click.Pipeline
+	layout   *packet.MetaLayout
+	vms      []*compile.VM        // one per element: register file reuse
+	states   []*compile.ElemState // per-instance private state
+	counters []ElementCounters
+	// topo is the topological element order the batch scheduler walks;
+	// nil when the pipeline is not a DAG (hand-assembled graphs bypass
+	// click.Build's acyclicity check), in which case batches fall back
+	// to per-packet walks and the maxHops guard.
+	topo []int
+	// queues[i] holds the frame indices waiting at element i during a
+	// batch; reused across batches.
+	queues [][]int32
+	// egrID/egrName cache Pipeline.EgressID/EgressName per [elem][port]
+	// so the hot loop never touches the pipeline's egress map.
+	egrID   [][]int
+	egrName [][]string
+	// frames is the frame pool RunTrace draws from; Process and
+	// ProcessBatch alias caller buffers instead.
+	frames []*compile.Frame
+	// procFrame is the scratch frame Process reuses.
+	procFrame compile.Frame
+}
+
+// NewCompiled compiles every element of the pipeline and prepares a
+// runner with empty private state. Elements with content-identical
+// programs share one compiled Program (each keeps its own VM and
+// state).
+func NewCompiled(p *click.Pipeline) (*Compiled, error) {
+	progs := make([]*ir.Program, len(p.Elements))
+	for i, e := range p.Elements {
+		progs[i] = e.Program()
+	}
+	lay, err := compile.BuildLayout(progs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Compiled{
+		pipeline: p,
+		layout:   lay,
+		vms:      make([]*compile.VM, len(p.Elements)),
+		states:   make([]*compile.ElemState, len(p.Elements)),
+		counters: make([]ElementCounters, len(p.Elements)),
+		queues:   make([][]int32, len(p.Elements)),
+	}
+	shared := map[ir.Fingerprint]*compile.Program{}
+	for i, prog := range progs {
+		fp := prog.Fingerprint()
+		cp, ok := shared[fp]
+		if !ok {
+			cp, err = compile.Compile(prog, lay)
+			if err != nil {
+				return nil, err
+			}
+			shared[fp] = cp
+		}
+		r.vms[i] = compile.NewVM(cp)
+		r.states[i] = compile.NewElemState(cp)
+	}
+	r.procFrame.MetaVals = make([]uint64, lay.NumSlots())
+	r.topo = topoOrder(p)
+	r.egrID = make([][]int, len(p.Elements))
+	r.egrName = make([][]string, len(p.Elements))
+	for i, edges := range p.Edges {
+		r.egrID[i] = make([]int, len(edges))
+		r.egrName[i] = make([]string, len(edges))
+		for port, e := range edges {
+			if e.To < 0 {
+				id := p.EgressID(i, port)
+				r.egrID[i][port] = id
+				r.egrName[i][port] = p.EgressName(id)
+			} else {
+				r.egrID[i][port] = -1
+			}
+		}
+	}
+	return r, nil
+}
+
+// topoOrder returns a topological order of the pipeline's elements, or
+// nil when the graph has a cycle.
+func topoOrder(p *click.Pipeline) []int {
+	indeg := make([]int, len(p.Elements))
+	for _, edges := range p.Edges {
+		for _, e := range edges {
+			if e.To >= 0 {
+				indeg[e.To]++
+			}
+		}
+	}
+	order := make([]int, 0, len(p.Elements))
+	for i, d := range indeg {
+		if d == 0 {
+			order = append(order, i)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for _, e := range p.Edges[order[i]] {
+			if e.To >= 0 {
+				if indeg[e.To]--; indeg[e.To] == 0 {
+					order = append(order, e.To)
+				}
+			}
+		}
+	}
+	if len(order) != len(p.Elements) {
+		return nil
+	}
+	return order
+}
+
+// Layout returns the pipeline-wide metadata slot layout.
+func (r *Compiled) Layout() *packet.MetaLayout { return r.layout }
+
+// Counters returns the per-element counters, indexed like
+// pipeline.Elements.
+func (r *Compiled) Counters() []ElementCounters { return r.counters }
+
+// FormatCounters renders the per-element counters as a table.
+func (r *Compiled) FormatCounters() string {
+	return formatCounters(r.pipeline, r.counters)
+}
+
+// SeedState pre-populates one entry of the named element instance's
+// private store, honoring the capacity bound exactly like Runner's.
+func (r *Compiled) SeedState(inst, store string, key, val uint64) error {
+	for i, e := range r.pipeline.Elements {
+		if e.Name() != inst {
+			continue
+		}
+		if r.states[i].Seed(store, key, val) != nil {
+			// Same message as Runner.SeedState, so callers (witness
+			// replay) see one error surface across tiers.
+			return fmt.Errorf("dataplane: element %s has no store %q", inst, store)
+		}
+		return nil
+	}
+	return fmt.Errorf("dataplane: no element instance %q", inst)
+}
+
+// stateSnapshot returns element i's private state in interpreter form,
+// for the differential oracle.
+func (r *Compiled) stateSnapshot(i int) ir.State { return r.states[i].Snapshot() }
+
+// Process forwards one packet through the compiled pipeline. The
+// buffer is mutated in place, exactly like Runner.Process: packet
+// bytes are written through, and final metadata annotations are
+// exported back into buf.Meta.
+func (r *Compiled) Process(buf *packet.Buffer) Result {
+	if buf.Meta == nil {
+		buf.Meta = map[string]bv.V{}
+	}
+	fr := &r.procFrame
+	fr.Data = buf.Data
+	fr.MetaPresent = r.layout.Import(buf.Meta, fr.MetaVals)
+	res := r.walk(fr)
+	r.layout.Export(fr.MetaVals, fr.MetaPresent, buf.Meta)
+	fr.Data = nil
+	return res
+}
+
+// walk runs one frame element by element — the compiled analogue of
+// Runner.Process's hop loop, sharing its hop limit.
+func (r *Compiled) walk(fr *compile.Frame) Result {
+	res := Result{Egress: -1}
+	elem := r.pipeline.Entry
+	for {
+		if res.Hops++; res.Hops > maxHops {
+			panic("dataplane: hop limit exceeded (pipeline not a DAG?)")
+		}
+		r.counters[elem].In++
+		out := r.vms[elem].Run(fr, r.states[elem])
+		res.Steps += out.Steps
+		switch out.Disposition {
+		case ir.Crashed:
+			r.counters[elem].Crashed++
+			res.Disposition = ir.Crashed
+			res.Crash = out.Crash
+			res.CrashAt = r.pipeline.Elements[elem].Name()
+			return res
+		case ir.Dropped:
+			r.counters[elem].Dropped++
+			res.Disposition = ir.Dropped
+			return res
+		case ir.Emitted:
+			edge := r.pipeline.Edges[elem][out.Port]
+			if edge.To < 0 {
+				res.Disposition = ir.Emitted
+				res.Egress = r.egrID[elem][out.Port]
+				res.EgressName = r.egrName[elem][out.Port]
+				return res
+			}
+			elem = edge.To
+		}
+	}
+}
+
+// ProcessBatch forwards a batch of packets, writing one Result per
+// packet into out (which must be at least len(bufs) long). Buffers are
+// mutated in place like Process.
+//
+// Batching amortizes pipeline dispatch: packets advance through the
+// element DAG in topological order, so each element's VM runs over
+// every packet queued at it before the scheduler moves on. Per-element
+// queues are kept in packet-index order, which makes batch execution
+// observationally identical to processing the packets one at a time —
+// element-private state is the only cross-packet channel, and each
+// element still sees its visitors in the same order (the differential
+// oracle checks this tier too).
+func (r *Compiled) ProcessBatch(bufs []*packet.Buffer, out []Result) {
+	if len(bufs) == 0 {
+		return
+	}
+	r.growFrames(len(bufs))
+	for i, buf := range bufs {
+		if buf.Meta == nil {
+			buf.Meta = map[string]bv.V{}
+		}
+		fr := r.frames[i]
+		fr.Data = buf.Data // alias: mutate the caller's bytes in place
+		fr.MetaPresent = r.layout.Import(buf.Meta, fr.MetaVals)
+	}
+	r.runFrames(len(bufs), out)
+	for i, buf := range bufs {
+		fr := r.frames[i]
+		r.layout.Export(fr.MetaVals, fr.MetaPresent, buf.Meta)
+		fr.Data = nil
+	}
+}
+
+// growFrames ensures the pool holds at least n frames.
+func (r *Compiled) growFrames(n int) {
+	for len(r.frames) < n {
+		r.frames = append(r.frames, compile.NewFrame(r.layout.NumSlots()))
+	}
+}
+
+// runFrames executes frames[0:n], writing Results into out. Frames must
+// already carry their packet bytes and metadata.
+func (r *Compiled) runFrames(n int, out []Result) {
+	for i := 0; i < n; i++ {
+		out[i] = Result{Egress: -1}
+	}
+	if r.topo == nil {
+		// Not a DAG: per-packet walks, so the hop guard fires exactly
+		// as it would under Process.
+		for i := 0; i < n; i++ {
+			out[i] = r.walk(r.frames[i])
+		}
+		return
+	}
+	entryQ := r.queues[r.pipeline.Entry][:0]
+	for i := 0; i < n; i++ {
+		entryQ = append(entryQ, int32(i))
+	}
+	r.queues[r.pipeline.Entry] = entryQ
+	for _, elem := range r.topo {
+		q := r.queues[elem]
+		if len(q) == 0 {
+			continue
+		}
+		// Upstream elements append in topo order; restore packet-index
+		// order so per-element state sees the sequential interleaving.
+		slices.Sort(q)
+		vm, st := r.vms[elem], r.states[elem]
+		edges := r.pipeline.Edges[elem]
+		for _, fi := range q {
+			fr := r.frames[fi]
+			res := &out[fi]
+			res.Hops++
+			r.counters[elem].In++
+			o := vm.Run(fr, st)
+			res.Steps += o.Steps
+			switch o.Disposition {
+			case ir.Crashed:
+				r.counters[elem].Crashed++
+				res.Disposition = ir.Crashed
+				res.Crash = o.Crash
+				res.CrashAt = r.pipeline.Elements[elem].Name()
+			case ir.Dropped:
+				r.counters[elem].Dropped++
+				res.Disposition = ir.Dropped
+			case ir.Emitted:
+				edge := edges[o.Port]
+				if edge.To < 0 {
+					res.Disposition = ir.Emitted
+					res.Egress = r.egrID[elem][o.Port]
+					res.EgressName = r.egrName[elem][o.Port]
+				} else {
+					r.queues[edge.To] = append(r.queues[edge.To], fi)
+				}
+			}
+		}
+		r.queues[elem] = q[:0]
+	}
+}
+
+// batchSize is the RunTrace chunk size: large enough to amortize
+// dispatch, small enough to keep the working set in cache.
+const batchSize = 256
+
+// RunTrace processes each packet of a trace through the compiled tier
+// and aggregates the results. Originals are not disturbed: packets are
+// copied into pooled frames (the only steady-state byte copies the
+// tier makes).
+func (r *Compiled) RunTrace(trace []*packet.Buffer) Summary {
+	s := Summary{PerEgress: map[int]int64{}}
+	r.growFrames(batchSize)
+	var results [batchSize]Result
+	for start := 0; start < len(trace); start += batchSize {
+		chunk := trace[start:min(start+batchSize, len(trace))]
+		for i, buf := range chunk {
+			r.frames[i].ResetFrom(r.layout, buf)
+		}
+		r.runFrames(len(chunk), results[:])
+		for i := range chunk {
+			res := results[i]
+			s.Packets++
+			s.Steps += res.Steps
+			switch res.Disposition {
+			case ir.Emitted:
+				s.Emitted++
+				s.PerEgress[res.Egress]++
+			case ir.Dropped:
+				s.Dropped++
+			case ir.Crashed:
+				s.Crashed++
+				if s.FirstCrash == nil {
+					c := res
+					s.FirstCrash = &c
+				}
+			}
+		}
+	}
+	return s
+}

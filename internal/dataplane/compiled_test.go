@@ -1,0 +1,406 @@
+package dataplane
+
+import (
+	"strings"
+	"testing"
+
+	"vsd/internal/click"
+	"vsd/internal/elements"
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+	"vsd/internal/trace"
+)
+
+// differentialConfigs mirrors the admission corpus (plus the
+// checksum-enabled router this package already tests) without importing
+// the experiments package, which depends on dataplane.
+var differentialConfigs = []struct {
+	name string
+	src  string
+}{
+	{"router-checksum", routerSrc},
+	{"nat", `
+		src :: InfiniteSource;
+		cls :: Classifier(12/0800, -);
+		strip :: Strip(14);
+		chk :: CheckIPHeader(NOCHECKSUM);
+		nat :: IPRewriter(SNAT 100.64.0.1);
+		encap :: EtherEncap(0800, 02:00:00:00:00:01, 02:00:00:00:00:02);
+
+		src -> cls;
+		cls [0] -> strip -> chk;
+		cls [1] -> Discard;
+		chk [0] -> nat -> encap;
+		chk [1] -> Discard;
+	`},
+	{"counter", `
+		s :: InfiniteSource; s -> c :: Counter(SATURATE) -> n :: NetFlow(4) -> Discard;
+	`},
+	{"crashy", `
+		s :: InfiniteSource; s -> u :: UnsafeReader(16) -> Discard;
+	`},
+}
+
+// TestCompiledDifferentialCorpus is the in-tree slice of the
+// differential fuzzer: every config above, every workload shape, fixed
+// seeds, with Compare demanding the interpreted, compiled, and batched
+// tiers agree on every observable per packet — including crashes.
+func TestCompiledDifferentialCorpus(t *testing.T) {
+	n := 2000
+	if testing.Short() {
+		n = 300
+	}
+	for _, cfg := range differentialConfigs {
+		p, err := click.Parse(elements.Default(), cfg.src)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		for _, wl := range []string{"mix", "ipv4", "random", "adversarial"} {
+			g := trace.New(trace.Spec{Seed: 7})
+			var pkts []*packet.Buffer
+			switch wl {
+			case "mix":
+				pkts = g.Mix(n)
+			case "ipv4":
+				for i := 0; i < n; i++ {
+					pkts = append(pkts, g.IPv4())
+				}
+			case "random":
+				for i := 0; i < n; i++ {
+					pkts = append(pkts, g.Random(96))
+				}
+			case "adversarial":
+				for i := 0; i < n; i++ {
+					pkts = append(pkts, g.Adversarial())
+				}
+			}
+			rep, err := Compare(p, pkts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.name, wl, err)
+			}
+			if rep.Packets != int64(n) {
+				t.Errorf("%s/%s: compared %d packets, want %d", cfg.name, wl, rep.Packets, n)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesResultFields spot-checks the compiled tier against
+// known interpreter behavior on a forwarding packet, not just against
+// the interpreter.
+func TestCompiledMatchesResultFields(t *testing.T) {
+	p := buildRouter(t)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := packet.BuildIPv4(packet.IPv4Spec{
+		SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(192, 168, 3, 4),
+		TTL: 64, Protocol: packet.ProtoUDP, Payload: make([]byte, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rc.Process(buf)
+	if res.Disposition != ir.Emitted {
+		t.Fatalf("result %+v", res)
+	}
+	if !strings.HasPrefix(res.EgressName, "encap") {
+		t.Errorf("egress = %s, want the encap exit", res.EgressName)
+	}
+	ip, err := packet.IPv4At(buf.Data, packet.EthernetHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.TTL() != 63 {
+		t.Errorf("TTL = %d, want 63 (bytes must be written through)", ip.TTL())
+	}
+}
+
+// TestCompiledZeroAllocsPerPacket enforces the PR's headline budget:
+// after warmup, the compiled tier's per-packet and batched paths
+// perform zero heap allocations.
+func TestCompiledZeroAllocsPerPacket(t *testing.T) {
+	p := buildRouter(t)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := trace.New(trace.Spec{Seed: 3}).Mix(256)
+
+	scratch := packet.NewBuffer(nil)
+	i := 0
+	perPacket := func() {
+		scratch.CopyFrom(pkts[i%len(pkts)])
+		rc.Process(scratch)
+		i++
+	}
+	// Warm over the whole working set so the scratch buffer reaches the
+	// trace's largest packet before the measured runs.
+	for range pkts {
+		perPacket()
+	}
+	if allocs := testing.AllocsPerRun(500, perPacket); allocs != 0 {
+		t.Errorf("compiled Process: %v allocs/packet, want 0", allocs)
+	}
+
+	// Batched path over caller-owned buffers and a caller-owned result
+	// slice: everything the scheduler needs (frames, queues) is pooled.
+	bufs := make([]*packet.Buffer, len(pkts))
+	for j, pkt := range pkts {
+		bufs[j] = pkt.Clone()
+	}
+	out := make([]Result, len(bufs))
+	batch := func() { rc.ProcessBatch(bufs, out) }
+	batch() // warmup
+	if allocs := testing.AllocsPerRun(20, batch); allocs != 0 {
+		t.Errorf("compiled ProcessBatch: %v allocs/batch of %d, want 0", allocs, len(bufs))
+	}
+}
+
+// TestRunnerRunTraceAllocations pins the interpreter-tier fix: RunTrace
+// no longer clones every packet with a fresh metadata map; steady-state
+// forwarding through Process is allocation-free, and a whole RunTrace
+// pass costs only its Summary.
+func TestRunnerRunTraceAllocations(t *testing.T) {
+	p := buildRouter(t)
+	r := NewRunner(p)
+	pkts := trace.New(trace.Spec{Seed: 3}).Mix(256)
+
+	// Per-packet path: zero allocations once the scratch buffer has
+	// grown to the trace's largest packet.
+	r.RunTrace(pkts) // warmup
+	i := 0
+	perPacket := func() {
+		r.scratch.CopyFrom(pkts[i%len(pkts)])
+		r.Process(r.scratch)
+		i++
+	}
+	if allocs := testing.AllocsPerRun(500, perPacket); allocs != 0 {
+		t.Errorf("interpreter Process: %v allocs/packet, want 0", allocs)
+	}
+
+	// Whole-trace path: the only allocations are the Summary and its
+	// per-egress map — a handful per call, NOT per packet.
+	allocs := testing.AllocsPerRun(10, func() { r.RunTrace(pkts) })
+	if perPkt := allocs / float64(len(pkts)); perPkt > 0.05 {
+		t.Errorf("interpreter RunTrace: %v allocs for %d packets (%.3f/packet), want O(1) per trace",
+			allocs, len(pkts), perPkt)
+	}
+}
+
+// emitOnly builds a trivial 1-in/1-out element that always emits, for
+// hand-assembled pipeline graphs.
+func emitOnly(name string) *click.Instance {
+	b := ir.NewBuilder(name, 1, 1)
+	b.Emit(0)
+	return click.NewInstance(name, "Fwd", "", b.MustBuild())
+}
+
+// cyclicPipeline hand-assembles a -> b -> a, bypassing click.Build's
+// acyclicity check, to exercise the defensive hop limit.
+func cyclicPipeline() *click.Pipeline {
+	return &click.Pipeline{
+		Elements: []*click.Instance{emitOnly("a"), emitOnly("b")},
+		Edges: [][]click.Edge{
+			{{To: 1}},
+			{{To: 0}},
+		},
+		Entry: 0,
+	}
+}
+
+// TestHopLimitPanicsBothTiers: a non-DAG graph must trip the maxHops
+// guard with the same panic on the interpreted and compiled tiers — in
+// per-packet AND batched mode (whose scheduler falls back to walking
+// when no topological order exists).
+func TestHopLimitPanicsBothTiers(t *testing.T) {
+	const wantPanic = "dataplane: hop limit exceeded (pipeline not a DAG?)"
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if got := recover(); got != wantPanic {
+				t.Errorf("%s: panic = %v, want %q", name, got, wantPanic)
+			}
+		}()
+		f()
+	}
+
+	p := cyclicPipeline()
+	ri := NewRunner(p)
+	mustPanic("interpreter", func() { ri.Process(packet.NewBuffer(make([]byte, 20))) })
+
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.topo != nil {
+		t.Fatal("compiled runner found a topological order in a cyclic graph")
+	}
+	mustPanic("compiled", func() { rc.Process(packet.NewBuffer(make([]byte, 20))) })
+	mustPanic("compiled-batch", func() {
+		bufs := []*packet.Buffer{packet.NewBuffer(make([]byte, 20))}
+		rc.ProcessBatch(bufs, make([]Result, 1))
+	})
+}
+
+// TestEgressNamingMultiPort: a pipeline with several unconnected exits
+// must report the same egress id and rendered name ("elem[port]") on
+// both tiers.
+func TestEgressNamingMultiPort(t *testing.T) {
+	p, err := click.Parse(elements.Default(), `
+		src :: InfiniteSource;
+		cls :: Classifier(12/0800, -);
+		strip :: Strip(14);
+		chk :: CheckIPHeader(NOCHECKSUM);
+		rt :: LookupIPRoute(10.0.0.0/8 0, 192.168.0.0/16 1, 0.0.0.0/0 2);
+
+		src -> cls;
+		cls [0] -> strip -> chk;
+		cls [1] -> Discard;
+		chk [0] -> rt;
+		chk [1] -> Discard;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := NewRunner(p)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dst  [4]byte
+		want string
+	}{
+		{[4]byte{10, 1, 2, 3}, "rt[0]"},
+		{[4]byte{192, 168, 9, 9}, "rt[1]"},
+		{[4]byte{8, 8, 8, 8}, "rt[2]"},
+	}
+	for _, c := range cases {
+		buf, err := packet.BuildIPv4(packet.IPv4Spec{
+			SrcIP: packet.IP4(10, 0, 0, 1), DstIP: packet.IP4(c.dst[0], c.dst[1], c.dst[2], c.dst[3]),
+			TTL: 9, Protocol: packet.ProtoUDP, Payload: make([]byte, 8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resI := ri.Process(buf.Clone())
+		resC := rc.Process(buf.Clone())
+		if resI.EgressName != c.want {
+			t.Errorf("interpreter egress for %v = %q, want %q", c.dst, resI.EgressName, c.want)
+		}
+		if resC.EgressName != resI.EgressName || resC.Egress != resI.Egress {
+			t.Errorf("tiers disagree on egress for %v: interp (%d,%q) vs compiled (%d,%q)",
+				c.dst, resI.Egress, resI.EgressName, resC.Egress, resC.EgressName)
+		}
+	}
+}
+
+// TestSeedStateParity: seeding must honor the store's capacity bound
+// identically on both tiers — including over-capacity seeds being
+// dropped — and surface identical errors for unknown stores/instances.
+func TestSeedStateParity(t *testing.T) {
+	src := `s :: InfiniteSource; s -> n :: NetFlow(2) -> Discard;`
+	p, err := click.Parse(elements.Default(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := NewRunner(p)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2: the third distinct key must be dropped by both tiers,
+	// and updating an existing key must still work.
+	for _, tier := range []func(inst, store string, key, val uint64) error{ri.SeedState, rc.SeedState} {
+		for _, s := range []struct{ key, val uint64 }{{1, 10}, {2, 20}, {3, 30}, {1, 11}} {
+			if err := tier("n", "flows", s.key, s.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := map[uint64]uint64{1: 11, 2: 20}
+	si := ri.states[1]["flows"]
+	sc := rc.stateSnapshot(1)["flows"]
+	for name, got := range map[string]map[uint64]uint64{"interpreter": si, "compiled": sc} {
+		if len(got) != len(want) {
+			t.Fatalf("%s state = %v, want %v", name, got, want)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("%s state[%d] = %d, want %d", name, k, got[k], v)
+			}
+		}
+	}
+
+	// Error surfaces must match byte for byte.
+	for _, bad := range []struct{ inst, store string }{{"n", "nosuch"}, {"ghost", "flows"}} {
+		ei := ri.SeedState(bad.inst, bad.store, 0, 0)
+		ec := rc.SeedState(bad.inst, bad.store, 0, 0)
+		if ei == nil || ec == nil || ei.Error() != ec.Error() {
+			t.Errorf("SeedState(%q,%q): interp err %v vs compiled err %v", bad.inst, bad.store, ei, ec)
+		}
+	}
+}
+
+// TestCompiledCrashParity: a guaranteed crash must surface the same
+// site, kind, and formatted message on both tiers.
+func TestCompiledCrashParity(t *testing.T) {
+	p, err := click.Parse(elements.Default(),
+		"s :: InfiniteSource; s -> u :: UnsafeReader(16) -> Discard;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := NewRunner(p)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := packet.NewBuffer(make([]byte, 14))
+	resI := ri.Process(buf.Clone())
+	resC := rc.Process(buf.Clone())
+	if resI.Disposition != ir.Crashed || resC.Disposition != ir.Crashed {
+		t.Fatalf("dispositions: interp %v, compiled %v", resI.Disposition, resC.Disposition)
+	}
+	if resI.CrashAt != resC.CrashAt || resI.Crash.Kind != resC.Crash.Kind || resI.Crash.Msg != resC.Crash.Msg {
+		t.Errorf("crash mismatch:\n  interp:   at=%s %v: %s\n  compiled: at=%s %v: %s",
+			resI.CrashAt, resI.Crash.Kind, resI.Crash.Msg,
+			resC.CrashAt, resC.Crash.Kind, resC.Crash.Msg)
+	}
+	if resI.Steps != resC.Steps {
+		t.Errorf("crash step counts differ: interp %d, compiled %d", resI.Steps, resC.Steps)
+	}
+}
+
+// TestCompiledCountersMatchInterpreter: after the same trace, both
+// tiers' per-element counters and summaries must be identical.
+func TestCompiledCountersMatchInterpreter(t *testing.T) {
+	p := buildRouter(t)
+	ri := NewRunner(p)
+	rc, err := NewCompiled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := trace.New(trace.Spec{Seed: 11}).Mix(400)
+	si := ri.RunTrace(pkts)
+	sc := rc.RunTrace(pkts)
+	if si.Packets != sc.Packets || si.Emitted != sc.Emitted ||
+		si.Dropped != sc.Dropped || si.Crashed != sc.Crashed || si.Steps != sc.Steps {
+		t.Fatalf("summaries differ:\n  interp:   %+v\n  compiled: %+v", si, sc)
+	}
+	for eg, n := range si.PerEgress {
+		if sc.PerEgress[eg] != n {
+			t.Errorf("egress %d: interp %d, compiled %d", eg, n, sc.PerEgress[eg])
+		}
+	}
+	ci, cc := ri.Counters(), rc.Counters()
+	for i := range ci {
+		if ci[i] != cc[i] {
+			t.Errorf("element %d counters: interp %+v, compiled %+v", i, ci[i], cc[i])
+		}
+	}
+	if ri.FormatCounters() != rc.FormatCounters() {
+		t.Error("FormatCounters output differs between tiers")
+	}
+}

@@ -43,6 +43,15 @@ type Runner struct {
 	pipeline *click.Pipeline
 	states   []ir.State
 	counters []ElementCounters
+	// execs holds one reusable interpreter per element so the hop loop
+	// never allocates a register file.
+	execs []*ir.Executor
+	// env is the ExecEnv Process reuses across hops and packets.
+	env ir.ExecEnv
+	// scratch is the one pooled buffer RunTrace copies each packet into;
+	// its Meta map is allocated here, at runner setup, so the per-packet
+	// path never hits Process's nil-Meta branch.
+	scratch *packet.Buffer
 }
 
 // NewRunner prepares a runner with empty private state.
@@ -51,9 +60,12 @@ func NewRunner(p *click.Pipeline) *Runner {
 		pipeline: p,
 		states:   make([]ir.State, len(p.Elements)),
 		counters: make([]ElementCounters, len(p.Elements)),
+		execs:    make([]*ir.Executor, len(p.Elements)),
+		scratch:  &packet.Buffer{Meta: map[string]bv.V{}},
 	}
 	for i := range r.states {
 		r.states[i] = ir.NewState()
+		r.execs[i] = ir.NewExecutor(p.Elements[i].Program())
 	}
 	return r
 }
@@ -101,9 +113,9 @@ func (r *Runner) Process(buf *packet.Buffer) Result {
 		}
 		inst := r.pipeline.Elements[elem]
 		r.counters[elem].In++
-		env := &ir.ExecEnv{Pkt: buf.Data, Meta: buf.Meta, State: r.states[elem]}
-		out := ir.Exec(inst.Program(), env)
-		buf.Data = env.Pkt
+		r.env.Pkt, r.env.Meta, r.env.State = buf.Data, buf.Meta, r.states[elem]
+		out := r.execs[elem].Run(&r.env)
+		buf.Data = r.env.Pkt
 		res.Steps += out.Steps
 		switch out.Disposition {
 		case ir.Crashed:
@@ -135,6 +147,8 @@ type Summary struct {
 	Emitted int64
 	Dropped int64
 	Crashed int64
+	// Steps is the total dynamic IR statements across all packets.
+	Steps int64
 	// PerEgress counts packets per pipeline exit.
 	PerEgress map[int]int64
 	// FirstCrash records the first crashing packet, if any.
@@ -142,11 +156,16 @@ type Summary struct {
 }
 
 // RunTrace processes each packet of a trace and aggregates the results.
+// Originals are not disturbed: each packet is copied into the runner's
+// one pooled scratch buffer (reusing its storage), so the steady-state
+// loop performs zero heap allocations instead of cloning per packet.
 func (r *Runner) RunTrace(trace []*packet.Buffer) Summary {
 	s := Summary{PerEgress: map[int]int64{}}
 	for _, buf := range trace {
-		res := r.Process(buf.Clone())
+		r.scratch.CopyFrom(buf)
+		res := r.Process(r.scratch)
 		s.Packets++
+		s.Steps += res.Steps
 		switch res.Disposition {
 		case ir.Emitted:
 			s.Emitted++
@@ -166,9 +185,13 @@ func (r *Runner) RunTrace(trace []*packet.Buffer) Summary {
 
 // FormatCounters renders the per-element counters as a table.
 func (r *Runner) FormatCounters() string {
+	return formatCounters(r.pipeline, r.counters)
+}
+
+func formatCounters(p *click.Pipeline, counters []ElementCounters) string {
 	out := fmt.Sprintf("%-24s %10s %10s %10s\n", "element", "in", "dropped", "crashed")
-	for i, e := range r.pipeline.Elements {
-		c := r.counters[i]
+	for i, e := range p.Elements {
+		c := counters[i]
 		out += fmt.Sprintf("%-24s %10d %10d %10d\n",
 			e.Name()+" :: "+e.Class(), c.In, c.Dropped, c.Crashed)
 	}

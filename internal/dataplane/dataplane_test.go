@@ -36,9 +36,13 @@ const routerSrc = `
 	ttl [1] -> Discard;
 `
 
+func routerPipeline() (*click.Pipeline, error) {
+	return click.Parse(elements.Default(), routerSrc)
+}
+
 func buildRouter(t *testing.T) *click.Pipeline {
 	t.Helper()
-	p, err := click.Parse(elements.Default(), routerSrc)
+	p, err := routerPipeline()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"vsd/internal/click"
@@ -20,6 +21,7 @@ import (
 	"vsd/internal/smt"
 	"vsd/internal/specs"
 	"vsd/internal/symbex"
+	"vsd/internal/trace"
 	"vsd/internal/verify"
 )
 
@@ -304,11 +306,22 @@ func E2InstructionBound(maxLen uint64, parallelism int) (*E2Result, error) {
 		Exact:       !v.Stats().SymbexStats.Merged,
 		Duration:    dur,
 	}
-	// Replay the witness concretely.
+	// Replay the witness concretely — on both execution tiers, which
+	// must agree on the exact statement count (the bound is quoted per
+	// packet regardless of how the operator runs the pipeline).
 	if rep.Witness.Packet != nil {
 		runner := dataplane.NewRunner(p)
 		out := runner.Process(packet.NewBuffer(append([]byte{}, rep.Witness.Packet...)))
 		res.WitnessSteps = out.Steps
+		comp, err := dataplane.NewCompiled(p)
+		if err != nil {
+			return nil, err
+		}
+		cout := comp.Process(packet.NewBuffer(append([]byte{}, rep.Witness.Packet...)))
+		if cout.Steps != out.Steps || cout.Disposition != out.Disposition {
+			return nil, fmt.Errorf("e2: witness replay diverged across tiers: interpreter (%s, %d steps), compiled (%s, %d steps)",
+				out.Disposition, out.Steps, cout.Disposition, cout.Steps)
+		}
 	}
 	return res, nil
 }
@@ -928,4 +941,183 @@ func countCertified(verdicts []verify.BatchVerdict) int {
 		}
 	}
 	return n
+}
+
+// TputRow is one execution tier's forwarding throughput on the
+// evaluation IP router.
+type TputRow struct {
+	Tier         string // interpreted | compiled | compiled-batch
+	Packets      int64
+	Duration     time.Duration
+	Mpps         float64
+	NsPerPkt     float64
+	Speedup      float64 // vs the interpreted tier
+	StepsPerPkt  float64
+	AllocsPerPkt float64 // heap allocations per packet, measured
+}
+
+// TputResult is the throughput experiment: three tiers racing the same
+// workload, plus the differential fuzz cell that makes the fast tiers
+// trustworthy.
+type TputResult struct {
+	Rows []TputRow
+	// Fuzz cell: packets driven through dataplane.Compare across the
+	// corpus pipelines, all demanded divergence-free.
+	FuzzPackets   int64
+	FuzzPipelines int
+	FuzzDuration  time.Duration
+}
+
+// tputWorkingSet is the number of distinct packets in the throughput
+// working set; tiers cycle over it until they reach the packet budget.
+const tputWorkingSet = 4096
+
+// Tput measures forwarding throughput of the paper's IP router on the
+// three execution tiers — tree-walking interpreter, compiled bytecode
+// VM per packet, and compiled VM with batched dispatch — then runs the
+// differential fuzzer over the example corpus (fuzzPackets packets,
+// split across pipelines) and fails on any divergence. The throughput
+// numbers are only quotable because the fuzz cell passed.
+func Tput(packets, fuzzPackets int, seed int64) (*TputResult, error) {
+	// The checksum-validating router — E1's full-router pipeline, and
+	// the shape the paper's Mpps numbers are about. The RFC 1071 loop
+	// is the hottest code in the fast path, so measuring NOCHECKSUM
+	// would flatter the interpreter and skip the loop fusion entirely.
+	pipe := MustParse(IPRouterConfig(true))
+	// Valid IPv4 traffic: the Mpps yardstick is the router forwarding
+	// real packets end to end (checksum loop, TTL, route lookup) — the
+	// adversarial/random mixes belong to the fuzz gate below, where
+	// early-exit packets are a feature, not a distortion.
+	g := trace.New(trace.Spec{Seed: seed})
+	workload := make([]*packet.Buffer, tputWorkingSet)
+	for i := range workload {
+		workload[i] = g.IPv4()
+	}
+
+	res := &TputResult{}
+
+	interp := dataplane.NewRunner(pipe)
+	row, err := tputMeasure("interpreted", packets, workload, interp.RunTrace)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row)
+	interpNs := row.NsPerPkt
+
+	comp, err := dataplane.NewCompiled(pipe)
+	if err != nil {
+		return nil, err
+	}
+	// Per-packet compiled tier: one pooled scratch buffer, Process per
+	// packet — the shape a per-packet forwarding loop would use.
+	scratch := packet.NewBuffer(nil)
+	row, err = tputMeasure("compiled", packets, workload, func(tr []*packet.Buffer) dataplane.Summary {
+		var s dataplane.Summary
+		for _, buf := range tr {
+			scratch.CopyFrom(buf)
+			r := comp.Process(scratch)
+			s.Packets++
+			s.Steps += r.Steps
+		}
+		return s
+	})
+	if err != nil {
+		return nil, err
+	}
+	row.Speedup = interpNs / row.NsPerPkt
+	res.Rows = append(res.Rows, row)
+
+	batch, err := dataplane.NewCompiled(pipe)
+	if err != nil {
+		return nil, err
+	}
+	row, err = tputMeasure("compiled-batch", packets, workload, batch.RunTrace)
+	if err != nil {
+		return nil, err
+	}
+	row.Speedup = interpNs / row.NsPerPkt
+	res.Rows = append(res.Rows, row)
+
+	fuzzStart := time.Now()
+	pipelines, total, err := TputFuzz(fuzzPackets, seed)
+	if err != nil {
+		return nil, err
+	}
+	res.FuzzPipelines = pipelines
+	res.FuzzPackets = total
+	res.FuzzDuration = time.Since(fuzzStart)
+	return res, nil
+}
+
+// tputMeasure times one tier over at least `packets` packets, cycling
+// the working set. One warmup pass fills every pool first, so the
+// steady state is what gets timed — and its allocation count measured.
+func tputMeasure(tier string, packets int, workload []*packet.Buffer,
+	run func([]*packet.Buffer) dataplane.Summary) (TputRow, error) {
+	run(workload) // warmup: pools, maps, and frame storage all sized
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var done, steps int64
+	start := time.Now()
+	for done < int64(packets) {
+		s := run(workload)
+		done += s.Packets
+		steps += s.Steps
+	}
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if dur <= 0 {
+		return TputRow{}, fmt.Errorf("tput: %s tier finished in zero time", tier)
+	}
+	return TputRow{
+		Tier:         tier,
+		Packets:      done,
+		Duration:     dur,
+		Mpps:         float64(done) / dur.Seconds() / 1e6,
+		NsPerPkt:     float64(dur.Nanoseconds()) / float64(done),
+		Speedup:      1,
+		StepsPerPkt:  float64(steps) / float64(done),
+		AllocsPerPkt: float64(m1.Mallocs-m0.Mallocs) / float64(done),
+	}, nil
+}
+
+// tputFuzzChunk is the differential fuzzer's chunk size: private state
+// persists across a chunk (long enough to fill NAT tables and hit
+// capacity eviction), and chunking keeps the cloned traces bounded.
+const tputFuzzChunk = 1 << 16
+
+// TputFuzz drives the differential oracle over every corpus pipeline:
+// total random/adversarial packets split evenly, each chunk demanding
+// the interpreted, compiled, and batched tiers agree on every
+// observable. Returns the pipeline and packet counts; any divergence
+// is an error.
+func TputFuzz(total int, seed int64) (pipelines int, packets int64, err error) {
+	corpus := Corpus()
+	per := total / len(corpus)
+	if per < 1 {
+		per = 1
+	}
+	for ci, c := range corpus {
+		pipe, perr := click.Parse(elements.Default(), c.Src)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("tput fuzz: %s: %w", c.Name, perr)
+		}
+		g := trace.New(trace.Spec{Seed: seed + int64(ci)})
+		remaining := per
+		for remaining > 0 {
+			n := remaining
+			if n > tputFuzzChunk {
+				n = tputFuzzChunk
+			}
+			rep, cerr := dataplane.Compare(pipe, g.Mix(n))
+			if cerr != nil {
+				return 0, 0, fmt.Errorf("tput fuzz: %s: %w", c.Name, cerr)
+			}
+			packets += rep.Packets
+			remaining -= n
+		}
+		pipelines++
+	}
+	return pipelines, packets, nil
 }

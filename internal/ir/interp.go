@@ -116,12 +116,35 @@ type ExecEnv struct {
 // in place; private state updates persist in env.State. Exec never
 // panics on data-dependent conditions: faults become Crashed outcomes,
 // exactly the events the verifier proves unreachable.
+//
+// Exec allocates a fresh register file per call; hot loops (the
+// dataplane runner) hold an Executor instead and reuse one.
 func Exec(p *Program, env *ExecEnv) Outcome {
-	x := &interp{p: p, env: env, regs: make([]bv.V, len(p.RegWidths))}
-	for i, w := range p.RegWidths {
-		x.regs[i] = bv.New(w, 0)
+	e := Executor{p: p, regs: make([]bv.V, len(p.RegWidths))}
+	return e.Run(env)
+}
+
+// Executor is a reusable concrete interpreter for one Program. The
+// register file is allocated once and reset in place per run, so
+// steady-state execution performs zero heap allocations — the
+// interpreter-tier half of the dataplane's allocs-per-packet budget.
+type Executor struct {
+	p    *Program
+	regs []bv.V
+}
+
+// NewExecutor prepares a reusable interpreter for p.
+func NewExecutor(p *Program) *Executor {
+	return &Executor{p: p, regs: make([]bv.V, len(p.RegWidths))}
+}
+
+// Run interprets the program once over env, exactly like Exec.
+func (e *Executor) Run(env *ExecEnv) Outcome {
+	for i, w := range e.p.RegWidths {
+		e.regs[i] = bv.V{W: w} // == bv.New(w, 0)
 	}
-	out := x.block(p.Body)
+	x := interp{p: e.p, env: env, regs: e.regs}
+	out := x.block(e.p.Body)
 	out.Steps = x.steps
 	return out
 }

@@ -29,6 +29,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"vsd/internal/bv"
@@ -350,6 +351,69 @@ func (p *Program) TableByName(name string) (*StaticTable, bool) {
 		}
 	}
 	return nil, false
+}
+
+// ---- compile-oriented accessors ----
+//
+// The bytecode compiler (internal/dataplane/compile) resolves every
+// name-keyed reference of the IR — state stores, static tables,
+// metadata slots — to a dense integer index at compile time, so the VM
+// never performs a string lookup on the hot path. The accessors below
+// define those bindings once, here, so the compiler and any future
+// backend agree on the numbering: state and table indices are the
+// declaration order (the order symbolic execution and the fingerprint
+// serialize them in), and metadata slots are sorted by name.
+
+// StateIndex returns the declaration-order index of the named store, or
+// -1 when the program declares no such store. The index is stable: it
+// is the position in p.States, the same order Fingerprint hashes.
+func (p *Program) StateIndex(name string) int {
+	for i, s := range p.States {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TableIndex returns the declaration-order index of the named static
+// table, or -1 when the program declares no such table.
+func (p *Program) TableIndex(name string) int {
+	for i, t := range p.Tables {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SortedMetaSlots returns the metadata slot names the program
+// references, sorted. Sorting makes slot numbering deterministic for
+// any consumer that assigns indices by iteration order.
+func (p *Program) SortedMetaSlots() []string {
+	out := make([]string, 0, len(p.MetaSlots))
+	for s := range p.MetaSlots {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumLoops returns the number of static LoopStmt nodes in the body. The
+// compiler allocates one hidden iteration-counter register per loop.
+func (p *Program) NumLoops() int { return countLoops(p.Body) }
+
+func countLoops(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		switch st := s.(type) {
+		case IfStmt:
+			n += countLoops(st.Then) + countLoops(st.Else)
+		case LoopStmt:
+			n += 1 + countLoops(st.Body)
+		}
+	}
+	return n
 }
 
 // MaxStmts returns an upper bound on the number of dynamic statements a

@@ -14,6 +14,7 @@ package packet
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"vsd/internal/bv"
 )
@@ -85,11 +86,34 @@ func NewBuffer(data []byte) *Buffer {
 // Clone deep-copies the buffer (packet state is exclusively owned; the
 // runtime clones when a concrete run must not disturb the original).
 func (b *Buffer) Clone() *Buffer {
-	c := &Buffer{Data: append([]byte{}, b.Data...), Meta: make(map[string]bv.V, len(b.Meta))}
+	data := make([]byte, len(b.Data))
+	copy(data, b.Data)
+	c := &Buffer{Data: data, Meta: make(map[string]bv.V, len(b.Meta))}
 	for k, v := range b.Meta {
 		c.Meta[k] = v
 	}
 	return c
+}
+
+// CopyFrom overwrites b with a deep copy of src, reusing b's data
+// capacity and metadata map. It is Clone without the allocations: the
+// buffer-pool fast path the dataplane runner uses to process a trace
+// without disturbing the originals.
+func (b *Buffer) CopyFrom(src *Buffer) {
+	if cap(b.Data) < len(src.Data) {
+		b.Data = make([]byte, len(src.Data))
+	} else {
+		b.Data = b.Data[:len(src.Data)]
+	}
+	copy(b.Data, src.Data)
+	if b.Meta == nil {
+		b.Meta = make(map[string]bv.V, len(src.Meta))
+	} else {
+		clear(b.Meta)
+	}
+	for k, v := range src.Meta {
+		b.Meta[k] = v
+	}
 }
 
 // Len returns the packet length in bytes.
@@ -110,6 +134,98 @@ func (b *Buffer) HeaderOffset() int {
 		return int(v.U)
 	}
 	return 0
+}
+
+// ---- slot-indexed metadata ----
+
+// MetaLayout assigns dense integer indices to a fixed set of annotation
+// slots, sorted by name. It is the fast path behind the map in Buffer:
+// the compiled dataplane tier resolves every MetaLoad/MetaStore to a
+// slot index at compile time and carries annotations in a flat uint64
+// array plus a presence bitmask, so the per-packet hot loop never
+// hashes a string or allocates a map. A layout is built once per
+// pipeline from the union of the element programs' declared slots.
+type MetaLayout struct {
+	names  []string
+	widths []bv.Width
+	index  map[string]int
+}
+
+// MaxMetaSlots bounds a layout so slot presence fits one uint64 mask.
+const MaxMetaSlots = 64
+
+// NewMetaLayout builds a layout over the given slot-name -> width set.
+// It fails when two sources disagree on a slot's width (callers merge
+// per-element declarations; a conflict means the pipeline's elements
+// cannot share a metadata array) or when the slot count exceeds
+// MaxMetaSlots.
+func NewMetaLayout(slots map[string]bv.Width) (*MetaLayout, error) {
+	if len(slots) > MaxMetaSlots {
+		return nil, fmt.Errorf("packet: %d metadata slots exceed the %d-slot layout limit", len(slots), MaxMetaSlots)
+	}
+	l := &MetaLayout{index: make(map[string]int, len(slots))}
+	for name := range slots {
+		l.names = append(l.names, name)
+	}
+	sort.Strings(l.names)
+	l.widths = make([]bv.Width, len(l.names))
+	for i, name := range l.names {
+		w := slots[name]
+		if !w.Valid() {
+			return nil, fmt.Errorf("packet: metadata slot %q has invalid width %d", name, w)
+		}
+		l.index[name] = i
+		l.widths[i] = w
+	}
+	return l, nil
+}
+
+// NumSlots returns the number of slots in the layout.
+func (l *MetaLayout) NumSlots() int { return len(l.names) }
+
+// Index returns the slot index for name.
+func (l *MetaLayout) Index(name string) (int, bool) {
+	i, ok := l.index[name]
+	return i, ok
+}
+
+// Name returns the slot name at index i.
+func (l *MetaLayout) Name(i int) string { return l.names[i] }
+
+// Width returns the declared width of slot i.
+func (l *MetaLayout) Width(i int) bv.Width { return l.widths[i] }
+
+// Import loads a map-form annotation set into the slot array vals
+// (which must have NumSlots entries) and returns the presence bitmask.
+// Slots absent from the layout are ignored: by construction no element
+// of the pipeline reads or writes them, so they are invisible to
+// execution (Export leaves them untouched in the destination map).
+// Import performs no allocation.
+func (l *MetaLayout) Import(m map[string]bv.V, vals []uint64) uint64 {
+	for i := range vals {
+		vals[i] = 0
+	}
+	var present uint64
+	for name, v := range m {
+		i, ok := l.index[name]
+		if !ok {
+			continue
+		}
+		vals[i] = v.U & l.widths[i].Mask()
+		present |= 1 << uint(i)
+	}
+	return present
+}
+
+// Export writes the slots marked present back into map form, at the
+// layout's declared widths. Existing entries for slots outside the
+// layout are preserved.
+func (l *MetaLayout) Export(vals []uint64, present uint64, dst map[string]bv.V) {
+	for i, name := range l.names {
+		if present&(1<<uint(i)) != 0 {
+			dst[name] = bv.New(l.widths[i], vals[i])
+		}
+	}
 }
 
 // ---- Ethernet ----

@@ -1002,31 +1002,55 @@ func FormatMultiWitness(w *MultiWitness) string {
 	return b.String()
 }
 
-// ReplaySeq replays a multi-packet witness on a fresh concrete
-// dataplane runner — the oracle check that the symbolic sequence is
-// real: the seeded state is installed, every packet must reproduce its
-// recorded disposition, and every emitted step's output must match byte
-// for byte.
+// ReplaySeq replays a multi-packet witness on fresh concrete dataplane
+// runners — the oracle check that the symbolic sequence is real: the
+// seeded state is installed, every packet must reproduce its recorded
+// disposition, and every emitted step's output must match byte for
+// byte. The replay runs on BOTH execution tiers — the tree-walking
+// interpreter and the compiled bytecode VM — and additionally demands
+// the tiers agree with each other on output bytes and exact step
+// counts, so a witness certifies the same behavior no matter which
+// tier the operator deploys.
 func ReplaySeq(p *click.Pipeline, w *MultiWitness) error {
-	r := dataplane.NewRunner(p)
+	interp := dataplane.NewRunner(p)
+	comp, err := dataplane.NewCompiled(p)
+	if err != nil {
+		return fmt.Errorf("verify: replay: compile tier: %w", err)
+	}
 	for inst, stores := range w.InitState {
 		for store, kv := range stores {
 			for k, val := range kv {
-				if err := r.SeedState(inst, store, k, val); err != nil {
+				if err := interp.SeedState(inst, store, k, val); err != nil {
+					return err
+				}
+				if err := comp.SeedState(inst, store, k, val); err != nil {
 					return err
 				}
 			}
 		}
 	}
 	for i, pkt := range w.Packets {
-		buf := packet.NewBuffer(append([]byte{}, pkt...))
-		res := r.Process(buf)
-		if res.Disposition != w.Dispositions[i] {
+		ibuf := packet.NewBuffer(append([]byte{}, pkt...))
+		cbuf := packet.NewBuffer(append([]byte{}, pkt...))
+		ires := interp.Process(ibuf)
+		cres := comp.Process(cbuf)
+		if ires.Disposition != w.Dispositions[i] {
 			return fmt.Errorf("verify: replay diverged at packet %d: got %s, witness says %s",
-				i+1, res.Disposition, w.Dispositions[i])
+				i+1, ires.Disposition, w.Dispositions[i])
 		}
-		if w.Outputs[i] != nil && !bytes.Equal(buf.Data, w.Outputs[i]) {
+		if w.Outputs[i] != nil && !bytes.Equal(ibuf.Data, w.Outputs[i]) {
 			return fmt.Errorf("verify: replay diverged at packet %d: output differs from witness", i+1)
+		}
+		if cres.Disposition != ires.Disposition {
+			return fmt.Errorf("verify: tiers diverged at packet %d: interpreter %s, compiled %s",
+				i+1, ires.Disposition, cres.Disposition)
+		}
+		if !bytes.Equal(ibuf.Data, cbuf.Data) {
+			return fmt.Errorf("verify: tiers diverged at packet %d: output bytes differ", i+1)
+		}
+		if cres.Steps != ires.Steps {
+			return fmt.Errorf("verify: tiers diverged at packet %d: interpreter %d steps, compiled %d",
+				i+1, ires.Steps, cres.Steps)
 		}
 	}
 	return nil
