@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke chaos-smoke tput-smoke
+.PHONY: tier1 build test race bench bench-json examples serve-smoke store-roundtrip seq-smoke chaos-smoke tput-smoke trace-smoke
 
 # tier1 is the repo's gate: everything must build, vet clean, and every
 # test pass.
@@ -98,6 +98,24 @@ tput-smoke:
 	$(GO) run ./cmd/vsdrun -compare -n 20000 -seed $(TPUT_SEED) -workload adversarial examples/corpus/nat.click
 	$(GO) test -race ./internal/dataplane/... -run 'Compare|Compiled|Parity|DefAssign|Batch'
 	@echo "tput-smoke: interpreter and compiled VM agreed on every observable (seed $(TPUT_SEED))"
+
+# trace-smoke is the observability gate (DESIGN.md §11): a corpus
+# verification is traced end to end, the emitted Chrome trace-event
+# JSON must validate (balanced spans, per-obligation SAT events), the
+# obligation profiler must render, and the vsdserve smoke re-runs to
+# assert /metrics, /stats latency percentiles, and /debug/pprof answer
+# (CI runs it).
+TRACE_CI_DIR ?= .trace-ci
+trace-smoke:
+	rm -rf $(TRACE_CI_DIR) && mkdir -p $(TRACE_CI_DIR)
+	$(GO) run ./cmd/vsdverify -property crash -maxlen 48 -profile \
+		-trace $(TRACE_CI_DIR)/router.trace.json examples/corpus/router.click > $(TRACE_CI_DIR)/verify.out
+	$(GO) run ./cmd/vsdverify -validate-trace $(TRACE_CI_DIR)/router.trace.json
+	grep -q 'obligation profile:' $(TRACE_CI_DIR)/verify.out
+	grep -q '"solve:' $(TRACE_CI_DIR)/router.trace.json
+	$(GO) run ./cmd/vsdserve -smoke examples/corpus -maxlen 48 > $(TRACE_CI_DIR)/serve.out
+	grep -q '/metrics, /stats, and /debug/pprof answered' $(TRACE_CI_DIR)/serve.out
+	@echo "trace-smoke: trace validated, obligation profile rendered, metrics endpoints answered"
 
 # bench-json records the benchmark trajectory: one BENCH_<n>.json per
 # PR, so regressions are visible across the history. Override BENCH_OUT

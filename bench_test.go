@@ -20,8 +20,8 @@ import (
 	"vsd/internal/packet"
 	"vsd/internal/smt"
 	"vsd/internal/symbex"
-	"vsd/internal/trace"
 	"vsd/internal/verify"
+	"vsd/internal/workload"
 )
 
 // BenchmarkF1ToyProgram symbolically executes the paper's Fig. 1 toy
@@ -398,7 +398,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 func BenchmarkDataplaneForwarding(b *testing.B) {
 	p := experiments.MustParse(experiments.IPRouterConfig(true))
 	runner := dataplane.NewRunner(p)
-	g := trace.New(trace.Spec{Seed: 99})
+	g := workload.New(workload.Spec{Seed: 99})
 	pkts := g.Mix(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

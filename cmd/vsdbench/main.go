@@ -4,7 +4,13 @@
 // Usage:
 //
 //	vsdbench -experiment all|list|NAME [-maxlen N] [-parallel N] [-json]
-//	         [-store DIR]
+//	         [-store DIR] [-trace FILE]
+//
+// -trace writes a Chrome trace-event JSON of the whole experiment run
+// (verification phases, per-path walks, per-obligation SAT solves);
+// open it in https://ui.perfetto.dev. Records gain solve-time
+// distribution fields (solve-ns-min/p50/p99/max) where the verifier
+// runs, so BENCH diffs catch tail regressions, not just mean shifts.
 //
 // The experiment catalogue lives in ONE place — the experiments table
 // below — so `vsdbench -experiment list` always prints the current
@@ -31,6 +37,7 @@ import (
 
 	"vsd/internal/experiments"
 	"vsd/internal/smt"
+	"vsd/internal/telemetry"
 )
 
 // benchRecord is one BENCH_*.json-compatible result row. The three
@@ -140,6 +147,20 @@ func solverMetrics(m map[string]float64, st smt.Stats) {
 	m["unknowns"] = float64(st.Unknowns)
 }
 
+// solveTimeMetrics folds a per-query solve-time distribution into the
+// record: min/p50/p99/max expose tail regressions that a single
+// wall-time number averages away (BENCH_10+ diffs watch these).
+func solveTimeMetrics(m map[string]float64, h telemetry.HistSummary) {
+	if h.Count == 0 {
+		return
+	}
+	m["solve-count"] = float64(h.Count)
+	m["solve-ns-min"] = float64(h.Min)
+	m["solve-ns-p50"] = float64(h.P50)
+	m["solve-ns-p99"] = float64(h.P99)
+	m["solve-ns-max"] = float64(h.Max)
+}
+
 func main() {
 	expHelp := fmt.Sprintf("which experiment to run: %s, all, or list", strings.Join(experimentNames(), ", "))
 	experimentFlag := flag.String("experiment", "all", expHelp)
@@ -148,7 +169,14 @@ func main() {
 	storeDir := flag.String("store", "", "summary store directory for b1 (empty = fresh temp dir)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array of benchmark records")
 	benchFlag := flag.String("bench", "", "regexp over benchmark cell names (e.g. e1/full-router); only matching cells run")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the experiment run to this file (open in Perfetto)")
 	flag.Parse()
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New(telemetry.Opts{})
+		experiments.SetTelemetry(tracer, nil)
+	}
 
 	var benchRE *regexp.Regexp
 	if *benchFlag != "" {
@@ -216,6 +244,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 func runE1(ctx *benchCtx) error {
@@ -241,6 +275,7 @@ func runE1(ctx *benchCtx) error {
 			"verified":   b2f(r.Verified),
 		}
 		solverMetrics(m, r.Solver)
+		solveTimeMetrics(m, r.SolveTimes)
 		ctx.record(benchRecord{
 			Name: "e1/" + r.Pipeline, WallTimeNS: int64(r.Duration), Metrics: m,
 		})
@@ -408,6 +443,7 @@ func runF1(ctx *benchCtx) error {
 			"witnesses":   float64(r.Witnesses),
 		}
 		solverMetrics(m, r.Solver)
+		solveTimeMetrics(m, r.SolveTimes)
 		ctx.record(benchRecord{
 			Name: fmt.Sprintf("f1/%s/%s", r.Spec, r.Pipeline), WallTimeNS: int64(r.Duration), Metrics: m,
 		})

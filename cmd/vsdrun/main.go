@@ -20,6 +20,9 @@
 //	-workload   mix|ipv4|random|adversarial
 //	-compiled   forward on the compiled VM tier instead of the interpreter
 //	-compare    run interpreter AND compiled tiers, fail on any divergence
+//	-opprofile  with -compiled: print per-opcode dispatch counts and
+//	            attributed step cost after the run (adds one branch per
+//	            dispatch; leave off when measuring throughput)
 package main
 
 import (
@@ -31,15 +34,16 @@ import (
 	"vsd/internal/dataplane"
 	"vsd/internal/elements"
 	"vsd/internal/packet"
-	"vsd/internal/trace"
+	"vsd/internal/workload"
 )
 
 func main() {
 	n := flag.Int("n", 1000, "number of packets")
 	seed := flag.Int64("seed", 1, "trace seed")
-	workload := flag.String("workload", "mix", "workload: mix, ipv4, random, or adversarial")
+	wl := flag.String("workload", "mix", "workload: mix, ipv4, random, or adversarial")
 	compiled := flag.Bool("compiled", false, "execute on the compiled bytecode VM tier")
 	compare := flag.Bool("compare", false, "differential mode: run both tiers, fail on any divergence")
+	opProfile := flag.Bool("opprofile", false, "with -compiled: print per-opcode dispatch counts and step cost")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vsdrun [flags] config.click")
@@ -54,9 +58,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	g := trace.New(trace.Spec{Seed: *seed})
+	g := workload.New(workload.Spec{Seed: *seed})
 	var pkts []*packet.Buffer
-	switch *workload {
+	switch *wl {
 	case "mix":
 		pkts = g.Mix(*n)
 	case "ipv4":
@@ -72,7 +76,7 @@ func main() {
 			pkts = append(pkts, g.Adversarial())
 		}
 	default:
-		fatal(fmt.Errorf("unknown workload %q", *workload))
+		fatal(fmt.Errorf("unknown workload %q", *wl))
 	}
 
 	if *compare {
@@ -88,15 +92,22 @@ func main() {
 	}
 
 	var sum dataplane.Summary
-	var counters string
+	var counters, opProf string
 	if *compiled {
 		runner, err := dataplane.NewCompiled(pipeline)
 		if err != nil {
 			fatal(err)
 		}
+		if *opProfile {
+			runner.EnableOpProfile()
+		}
 		sum = runner.RunTrace(pkts)
 		counters = runner.FormatCounters()
+		opProf = runner.FormatOpProfile(20)
 	} else {
+		if *opProfile {
+			fatal(fmt.Errorf("-opprofile requires -compiled (only the VM tier dispatches opcodes)"))
+		}
 		runner := dataplane.NewRunner(pipeline)
 		sum = runner.RunTrace(pkts)
 		counters = runner.FormatCounters()
@@ -108,6 +119,9 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(counters)
+	if opProf != "" {
+		fmt.Printf("\nopcode profile (top 20 by dispatches):\n%s", opProf)
+	}
 	if sum.FirstCrash != nil {
 		fmt.Printf("\nFIRST CRASH at element %s: %v\n", sum.FirstCrash.CrashAt, sum.FirstCrash.Crash)
 		fmt.Println("run vsdverify on this configuration to obtain a minimal witness")

@@ -33,7 +33,14 @@
 //	                413 when the body exceeds 1 MiB; 503 + Retry-After when
 //	                the submission queue is at capacity or draining.
 //	GET  /stats     cumulative verifier statistics JSON, including the
-//	                "robustness" degradation-ladder counters.
+//	                "robustness" degradation-ladder counters, service
+//	                uptime, build info, and admission/solve latency
+//	                percentiles.
+//	GET  /metrics   Prometheus text exposition: admission-latency,
+//	                solve-time and summarize-time histograms, store and
+//	                queue counters, uptime.
+//	GET  /debug/pprof/  the standard net/http/pprof profiling endpoints
+//	                (heap, goroutine, CPU profile, execution trace).
 //	GET  /healthz   liveness probe ("ok").
 //
 // -smoke dir runs the self-test used by `make serve-smoke`: the server
@@ -57,9 +64,12 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -72,6 +82,7 @@ import (
 	"vsd/internal/packet"
 	"vsd/internal/queue"
 	"vsd/internal/smt"
+	"vsd/internal/telemetry"
 	"vsd/internal/verify"
 )
 
@@ -105,6 +116,11 @@ type server struct {
 	// injector is set in chaos mode so /stats exposes injected-fault
 	// counts alongside the degradation counters they must match.
 	injector *faultinject.Injector
+	// metrics backs GET /metrics; the verifier and queue register their
+	// families on it, admitHist records end-to-end admission latency.
+	metrics   *telemetry.Registry
+	admitHist *telemetry.Histogram
+	started   time.Time
 
 	wmu     sync.Mutex
 	waiters map[uint64][]chan response
@@ -131,6 +147,37 @@ type jsonSubmission struct {
 	Config string `json:"config"`
 }
 
+// initTelemetry wires the registry behind GET /metrics: the admission
+// latency histogram and a process-uptime gauge here, plus whatever
+// families the verifier and queue register on the same registry.
+// Histogram values are nanoseconds; unitDiv 1e9 exposes seconds, the
+// Prometheus base unit.
+func (s *server) initTelemetry() *telemetry.Registry {
+	s.metrics = telemetry.NewRegistry()
+	s.started = time.Now()
+	s.admitHist = s.metrics.Histogram("vsd_admission_latency_seconds",
+		"wall-clock verification latency per admitted submission", 1e9)
+	s.metrics.GaugeFunc("vsd_uptime_seconds", "seconds since the service started",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return s.metrics
+}
+
+// buildInfo identifies the serving binary in /stats: the Go version
+// plus the VCS stamp the toolchain embeds at build time.
+func buildInfo() map[string]string {
+	b := map[string]string{"go": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b["module"] = bi.Main.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				b[kv.Key] = kv.Value
+			}
+		}
+	}
+	return b
+}
+
 // admit runs one submission through the verifier, under the watchdog
 // when a job budget is set. A watchdog interrupt surfaces inside the
 // verdict as unresolved obligations — degraded, never fabricated.
@@ -146,6 +193,7 @@ func (s *server) admit(name string, p *click.Pipeline) response {
 	} else {
 		run()
 	}
+	s.admitHist.Record(int64(time.Since(start)))
 	resp := response{BatchVerdict: verdict, WallMS: time.Since(start).Milliseconds()}
 	if s.baselineBound != nil && verdict.Error == "" {
 		delta := verdict.BoundSteps - *s.baselineBound
@@ -425,7 +473,31 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.injector != nil {
 		out["faults_injected"] = s.injector.Stats()
 	}
+	// Service identity and latency spread. The histograms carry
+	// nanosecond values (HistSummary fields are ns); /metrics exposes
+	// the same data in seconds for Prometheus.
+	if !s.started.IsZero() {
+		out["uptime_seconds"] = time.Since(s.started).Seconds()
+	}
+	out["build"] = buildInfo()
+	out["latency"] = map[string]telemetry.HistSummary{
+		"admission_ns": s.admitHist.Summary(),
+		"solve_ns":     st.SolveTimes,
+		"summarize_ns": st.SummarizeTimes,
+	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics serves the Prometheus text exposition of every family
+// registered on the server's registry — admission latency, solver and
+// summarizer histograms, store and queue counters.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -445,6 +517,14 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	// Registered explicitly (not via the net/http/pprof init side
+	// effect) because this mux is not http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -491,6 +571,7 @@ func main() {
 	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel,
 		SolverTimeout: *solverTimeout, SolverExchange: smt.SharedExchange()}
 	s := &server{jobBudget: *watchdog}
+	opts.Metrics = s.initTelemetry()
 	if *storeDir != "" {
 		store, err := verify.NewDiskStore(*storeDir)
 		if err != nil {
@@ -525,7 +606,7 @@ func main() {
 	}
 
 	if *queueDir != "" {
-		q, err := queue.Open(queue.Options{Dir: *queueDir, JobTimeout: *jobTimeout})
+		q, err := queue.Open(queue.Options{Dir: *queueDir, JobTimeout: *jobTimeout, Metrics: s.metrics})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -644,6 +725,57 @@ func runSmoke(s *server, dir string) error {
 		fmt.Printf("smoke: %-16s certified, bound %d steps, %v\n",
 			filepath.Base(name), resp.BoundSteps, time.Since(start).Round(time.Millisecond))
 	}
+	// The observability surface is part of the smoke contract: after
+	// real submissions, /metrics must expose the admission and solver
+	// histograms with nonzero counts, /stats must report uptime, and
+	// /debug/pprof must answer.
+	if err := checkEndpoint(&hc, base+"/metrics", func(body string) error {
+		for _, family := range []string{
+			"vsd_admission_latency_seconds", "vsd_solve_duration_seconds",
+			"vsd_summarize_duration_seconds", "vsd_uptime_seconds",
+		} {
+			if !strings.Contains(body, family) {
+				return fmt.Errorf("family %s missing", family)
+			}
+		}
+		if !strings.Contains(body, "vsd_admission_latency_seconds_count") {
+			return fmt.Errorf("admission histogram has no _count series")
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("smoke: /metrics: %w", err)
+	}
+	if err := checkEndpoint(&hc, base+"/stats", func(body string) error {
+		for _, key := range []string{`"uptime_seconds"`, `"build"`, `"latency"`} {
+			if !strings.Contains(body, key) {
+				return fmt.Errorf("key %s missing", key)
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("smoke: /stats: %w", err)
+	}
+	if err := checkEndpoint(&hc, base+"/debug/pprof/cmdline", func(string) error { return nil }); err != nil {
+		return fmt.Errorf("smoke: pprof: %w", err)
+	}
+	fmt.Println("smoke: /metrics, /stats, and /debug/pprof answered")
 	fmt.Printf("smoke: all %d submission(s) certified\n", len(names))
 	return nil
+}
+
+// checkEndpoint GETs url, requires 200, and hands the body to check.
+func checkEndpoint(hc *http.Client, url string, check func(body string) error) error {
+	res, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	body, rerr := io.ReadAll(res.Body)
+	res.Body.Close()
+	if rerr != nil {
+		return rerr
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", res.Status)
+	}
+	return check(string(body))
 }

@@ -28,6 +28,15 @@
 //	-monolithic                 also run the whole-pipeline baseline
 //	-dump-ir                    print each element's IR before verifying
 //	-stats                      print verification statistics
+//	-trace FILE                 write a Chrome trace-event JSON of the run
+//	                            (phases, per-path walks, per-obligation SAT
+//	                            solves); open it in https://ui.perfetto.dev
+//	-profile                    print the costliest proof obligations by wall
+//	                            time, SAT conflicts, and CNF size
+//	-profile-top N              rows per -profile section (default 10)
+//	-validate-trace FILE        validate a -trace file and exit (the CI smoke
+//	                            gate: well-formed JSON, monotone timestamps,
+//	                            balanced spans)
 //
 // Batch mode is the admission-service form of the tool: all submissions
 // share one verifier (summary cache, solver sessions, and, with -store,
@@ -80,6 +89,7 @@ import (
 	"vsd/internal/elements"
 	"vsd/internal/packet"
 	"vsd/internal/specs"
+	"vsd/internal/telemetry"
 	"vsd/internal/verify"
 )
 
@@ -223,9 +233,30 @@ func main() {
 	monolithic := flag.Bool("monolithic", false, "also run the whole-pipeline baseline")
 	dumpIR := flag.Bool("dump-ir", false, "print each element's IR")
 	stats := flag.Bool("stats", false, "print verification statistics")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
+	profile := flag.Bool("profile", false, "print the costliest proof obligations (wall time, conflicts, CNF size)")
+	profileK := flag.Int("profile-top", 10, "rows per section in the -profile tables")
+	validateTrace := flag.String("validate-trace", "", "validate a -trace JSON file (well-formed, ordered, balanced spans) and exit")
 	flag.Parse()
 
-	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel}
+	if *validateTrace != "" {
+		data, err := os.ReadFile(*validateTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidateTrace(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validateTrace, err))
+		}
+		fmt.Printf("trace %s: OK\n", *validateTrace)
+		return
+	}
+
+	opts := verify.Options{MinLen: packet.MinFrame, MaxLen: *maxLen, Parallelism: *parallel, Profile: *profile}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New(telemetry.Opts{})
+		opts.Trace = tracer
+	}
 	if *storeDir != "" {
 		store, err := verify.NewDiskStore(*storeDir)
 		if err != nil {
@@ -415,6 +446,15 @@ func main() {
 
 	if *stats {
 		fmt.Printf("stats: %+v\n", v.Stats())
+	}
+	if *profile {
+		fmt.Printf("\nobligation profile:\n%s", verify.FormatObligationProfile(v.ObligationProfile(), *profileK))
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if failed {
 		os.Exit(1)

@@ -29,8 +29,8 @@ import (
 	"vsd/internal/ir"
 	"vsd/internal/packet"
 	"vsd/internal/specs"
-	"vsd/internal/trace"
 	"vsd/internal/verify"
+	"vsd/internal/workload"
 )
 
 const config = `
@@ -122,7 +122,7 @@ func main() {
 
 	// Forwarding: the same IR now carries traffic.
 	runner := dataplane.NewRunner(pipeline)
-	g := trace.New(trace.Spec{Seed: 20260612})
+	g := workload.New(workload.Spec{Seed: 20260612})
 	sum := runner.RunTrace(g.Mix(2000))
 	fmt.Printf("== forwarding a 2000-packet synthetic mix ==\n")
 	fmt.Printf("forwarded %d, dropped %d, crashed %d\n", sum.Emitted, sum.Dropped, sum.Crashed)

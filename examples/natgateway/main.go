@@ -38,8 +38,8 @@ import (
 	"vsd/internal/elements"
 	"vsd/internal/packet"
 	"vsd/internal/specs"
-	"vsd/internal/trace"
 	"vsd/internal/verify"
+	"vsd/internal/workload"
 )
 
 const gateway = `
@@ -190,7 +190,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("== forwarding through the verified gateway ==")
 	runner := dataplane.NewRunner(fixed)
-	g := trace.New(trace.Spec{Seed: 7, Hosts: 16})
+	g := workload.New(workload.Spec{Seed: 7, Hosts: 16})
 	var rewritten int
 	for i := 0; i < 1000; i++ {
 		buf := g.IPv4()

@@ -7,8 +7,8 @@ import (
 	"vsd/internal/experiments"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
-	"vsd/internal/trace"
 	"vsd/internal/verify"
+	"vsd/internal/workload"
 )
 
 // TestVerifiedRouterSurvivesAdversarialTraffic is the end-to-end claim
@@ -25,7 +25,7 @@ func TestVerifiedRouterSurvivesAdversarialTraffic(t *testing.T) {
 		t.Fatal("router did not verify")
 	}
 	runner := dataplane.NewRunner(p)
-	g := trace.New(trace.Spec{Seed: 1})
+	g := workload.New(workload.Spec{Seed: 1})
 	var n int
 	for i := 0; i < 3000; i++ {
 		var buf *packet.Buffer

@@ -4,13 +4,13 @@ import (
 	"testing"
 
 	"vsd/internal/packet"
-	"vsd/internal/trace"
+	"vsd/internal/workload"
 )
 
 // benchTrace is a fixed working set shared by the forwarding
 // benchmarks; ipv4-only so every packet takes the full router path.
 func benchTrace(n int) []*packet.Buffer {
-	g := trace.New(trace.Spec{Seed: 5})
+	g := workload.New(workload.Spec{Seed: 5})
 	pkts := make([]*packet.Buffer, n)
 	for i := range pkts {
 		pkts[i] = g.IPv4()

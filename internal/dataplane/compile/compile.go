@@ -210,6 +210,10 @@ const (
 	// index increment, address mask index, limit register, and — in
 	// bits 40..63 — the continue/fail/latch step costs.
 	opLoad2AddLoop
+
+	// opCount is the number of opcodes; it sizes the profiler's
+	// per-opcode arrays and must stay last.
+	opCount
 )
 
 // instr is one bytecode instruction. dst/a/b name registers, aux is an

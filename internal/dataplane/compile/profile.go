@@ -1,0 +1,250 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpProfile accumulates per-opcode dispatch counts and the step cost
+// attributed to each opcode across VM runs. Profiling is opt-in: a VM
+// only consults a profile installed with SetProfile, and a single
+// predictable nil check per dispatch is the entire cost on the disabled
+// hot path — no allocation, no atomic, nothing the AllocsPerRun gates
+// or the Mpps benchmark can see.
+//
+// A profile is plain memory with no locking. Share one across VMs only
+// when they run on the same goroutine, as the Compiled runner's do;
+// concurrent runners each need their own and can Merge afterwards.
+type OpProfile struct {
+	Counts [opCount]int64 // dispatches per opcode
+	Cost   [opCount]int64 // IR step cost charged per opcode
+
+	// Delta-attribution cursor (vm.go): the opcode whose charge is
+	// still open and the step count at its dispatch. Kept here rather
+	// than in VM.Run locals so the disabled hot path carries no extra
+	// loop-carried registers.
+	lastOp    op
+	lastSteps int64
+}
+
+// note records a dispatch of o at step count steps, settling the
+// previous instruction's charge. Small enough to inline into the
+// dispatch loop.
+func (p *OpProfile) note(o op, steps int64) {
+	p.Cost[p.lastOp] += steps - p.lastSteps
+	p.lastOp, p.lastSteps = o, steps
+	p.Counts[o]++
+}
+
+// settle closes o's own charge; opEmit/opDrop call it before Run
+// returns, since no further dispatch will.
+func (p *OpProfile) settle(o op, steps int64) {
+	p.Cost[o] += steps - p.lastSteps
+}
+
+// SetProfile installs (or, with nil, removes) the profile this VM
+// updates on every dispatch.
+func (vm *VM) SetProfile(p *OpProfile) { vm.prof = p }
+
+// Merge folds another profile into p.
+func (p *OpProfile) Merge(o *OpProfile) {
+	if o == nil {
+		return
+	}
+	for i := range p.Counts {
+		p.Counts[i] += o.Counts[i]
+		p.Cost[i] += o.Cost[i]
+	}
+}
+
+// Dispatches returns the total instruction dispatch count.
+func (p *OpProfile) Dispatches() int64 {
+	var n int64
+	for _, c := range p.Counts {
+		n += c
+	}
+	return n
+}
+
+// Steps returns the total attributed step cost. On crash-free runs
+// this equals the summed Outcome.Steps exactly (dynamic loop-iteration
+// charges included); a crashing run leaves its faulting instruction's
+// charge unattributed — the crash path returns before the delta
+// settles — so with crashes Steps is a lower bound on the outcomes.
+func (p *OpProfile) Steps() int64 {
+	var n int64
+	for _, c := range p.Cost {
+		n += c
+	}
+	return n
+}
+
+// NumOps returns the number of opcodes (the profile array length).
+func NumOps() int { return int(opCount) }
+
+// OpName names opcode i ("?" out of range). The names mirror the
+// bytecode mnemonics without their "op" prefix.
+func OpName(i int) string {
+	if i < 0 || i >= int(opCount) || opNames[i] == "" {
+		return "?"
+	}
+	return opNames[i]
+}
+
+// Format renders the top-k opcodes by dispatch count as a table with
+// each opcode's share of dispatches and of attributed step cost.
+// k <= 0 means all opcodes with at least one dispatch.
+func (p *OpProfile) Format(k int) string {
+	type row struct {
+		op    int
+		count int64
+		cost  int64
+	}
+	rows := make([]row, 0, opCount)
+	for i := range p.Counts {
+		if p.Counts[i] > 0 {
+			rows = append(rows, row{i, p.Counts[i], p.Cost[i]})
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].count != rows[b].count {
+			return rows[a].count > rows[b].count
+		}
+		return rows[a].op < rows[b].op
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	totalN, totalC := p.Dispatches(), p.Steps()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %7s %14s %7s\n", "opcode", "dispatches", "disp%", "steps", "step%")
+	pct := func(n, total int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %14d %6.2f%% %14d %6.2f%%\n",
+			OpName(r.op), r.count, pct(r.count, totalN), r.cost, pct(r.cost, totalC))
+	}
+	fmt.Fprintf(&b, "%-18s %14d %7s %14d\n", "total", totalN, "", totalC)
+	return b.String()
+}
+
+// opNames indexes opcode mnemonics by opcode value. The indexed-literal
+// form keeps each entry pinned to its constant, so reordering the enum
+// cannot silently mislabel a row; a test asserts full coverage.
+var opNames = [opCount]string{
+	opConst:          "Const",
+	opAdd:            "Add",
+	opSub:            "Sub",
+	opMul:            "Mul",
+	opUDiv:           "UDiv",
+	opURem:           "URem",
+	opAnd:            "And",
+	opOr:             "Or",
+	opXor:            "Xor",
+	opShl:            "Shl",
+	opLShr:           "LShr",
+	opAShr:           "AShr",
+	opEq:             "Eq",
+	opNe:             "Ne",
+	opUlt:            "Ult",
+	opUle:            "Ule",
+	opSlt:            "Slt",
+	opSle:            "Sle",
+	opNot:            "Not",
+	opMov:            "Mov",
+	opTrunc:          "Trunc",
+	opSExt:           "SExt",
+	opSel:            "Sel",
+	opLoad1:          "Load1",
+	opLoad2:          "Load2",
+	opLoad4:          "Load4",
+	opStore1:         "Store1",
+	opStore2:         "Store2",
+	opStore4:         "Store4",
+	opPktLen:         "PktLen",
+	opMetaLoad:       "MetaLoad",
+	opMetaStore:      "MetaStore",
+	opStateRead:      "StateRead",
+	opStateWrite:     "StateWrite",
+	opLookup:         "Lookup",
+	opAssert:         "Assert",
+	opBr:             "Br",
+	opJump:           "Jump",
+	opBreak:          "Break",
+	opLoopInit:       "LoopInit",
+	opLoopBack:       "LoopBack",
+	opEmit:           "Emit",
+	opDrop:           "Drop",
+	opCrashEnd:       "CrashEnd",
+	opAddImm:         "AddImm",
+	opSubImm:         "SubImm",
+	opMulImm:         "MulImm",
+	opAndImm:         "AndImm",
+	opOrImm:          "OrImm",
+	opXorImm:         "XorImm",
+	opShlImm:         "ShlImm",
+	opLShrImm:        "LShrImm",
+	opAShrImm:        "AShrImm",
+	opEqImm:          "EqImm",
+	opNeImm:          "NeImm",
+	opUltImm:         "UltImm",
+	opUleImm:         "UleImm",
+	opSltImm:         "SltImm",
+	opSleImm:         "SleImm",
+	opLoad1C:         "Load1C",
+	opLoad2C:         "Load2C",
+	opLoad4C:         "Load4C",
+	opStore1C:        "Store1C",
+	opStore2C:        "Store2C",
+	opStore4C:        "Store4C",
+	opMetaStoreImm:   "MetaStoreImm",
+	opBrNe:           "BrNe",
+	opBrEq:           "BrEq",
+	opBrUge:          "BrUge",
+	opBrUgt:          "BrUgt",
+	opBrSge:          "BrSge",
+	opBrSgt:          "BrSgt",
+	opBrNeImm:        "BrNeImm",
+	opBrEqImm:        "BrEqImm",
+	opBrUgeImm:       "BrUgeImm",
+	opBrUgtImm:       "BrUgtImm",
+	opBrSgeImm:       "BrSgeImm",
+	opBrSgtImm:       "BrSgtImm",
+	opMulAddImm:      "MulAddImm",
+	opLoad1O:         "Load1O",
+	opLoad2O:         "Load2O",
+	opLoad4O:         "Load4O",
+	opStore1O:        "Store1O",
+	opStore2O:        "Store2O",
+	opStore4O:        "Store4O",
+	opLoad1S:         "Load1S",
+	opLoad2S:         "Load2S",
+	opLoad4S:         "Load4S",
+	opStore1V:        "Store1V",
+	opStore2V:        "Store2V",
+	opStore4V:        "Store4V",
+	opStore1VO:       "Store1VO",
+	opStore2VO:       "Store2VO",
+	opStore4VO:       "Store4VO",
+	opBrIf:           "BrIf",
+	opBrLtU:          "BrLtU",
+	opBrLeU:          "BrLeU",
+	opBrLtS:          "BrLtS",
+	opBrLeS:          "BrLeS",
+	opBrLtUImm:       "BrLtUImm",
+	opBrLeUImm:       "BrLeUImm",
+	opBrLtSImm:       "BrLtSImm",
+	opBrLeSImm:       "BrLeSImm",
+	opLoad2SAdd:      "Load2SAdd",
+	opAddImmLoopBack: "AddImmLoopBack",
+	opStoreV2P:       "StoreV2P",
+	opAndShrAdd:      "AndShrAdd",
+	opLoopNext:       "LoopNext",
+	opLoopBackUgt:    "LoopBackUgt",
+	opLoad2AddLoop:   "Load2AddLoop",
+}

@@ -1,0 +1,116 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"vsd/internal/ir"
+	"vsd/internal/packet"
+)
+
+// TestOpNamesComplete pins the name table to the enum: every opcode
+// must have a mnemonic, so a new opcode cannot land without one.
+func TestOpNamesComplete(t *testing.T) {
+	for i := 0; i < int(opCount); i++ {
+		if opNames[i] == "" {
+			t.Errorf("opcode %d has no name in opNames", i)
+		}
+	}
+	if OpName(-1) != "?" || OpName(int(opCount)) != "?" {
+		t.Errorf("OpName out of range: want %q", "?")
+	}
+	if NumOps() != int(opCount) {
+		t.Errorf("NumOps() = %d, want %d", NumOps(), opCount)
+	}
+}
+
+// profiledRun compiles p, installs a fresh profile, and runs every
+// input, returning the profile and the summed Outcome.Steps.
+func profiledRun(t *testing.T, p *ir.Program, inputs []pin) (*OpProfile, int64, int64) {
+	t.Helper()
+	lay, err := BuildLayout([]*ir.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(p, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(cp)
+	prof := &OpProfile{}
+	vm.SetProfile(prof)
+	es := NewElemState(cp)
+	fr := NewFrame(lay.NumSlots())
+	var steps, crashes int64
+	for _, in := range inputs {
+		fr.ResetFrom(lay, &packet.Buffer{Data: append([]byte(nil), in.data...), Meta: in.meta})
+		out := vm.Run(fr, es)
+		steps += out.Steps
+		if out.Disposition == ir.Crashed {
+			crashes++
+		}
+	}
+	return prof, steps, crashes
+}
+
+// TestOpProfileAccounting checks the profile's two invariants against
+// real executions: attributed step cost equals the interpreter-visible
+// step count on crash-free runs (and never undercounts when crashes
+// refund trailing cost), and every counted opcode has a name.
+func TestOpProfileAccounting(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prog *ir.Program
+		in   []pin
+	}{
+		{"checksum", checksumProg(), fuzzInputs(11, 150, nil)},
+		{"arith", arithProg(), fuzzInputs(12, 100, nil)},
+		{"state", stateProg(), fuzzInputs(13, 150, nil)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			prof, steps, crashes := profiledRun(t, tc.prog, tc.in)
+			if prof.Dispatches() == 0 {
+				t.Fatal("profile recorded no dispatches")
+			}
+			if crashes == 0 && prof.Steps() != steps {
+				t.Errorf("profile steps = %d, outcomes summed to %d", prof.Steps(), steps)
+			}
+			if prof.Steps() > steps {
+				t.Errorf("profile steps %d exceed outcome steps %d", prof.Steps(), steps)
+			}
+			for i := range prof.Counts {
+				if prof.Counts[i] > 0 && OpName(i) == "?" {
+					t.Errorf("dispatched opcode %d has no name", i)
+				}
+			}
+		})
+	}
+}
+
+// TestOpProfileMergeAndFormat checks Merge is additive and Format
+// renders named rows plus a total line.
+func TestOpProfileMergeAndFormat(t *testing.T) {
+	in := fuzzInputs(21, 80, nil)
+	a, _, _ := profiledRun(t, checksumProg(), in[:40])
+	b, _, _ := profiledRun(t, checksumProg(), in[40:])
+	whole, _, _ := profiledRun(t, checksumProg(), in)
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Dispatches() != whole.Dispatches() || a.Steps() != whole.Steps() {
+		t.Fatalf("merge: got %d/%d dispatches/steps, want %d/%d",
+			a.Dispatches(), a.Steps(), whole.Dispatches(), whole.Steps())
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != whole.Counts[i] || a.Cost[i] != whole.Cost[i] {
+			t.Fatalf("merge: opcode %s diverges", OpName(i))
+		}
+	}
+	out := a.Format(5)
+	if !strings.Contains(out, "opcode") || !strings.Contains(out, "total") {
+		t.Fatalf("Format missing header/total:\n%s", out)
+	}
+	// 5 rows + header + total.
+	if n := strings.Count(strings.TrimRight(out, "\n"), "\n") + 1; n > 7 {
+		t.Fatalf("Format(5) rendered %d lines:\n%s", n, out)
+	}
+}

@@ -102,6 +102,7 @@ func (s *ElemState) Snapshot() ir.State {
 type VM struct {
 	p    *Program
 	regs []uint64
+	prof *OpProfile // nil unless SetProfile enabled opcode profiling
 }
 
 // NewVM prepares a reusable VM for p.
@@ -127,11 +128,26 @@ func (vm *VM) Run(fr *Frame, st *ElemState) ir.Outcome {
 	code := vm.p.code
 	masks := vm.p.masks
 	data := fr.Data
+	prof := vm.prof
+	// Profiling attributes step cost by steps-delta: the previous
+	// instruction's true charge (static cost plus any dynamic
+	// loop-iteration adjustments its case body made) is known only at
+	// the next dispatch, so note() settles it there; opEmit/opDrop
+	// settle their own charge before returning. The delta cursor lives
+	// in the OpProfile, not in locals, so the disabled path carries no
+	// loop-carried profiling state — just this one predictable branch
+	// on a register already in hand.
+	if prof != nil {
+		prof.lastOp, prof.lastSteps = 0, 0
+	}
 	var steps int64
 	pc := 0
 	for {
 		in := &code[pc]
 		pc++
+		if prof != nil {
+			prof.note(in.op, steps)
+		}
 		steps += int64(in.cost)
 		switch in.op {
 		case opConst:
@@ -304,8 +320,14 @@ func (vm *VM) Run(fr *Frame, st *ElemState) ir.Outcome {
 				steps--
 			}
 		case opEmit:
+			if prof != nil {
+				prof.settle(in.op, steps)
+			}
 			return ir.Outcome{Disposition: ir.Emitted, Port: int(in.aux), Steps: steps}
 		case opDrop:
+			if prof != nil {
+				prof.settle(in.op, steps)
+			}
 			return ir.Outcome{Disposition: ir.Dropped, Steps: steps}
 		case opCrashEnd:
 			return vm.crash(ir.CrashAssert, vm.p.msgs[in.aux], steps)

@@ -46,6 +46,9 @@ type Compiled struct {
 	frames []*compile.Frame
 	// procFrame is the scratch frame Process reuses.
 	procFrame compile.Frame
+	// opProf, when enabled, is the opcode profile shared by every
+	// element VM (the runner is single-goroutine, so no locking).
+	opProf *compile.OpProfile
 }
 
 // NewCompiled compiles every element of the pipeline and prepares a
@@ -137,6 +140,31 @@ func topoOrder(p *click.Pipeline) []int {
 
 // Layout returns the pipeline-wide metadata slot layout.
 func (r *Compiled) Layout() *packet.MetaLayout { return r.layout }
+
+// EnableOpProfile turns on per-opcode dispatch profiling across every
+// element VM (idempotent). Profiling adds one predictable branch per
+// dispatch; leave it off for throughput measurement.
+func (r *Compiled) EnableOpProfile() {
+	if r.opProf == nil {
+		r.opProf = &compile.OpProfile{}
+		for _, vm := range r.vms {
+			vm.SetProfile(r.opProf)
+		}
+	}
+}
+
+// OpProfile returns the accumulated opcode profile, or nil when
+// EnableOpProfile was never called.
+func (r *Compiled) OpProfile() *compile.OpProfile { return r.opProf }
+
+// FormatOpProfile renders the top-k opcodes by dispatch count ("" when
+// profiling is off).
+func (r *Compiled) FormatOpProfile(k int) string {
+	if r.opProf == nil {
+		return ""
+	}
+	return r.opProf.Format(k)
+}
 
 // Counters returns the per-element counters, indexed like
 // pipeline.Elements.

@@ -8,7 +8,7 @@ import (
 	"vsd/internal/elements"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
-	"vsd/internal/trace"
+	"vsd/internal/workload"
 )
 
 // differentialConfigs mirrors the admission corpus (plus the
@@ -56,7 +56,7 @@ func TestCompiledDifferentialCorpus(t *testing.T) {
 			t.Fatalf("%s: %v", cfg.name, err)
 		}
 		for _, wl := range []string{"mix", "ipv4", "random", "adversarial"} {
-			g := trace.New(trace.Spec{Seed: 7})
+			g := workload.New(workload.Spec{Seed: 7})
 			var pkts []*packet.Buffer
 			switch wl {
 			case "mix":
@@ -126,7 +126,7 @@ func TestCompiledZeroAllocsPerPacket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkts := trace.New(trace.Spec{Seed: 3}).Mix(256)
+	pkts := workload.New(workload.Spec{Seed: 3}).Mix(256)
 
 	scratch := packet.NewBuffer(nil)
 	i := 0
@@ -165,7 +165,7 @@ func TestCompiledZeroAllocsPerPacket(t *testing.T) {
 func TestRunnerRunTraceAllocations(t *testing.T) {
 	p := buildRouter(t)
 	r := NewRunner(p)
-	pkts := trace.New(trace.Spec{Seed: 3}).Mix(256)
+	pkts := workload.New(workload.Spec{Seed: 3}).Mix(256)
 
 	// Per-packet path: zero allocations once the scratch buffer has
 	// grown to the trace's largest packet.
@@ -382,7 +382,7 @@ func TestCompiledCountersMatchInterpreter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkts := trace.New(trace.Spec{Seed: 11}).Mix(400)
+	pkts := workload.New(workload.Spec{Seed: 11}).Mix(400)
 	si := ri.RunTrace(pkts)
 	sc := rc.RunTrace(pkts)
 	if si.Packets != sc.Packets || si.Emitted != sc.Emitted ||

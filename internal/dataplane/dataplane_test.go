@@ -8,7 +8,7 @@ import (
 	"vsd/internal/elements"
 	"vsd/internal/ir"
 	"vsd/internal/packet"
-	"vsd/internal/trace"
+	"vsd/internal/workload"
 )
 
 const routerSrc = `
@@ -94,7 +94,7 @@ func TestRouterForwardsValidPacket(t *testing.T) {
 func TestRouterDropsGarbageWithoutCrashing(t *testing.T) {
 	p := buildRouter(t)
 	r := NewRunner(p)
-	g := trace.New(trace.Spec{Seed: 42})
+	g := workload.New(workload.Spec{Seed: 42})
 	sum := r.RunTrace(g.Mix(500))
 	if sum.Crashed != 0 {
 		t.Fatalf("router crashed on the mixed trace: %+v", sum.FirstCrash)

@@ -21,9 +21,34 @@ import (
 	"vsd/internal/smt"
 	"vsd/internal/specs"
 	"vsd/internal/symbex"
-	"vsd/internal/trace"
+	"vsd/internal/telemetry"
 	"vsd/internal/verify"
+	"vsd/internal/workload"
 )
+
+// Package-level telemetry, threaded into every verifier the experiment
+// drivers construct. The experiments build their verify.Options
+// internally (each cell wants a fresh verifier), so callers that want
+// traces or metrics install them once here instead of plumbing them
+// through every experiment signature.
+var (
+	telTrace   *telemetry.Tracer
+	telMetrics *telemetry.Registry
+)
+
+// SetTelemetry installs a tracer and/or metrics registry (either may be
+// nil) applied to every verifier subsequently constructed by the
+// experiment drivers. Not safe to call concurrently with a running
+// experiment.
+func SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	telTrace, telMetrics = tr, reg
+}
+
+// telOpts applies the installed telemetry to one options value.
+func telOpts(o verify.Options) verify.Options {
+	o.Trace, o.Metrics = telTrace, telMetrics
+	return o
+}
 
 // IPRouterConfig is the evaluation pipeline: the default Click IP-router
 // element set of the paper, in our Click dialect. The checksum option is
@@ -81,6 +106,10 @@ type E1Row struct {
 	// Solver carries the solver-side counters for the row, including the
 	// incremental-session metrics (assumption solves, reused clauses).
 	Solver smt.Stats
+	// SolveTimes summarizes the per-query solve-time distribution
+	// (count, min/max, p50/p95/p99 in nanoseconds) — the BENCH tail-
+	// regression signal a single wall-time number hides.
+	SolveTimes telemetry.HistSummary
 }
 
 // E1CrashFreedom verifies crash freedom for pipelines assembled from the
@@ -124,7 +153,7 @@ func E1CrashFreedom(maxLen uint64, parallelism int, keep func(cell string) bool)
 			continue
 		}
 		p := MustParse(c.src)
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.CrashFreedom(p)
 		if err != nil {
@@ -132,14 +161,15 @@ func E1CrashFreedom(maxLen uint64, parallelism int, keep func(cell string) bool)
 		}
 		st := v.Stats()
 		rows = append(rows, E1Row{
-			Pipeline:  c.name,
-			Verified:  rep.Verified,
-			Suspects:  st.Suspects,
-			Composed:  st.ComposedPaths,
-			Infeasib:  st.ComposedInfeasible,
-			Duration:  time.Since(start),
-			MaxLength: maxLen,
-			Solver:    st.Solver,
+			Pipeline:   c.name,
+			Verified:   rep.Verified,
+			Suspects:   st.Suspects,
+			Composed:   st.ComposedPaths,
+			Infeasib:   st.ComposedInfeasible,
+			Duration:   time.Since(start),
+			MaxLength:  maxLen,
+			Solver:     st.Solver,
+			SolveTimes: st.SolveTimes,
 		})
 	}
 	return rows, nil
@@ -157,6 +187,7 @@ type F1Row struct {
 	Witnesses   int
 	Duration    time.Duration
 	Solver      smt.Stats
+	SolveTimes  telemetry.HistSummary
 }
 
 // funcRouterConfig is the IP-router pipeline without IPOptions (the
@@ -247,7 +278,7 @@ func F1FunctionalSpecs(maxLen uint64, parallelism int) ([]F1Row, error) {
 	var rows []F1Row
 	for _, c := range cases {
 		p := MustParse(c.src)
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.VerifyFunc(p, c.spec)
 		if err != nil {
@@ -268,6 +299,7 @@ func F1FunctionalSpecs(maxLen uint64, parallelism int) ([]F1Row, error) {
 			Witnesses:   len(rep.Witnesses),
 			Duration:    time.Since(start),
 			Solver:      v.Stats().Solver,
+			SolveTimes:  v.Stats().SolveTimes,
 		})
 	}
 	return rows, nil
@@ -288,7 +320,7 @@ type E2Result struct {
 // that yields this maximum result".
 func E2InstructionBound(maxLen uint64, parallelism int) (*E2Result, error) {
 	p := MustParse(IPRouterConfig(false))
-	v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+	v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 	start := time.Now()
 	rep, err := v.BoundedInstructions(p)
 	if err != nil {
@@ -352,7 +384,7 @@ func E3ComposedVsMonolithic(branches, maxElems int, monoBudget int, parallelism 
 		if err != nil {
 			return nil, err
 		}
-		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.CrashFreedom(pipe)
 		if err != nil {
@@ -523,9 +555,9 @@ func B1BatchStore(maxLen uint64, parallelism int, storeDir string) ([]B1Row, err
 	var rows []B1Row
 	var coldVerdicts []verify.BatchVerdict
 	for _, run := range []string{"cold", "warm"} {
-		verdicts, st, dur := verify.Batch(items, verify.Options{
+		verdicts, st, dur := verify.Batch(items, telOpts(verify.Options{
 			MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism, Store: store,
-		})
+		}))
 		certified := 0
 		for _, vd := range verdicts {
 			if vd.Error != "" {
@@ -586,7 +618,7 @@ func A1PathScaling(branches, maxElems int, parallelism int) ([]A1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		v := verify.New(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: 14, MaxLen: 64, Parallelism: parallelism}))
 		if _, err := v.CrashFreedom(pipe); err != nil {
 			return nil, err
 		}
@@ -704,7 +736,7 @@ func A3StatefulElements(maxLen uint64, parallelism int) ([]A3Row, error) {
 	var rows []A3Row
 	for _, c := range configs {
 		p := MustParse(c.src)
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.CrashFreedom(p)
 		if err != nil {
@@ -768,7 +800,7 @@ func S1Induction(maxLen uint64, parallelism int) ([]S1Row, error) {
 	var rows []S1Row
 	satP := MustParse(s1Config("Counter(SATURATE)"))
 	for _, depth := range []int{2, 4, 6, 8} {
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.SeqCrashBounded(satP, depth, verify.SeqOptions{MaxSequences: 1 << 16})
 		if err != nil {
@@ -785,7 +817,7 @@ func S1Induction(maxLen uint64, parallelism int) ([]S1Row, error) {
 		})
 	}
 	{
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.SeqCrashFreedom(satP, verify.SeqOptions{})
 		if err != nil {
@@ -804,7 +836,7 @@ func S1Induction(maxLen uint64, parallelism int) ([]S1Row, error) {
 	// The refutation side: plain Counter.
 	ovfP := MustParse(s1Config("Counter"))
 	{
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.SeqCrashBounded(ovfP, 8, verify.SeqOptions{MaxSequences: 1 << 16})
 		if err != nil {
@@ -821,7 +853,7 @@ func S1Induction(maxLen uint64, parallelism int) ([]S1Row, error) {
 		})
 	}
 	{
-		v := verify.New(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism})
+		v := verify.New(telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: parallelism}))
 		start := time.Now()
 		rep, err := v.SeqCrashFreedom(ovfP, verify.SeqOptions{})
 		if err != nil {
@@ -875,7 +907,7 @@ func R1Degradation(maxLen uint64, seed uint64) ([]R1Row, error) {
 	}
 	// Serial verification keeps the injector's decision stream — and so
 	// the whole row — a pure function of (corpus, seed).
-	base := verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: 1}
+	base := telOpts(verify.Options{MinLen: packet.MinFrame, MaxLen: maxLen, Parallelism: 1})
 	cleanVerdicts, st, dur := verify.Batch(items, base)
 	rows := []R1Row{{
 		Run: "clean", Pipelines: len(items), Certified: countCertified(cleanVerdicts),
@@ -988,7 +1020,7 @@ func Tput(packets, fuzzPackets int, seed int64) (*TputResult, error) {
 	// real packets end to end (checksum loop, TTL, route lookup) — the
 	// adversarial/random mixes belong to the fuzz gate below, where
 	// early-exit packets are a feature, not a distortion.
-	g := trace.New(trace.Spec{Seed: seed})
+	g := workload.New(workload.Spec{Seed: seed})
 	workload := make([]*packet.Buffer, tputWorkingSet)
 	for i := range workload {
 		workload[i] = g.IPv4()
@@ -1103,7 +1135,7 @@ func TputFuzz(total int, seed int64) (pipelines int, packets int64, err error) {
 		if perr != nil {
 			return 0, 0, fmt.Errorf("tput fuzz: %s: %w", c.Name, perr)
 		}
-		g := trace.New(trace.Spec{Seed: seed + int64(ci)})
+		g := workload.New(workload.Spec{Seed: seed + int64(ci)})
 		remaining := per
 		for remaining > 0 {
 			n := remaining

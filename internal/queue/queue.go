@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vsd/internal/telemetry"
 )
 
 // ErrOverloaded is returned by Enqueue when the queue is at capacity.
@@ -58,6 +60,9 @@ type Job struct {
 	// Deadline bounds the job's total wall time in the queue; zero
 	// means no deadline.
 	Deadline time.Time
+	// enqueuedAt feeds the wait-time histogram (not persisted: a
+	// replayed job's wait restarts at Open).
+	enqueuedAt time.Time
 }
 
 // Options configures a Queue.
@@ -78,6 +83,13 @@ type Options struct {
 	JobTimeout time.Duration
 	// Seed seeds the backoff jitter stream (deterministic chaos runs).
 	Seed uint64
+	// Trace records enqueue-journal spans and per-job processing spans
+	// (one lane per Run worker) into the given tracer; nil disables
+	// tracing at zero cost.
+	Trace *telemetry.Tracer
+	// Metrics registers queue counters and the wait/processing latency
+	// histograms (vsd_queue_*) on the given registry; nil skips them.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) maxDepth() int {
@@ -133,6 +145,15 @@ type Queue struct {
 	inFlight int
 	jitter   uint64
 	stats    Stats
+
+	// Telemetry (all nil-safe; see internal/telemetry). enqLane carries
+	// instant markers only — Enqueue is called concurrently, so spans
+	// (which must nest per lane) live on the per-worker lanes in Run.
+	enqLane     *telemetry.Lane
+	workerLanes int
+	waitHist    *telemetry.Histogram // pending-to-taken latency
+	procHist    *telemetry.Histogram // per-attempt processing latency
+	journalHist *telemetry.Histogram // durable journal-write latency
 }
 
 // Open opens (creating if needed) the queue journaled at opts.Dir and
@@ -151,6 +172,15 @@ func Open(opts Options) (*Queue, error) {
 		jitter: opts.Seed ^ 0x9e3779b97f4a7c15,
 	}
 	q.cond = sync.NewCond(&q.mu)
+	q.enqLane = opts.Trace.Lane("queue-enqueue")
+	q.waitHist = opts.Metrics.Histogram("vsd_queue_wait_seconds",
+		"time jobs spend pending before a worker takes them", 1e9)
+	q.procHist = opts.Metrics.Histogram("vsd_queue_process_seconds",
+		"per-attempt job processing time", 1e9)
+	q.journalHist = opts.Metrics.Histogram("vsd_queue_journal_seconds",
+		"durable journal-write latency on the enqueue path", 1e9)
+	opts.Metrics.GaugeFunc("vsd_queue_depth",
+		"pending plus in-flight jobs", func() float64 { return float64(q.Depth()) })
 	if err := q.replay(); err != nil {
 		return nil, err
 	}
@@ -322,6 +352,7 @@ func (q *Queue) admit(j *Job) {
 	if q.opts.JobTimeout > 0 && j.Deadline.IsZero() {
 		j.Deadline = time.Now().Add(q.opts.JobTimeout)
 	}
+	j.enqueuedAt = time.Now()
 	q.pending = append(q.pending, j)
 	q.byKey[j.Key] = j
 }
@@ -338,11 +369,13 @@ func (q *Queue) Enqueue(key string, payload []byte) (*Job, error) {
 	if prev, ok := q.byKey[key]; ok {
 		q.stats.Deduped++
 		q.mu.Unlock()
+		q.enqLane.Instant("queue", "dedup")
 		return prev, nil
 	}
 	if len(q.pending)+q.inFlight >= q.opts.maxDepth() {
 		q.stats.Overflows++
 		q.mu.Unlock()
+		q.enqLane.Instant("queue", "overflow")
 		return nil, ErrOverloaded
 	}
 	job := &Job{ID: q.nextID, Key: key, Payload: append([]byte(nil), payload...)}
@@ -352,9 +385,12 @@ func (q *Queue) Enqueue(key string, payload []byte) (*Job, error) {
 	// Durability before acknowledgement: the journal write happens
 	// outside the lock (it fsyncs), and only a persisted job is
 	// admitted.
+	jStart := time.Now()
 	if err := q.persist(job); err != nil {
 		return nil, fmt.Errorf("queue: journaling job: %w", err)
 	}
+	q.journalHist.Record(int64(time.Since(jStart)))
+	q.enqLane.Instant("queue", "enqueue")
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -424,6 +460,9 @@ func (q *Queue) take(ctx context.Context) *Job {
 			job := q.pending[0]
 			q.pending = q.pending[1:]
 			q.inFlight++
+			if !job.enqueuedAt.IsZero() {
+				q.waitHist.Record(int64(time.Since(job.enqueuedAt)))
+			}
 			return job
 		}
 		if q.closed {
@@ -473,6 +512,16 @@ func (q *Queue) Run(ctx context.Context, process func(context.Context, *Job) err
 		q.mu.Unlock()
 	})
 	defer stop()
+	// Each Run call is one goroutine, so it owns a lane: spans on it
+	// nest properly no matter how many workers run concurrently.
+	var lane *telemetry.Lane
+	if q.opts.Trace != nil {
+		q.mu.Lock()
+		n := q.workerLanes
+		q.workerLanes++
+		q.mu.Unlock()
+		lane = q.opts.Trace.Lane(fmt.Sprintf("queue-worker-%d", n))
+	}
 	for {
 		job := q.take(ctx)
 		if job == nil {
@@ -482,11 +531,27 @@ func (q *Queue) Run(ctx context.Context, process func(context.Context, *Job) err
 			if exhausted != nil {
 				exhausted(job, fmt.Errorf("queue: job %d missed its deadline before processing", job.ID))
 			}
+			lane.Instant("queue", "deadline-miss")
 			q.finish(job, false)
 			continue
 		}
 		job.Attempts++
+		sp := lane.Begin("queue", "job:"+strconv.FormatUint(job.ID, 10))
+		if sp.Enabled() {
+			sp.SetStr("key", job.Key)
+			sp.SetInt("attempt", int64(job.Attempts))
+		}
+		pStart := time.Now()
 		err := process(ctx, job)
+		q.procHist.Record(int64(time.Since(pStart)))
+		if sp.Enabled() {
+			if err == nil {
+				sp.SetStr("result", "ok")
+			} else {
+				sp.SetStr("result", "error")
+			}
+		}
+		sp.End()
 		if err == nil {
 			q.finish(job, true)
 			continue

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"time"
 
 	"vsd/internal/expr"
 )
@@ -47,6 +48,8 @@ type IncrementalSession struct {
 	// exchCursors tracks, per CNF fingerprint, how far into the clause
 	// exchange's pool this session has imported.
 	exchCursors map[uint64]int
+	// lastSolve attributes the most recent Check (see LastSolve).
+	lastSolve SolveInfo
 }
 
 // sessionMaxGuards bounds a session's guarded-atom count before its SAT
@@ -181,8 +184,10 @@ func (sess *IncrementalSession) varsOf(a *expr.Expr) []*expr.Expr {
 // result contract matches Solver.Check.
 func (sess *IncrementalSession) Check(constraints []*expr.Expr) (Result, *expr.Assignment) {
 	s := sess.owner
+	start := time.Now()
 	pq, res, m, done := s.preSolve(constraints)
 	if done {
+		sess.lastSolve = SolveInfo{Result: res, Duration: time.Since(start)}
 		return res, m
 	}
 	if len(sess.guards)+len(pq.atoms) > sessionMaxGuards {
@@ -204,14 +209,29 @@ func (sess *IncrementalSession) Check(constraints []*expr.Expr) (Result, *expr.A
 		sess.bl.sat.Preprocess(nil, false)
 	}
 	verdict := s.satSolve(sess.bl.sat, sess.exchCursors, assumptions...)
+	prev := sess.lastCnts
 	sess.lastCnts = s.foldBlasterCounters(sess.bl, sess.lastCnts)
+	cur := sess.lastCnts
+	sess.lastSolve = SolveInfo{
+		SATCore:      true,
+		Duration:     time.Since(start),
+		Conflicts:    cur.sat.Conflicts - prev.sat.Conflicts,
+		Decisions:    cur.sat.Decisions - prev.sat.Decisions,
+		Propagations: cur.sat.Propagations - prev.sat.Propagations,
+		Learnts:      cur.sat.Learnts - prev.sat.Learnts,
+		CNFVars:      cur.vars - prev.vars,
+		CNFClauses:   cur.sat.ClausesAdded - prev.sat.ClausesAdded,
+	}
 	switch verdict {
 	case SatUnsat:
+		sess.lastSolve.Result = Unsat
 		s.cachePut(pq.key, pq.cacheAtoms, Unsat, nil)
 		return Unsat, nil
 	case SatUnknown:
+		sess.lastSolve.Result = Unknown
 		return Unknown, nil
 	}
+	sess.lastSolve.Result = Sat
 	// Models are extracted over the original atoms: equality substitution
 	// can fold a variable out of the solved set, and the witness must
 	// still assign it.

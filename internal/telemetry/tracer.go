@@ -1,0 +1,266 @@
+// Package telemetry is the observability spine of the repo: a span
+// tracer that exports Chrome trace-event JSON (loadable in Perfetto /
+// chrome://tracing), and a metrics registry with counters, gauges and
+// log-bucketed latency histograms exposable in Prometheus text format.
+//
+// Everything in this package is nil-safe: a nil *Tracer, nil *Lane,
+// zero Span, nil *Registry, nil *Counter, nil *Gauge and nil
+// *Histogram all turn every method into a no-op that performs zero
+// heap allocations. That is the contract that lets telemetry stay
+// compiled into the hot paths (the verifier's solve loop, the queue
+// worker, the VM dispatch) permanently: when the operator does not ask
+// for a trace, the instrumented code is a nil check and nothing else,
+// and the dataplane's AllocsPerRun gates keep it honest.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and instants and serializes them as Chrome
+// trace-event JSON. The zero value is not useful; construct with New.
+// A nil *Tracer is fully functional as a disabled tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	now     func() int64 // monotonic nanoseconds
+	events  []event
+	lanes   []*Lane
+	nextTID int
+}
+
+// Opts configures a Tracer.
+type Opts struct {
+	// Now returns a monotonic timestamp in nanoseconds. Injectable so
+	// tests produce deterministic traces. Nil means "nanoseconds since
+	// the tracer was created" on the real monotonic clock.
+	Now func() int64
+}
+
+// event is one Chrome trace event. Complete spans use ph "X" with a
+// duration; instants use ph "i"; metadata (thread names) uses ph "M".
+type event struct {
+	name string
+	cat  string
+	ph   string
+	tid  int
+	ts   int64 // nanoseconds
+	dur  int64 // nanoseconds, ph "X" only
+	args []Field
+}
+
+// Field is one key/value annotation on a span. Values are kept typed
+// so that annotating a disabled span never boxes into an interface.
+type Field struct {
+	Key string
+	Str string
+	Int int64
+	IsI bool
+}
+
+// New builds a Tracer. Pass Opts{} for the real clock.
+func New(opts Opts) *Tracer {
+	t := &Tracer{now: opts.Now}
+	if t.now == nil {
+		base := time.Now()
+		t.now = func() int64 { return int64(time.Since(base)) }
+	}
+	return t
+}
+
+// Lane allocates a named event lane (a Chrome "thread"). Spans on one
+// lane must be strictly nested, which is natural when a lane is owned
+// by one goroutine (e.g. one verifier worker). Returns nil on a nil
+// tracer.
+func (t *Tracer) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l := &Lane{t: t, tid: t.nextTID, name: name}
+	t.nextTID++
+	t.lanes = append(t.lanes, l)
+	return l
+}
+
+// Lane is an ordered stream of spans sharing a Chrome tid. A nil
+// *Lane is a disabled lane: Begin returns a zero Span and Instant is
+// a no-op, both allocation-free.
+type Lane struct {
+	t    *Tracer
+	tid  int
+	name string
+}
+
+// Begin opens a span. End it with Span.End; annotate it before ending
+// with SetInt/SetStr. On a nil lane the returned zero Span is inert.
+func (l *Lane) Begin(cat, name string) Span {
+	if l == nil {
+		return Span{}
+	}
+	return Span{d: &spanData{lane: l, cat: cat, name: name, start: l.t.now()}}
+}
+
+// Instant records a zero-duration marker event on the lane.
+func (l *Lane) Instant(cat, name string) {
+	if l == nil {
+		return
+	}
+	l.t.push(event{name: name, cat: cat, ph: "i", tid: l.tid, ts: l.t.now()})
+}
+
+// Span is an in-progress trace span. The zero Span (from a nil lane)
+// ignores every method without allocating.
+type Span struct {
+	d *spanData
+}
+
+type spanData struct {
+	lane  *Lane
+	cat   string
+	name  string
+	start int64
+	args  []Field
+}
+
+// Enabled reports whether the span is actually recording, letting
+// callers skip expensive label construction on the disabled path.
+func (s Span) Enabled() bool { return s.d != nil }
+
+// SetInt attaches an integer annotation to the span.
+func (s Span) SetInt(key string, v int64) {
+	if s.d == nil {
+		return
+	}
+	s.d.args = append(s.d.args, Field{Key: key, Int: v, IsI: true})
+}
+
+// SetStr attaches a string annotation to the span.
+func (s Span) SetStr(key, v string) {
+	if s.d == nil {
+		return
+	}
+	s.d.args = append(s.d.args, Field{Key: key, Str: v})
+}
+
+// End closes the span and commits it to the tracer as a Chrome "X"
+// (complete) event. Calling End on a zero Span is a no-op.
+func (s Span) End() {
+	if s.d == nil {
+		return
+	}
+	l := s.d.lane
+	end := l.t.now()
+	dur := end - s.d.start
+	if dur < 0 {
+		dur = 0
+	}
+	l.t.push(event{
+		name: s.d.name, cat: s.d.cat, ph: "X",
+		tid: l.tid, ts: s.d.start, dur: dur, args: s.d.args,
+	})
+}
+
+func (t *Tracer) push(e event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// jsonEvent is the wire form of one trace event. Timestamps and
+// durations are microseconds (the Chrome convention); fractional
+// microseconds keep full nanosecond precision.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON serializes all finished spans as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}) that Perfetto and
+// chrome://tracing load directly. Events are ordered by (tid, ts) so
+// the output is stable and the per-lane streams read top to bottom.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]event, len(t.events))
+	copy(events, t.events)
+	lanes := make([]*Lane, len(t.lanes))
+	copy(lanes, t.lanes)
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].tid != events[j].tid {
+			return events[i].tid < events[j].tid
+		}
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		// Outer spans first on identical start: longer duration wins.
+		return events[i].dur > events[j].dur
+	})
+
+	out := make([]jsonEvent, 0, len(events)+len(lanes))
+	for _, l := range lanes {
+		out = append(out, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: l.tid,
+			Args: map[string]any{"name": l.name},
+		})
+	}
+	for _, e := range events {
+		je := jsonEvent{
+			Name: e.name, Cat: e.cat, Ph: e.ph, PID: 1, TID: e.tid,
+			TS: float64(e.ts) / 1e3,
+		}
+		if e.ph == "X" {
+			d := float64(e.dur) / 1e3
+			je.Dur = &d
+		}
+		if e.ph == "i" {
+			je.S = "t" // thread-scoped instant
+		}
+		if len(e.args) > 0 {
+			je.Args = make(map[string]any, len(e.args))
+			for _, f := range e.args {
+				if f.IsI {
+					je.Args[f.Key] = f.Int
+				} else {
+					je.Args[f.Key] = f.Str
+				}
+			}
+		}
+		out = append(out, je)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// WriteFile writes the trace to path via WriteJSON.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: create trace file: %w", err)
+	}
+	werr := t.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

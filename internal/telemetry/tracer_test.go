@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic injectable clock.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64 { c.t += 1000; return c.t }
+
+func TestTracerEmitsValidChromeTrace(t *testing.T) {
+	clk := &fakeClock{}
+	tr := New(Opts{Now: clk.now})
+	main := tr.Lane("verify")
+	worker := tr.Lane("worker-0")
+
+	outer := main.Begin("phase", "step1")
+	inner := main.Begin("element", "summarize:CheckIPHeader")
+	inner.SetInt("paths", 12)
+	inner.SetStr("fingerprint", "ab12")
+	inner.End()
+	main.Instant("store", "store-hit")
+	outer.End()
+
+	solve := worker.Begin("smt", "obligation:crash?path3")
+	solve.SetInt("conflicts", 64)
+	solve.SetStr("verdict", "unsat")
+	solve.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace fails own validator: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var sawThreadName, sawArgs bool
+	for _, e := range doc.TraceEvents {
+		names = append(names, e["name"].(string))
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			sawThreadName = true
+		}
+		if e["name"] == "obligation:crash?path3" {
+			args := e["args"].(map[string]any)
+			if args["conflicts"].(float64) != 64 || args["verdict"].(string) != "unsat" {
+				t.Fatalf("span args lost: %v", args)
+			}
+			sawArgs = true
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"step1", "summarize:CheckIPHeader", "store-hit", "obligation:crash?path3"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing event %q in %s", want, joined)
+		}
+	}
+	if !sawThreadName || !sawArgs {
+		t.Fatalf("thread_name=%v args=%v", sawThreadName, sawArgs)
+	}
+}
+
+func TestNilTracerIsInertAndAllocationFree(t *testing.T) {
+	var tr *Tracer
+	lane := tr.Lane("anything")
+	if lane != nil {
+		t.Fatal("nil tracer returned a live lane")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := lane.Begin("cat", "name")
+		sp.SetInt("k", 1)
+		sp.SetStr("s", "v")
+		_ = sp.Enabled()
+		sp.End()
+		lane.Instant("cat", "marker")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op", allocs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err == nil {
+		t.Fatal("empty trace should fail validation (no spans)")
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents":`,
+		"no array":        `{}`,
+		"missing ph":      `{"traceEvents":[{"name":"a","ts":1}]}`,
+		"negative ts":     `{"traceEvents":[{"name":"a","ph":"X","ts":-5,"dur":1}]}`,
+		"missing dur":     `{"traceEvents":[{"name":"a","ph":"X","ts":1}]}`,
+		"unsorted":        `{"traceEvents":[{"name":"a","ph":"X","ts":10,"dur":1},{"name":"b","ph":"X","ts":5,"dur":1}]}`,
+		"partial overlap": `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":10},{"name":"b","ph":"X","ts":5,"dur":10}]}`,
+		"bad phase":       `{"traceEvents":[{"name":"a","ph":"Q","ts":1}]}`,
+	}
+	for name, raw := range cases {
+		if err := ValidateTrace([]byte(raw)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, raw)
+		}
+	}
+	good := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","tid":0,"pid":1,"args":{"name":"w"}},
+		{"name":"outer","ph":"X","ts":0,"dur":10,"tid":0},
+		{"name":"inner","ph":"X","ts":2,"dur":3,"tid":0},
+		{"name":"later","ph":"X","ts":6,"dur":4,"tid":0},
+		{"name":"other-lane","ph":"X","ts":1,"dur":100,"tid":1},
+		{"name":"mark","ph":"i","ts":3,"tid":0}]}`
+	if err := ValidateTrace([]byte(good)); err != nil {
+		t.Errorf("validator rejected well-formed trace: %v", err)
+	}
+}

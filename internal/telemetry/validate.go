@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ValidateTrace checks that data is well-formed Chrome trace-event
+// JSON of the shape this package emits: an object with a traceEvents
+// array whose "X" events have non-negative, per-lane monotone
+// timestamps and non-negative durations, and whose spans nest
+// properly within each lane (no partially overlapping intervals on
+// one tid — exactly the property Perfetto needs to draw a lane as a
+// flame graph). It is the schema gate behind `make trace-smoke`.
+func ValidateTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			TID  int      `json:"tid"`
+			TS   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+
+	type span struct {
+		name    string
+		ts, dur float64
+	}
+	lanes := make(map[int][]span)
+	for i, e := range doc.TraceEvents {
+		if e.Ph == nil || e.Name == nil {
+			return fmt.Errorf("trace: event %d missing ph or name", i)
+		}
+		switch *e.Ph {
+		case "M":
+			continue // metadata carries no timestamp contract
+		case "X", "i", "I":
+		default:
+			return fmt.Errorf("trace: event %d (%s) has unexpected phase %q", i, *e.Name, *e.Ph)
+		}
+		if e.TS == nil || *e.TS < 0 {
+			return fmt.Errorf("trace: event %d (%s) missing or negative ts", i, *e.Name)
+		}
+		if *e.Ph != "X" {
+			continue
+		}
+		if e.Dur == nil || *e.Dur < 0 {
+			return fmt.Errorf("trace: span %d (%s) missing or negative dur", i, *e.Name)
+		}
+		lanes[e.TID] = append(lanes[e.TID], span{name: *e.Name, ts: *e.TS, dur: *e.Dur})
+	}
+
+	var tids []int
+	for tid := range lanes {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	total := 0
+	for _, tid := range tids {
+		spans := lanes[tid]
+		total += len(spans)
+		// Events in a lane must already be ordered by start time
+		// (that is the monotonicity the emitter guarantees).
+		for i := 1; i < len(spans); i++ {
+			if spans[i].ts < spans[i-1].ts {
+				return fmt.Errorf("trace: tid %d: span %q starts at %g before preceding span %q at %g",
+					tid, spans[i].name, spans[i].ts, spans[i-1].name, spans[i-1].ts)
+			}
+		}
+		// Balanced nesting: walking in start order with a stack of
+		// open intervals, every span must fit entirely inside the
+		// innermost still-open span (or start after it closes).
+		const slack = 1e-3 // one nanosecond in microsecond units
+		var stack []span
+		for _, s := range spans {
+			for len(stack) > 0 && s.ts >= stack[len(stack)-1].ts+stack[len(stack)-1].dur-slack {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				if s.ts+s.dur > top.ts+top.dur+slack {
+					return fmt.Errorf("trace: tid %d: span %q [%g,%g] overlaps but is not nested in %q [%g,%g]",
+						tid, s.name, s.ts, s.ts+s.dur, top.name, top.ts, top.ts+top.dur)
+				}
+			}
+			stack = append(stack, s)
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("trace: no complete (ph=X) spans recorded")
+	}
+	return nil
+}

@@ -182,6 +182,8 @@ type FuncReport struct {
 // AllowCrash) exactly as in CrashFreedom, including the stateful
 // bad-value refinement.
 func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, error) {
+	sp := v.tel.main.Begin("property", "funcspec:"+spec.Name)
+	defer sp.End()
 	rep := &FuncReport{Spec: spec.Name, Verified: true}
 	err := v.walk(p, spec.Pre, func(end pathEnd) error {
 		if end.disp == ir.Crashed {
@@ -225,7 +227,11 @@ func (v *Verifier) VerifyFunc(p *click.Pipeline, spec FuncSpec) (*FuncReport, er
 			return nil
 		}
 		rep.Obligations++
-		violated, m, unknown := v.feasibleRoot(end.state, []*expr.Expr{expr.Not(post)}, spec.Pre)
+		lbl := ""
+		if v.tel.active() {
+			lbl = spec.Name + " @ " + pathName(p, end.state)
+		}
+		violated, m, unknown := v.feasibleRoot(end.state, []*expr.Expr{expr.Not(post)}, spec.Pre, "funcspec", lbl)
 		if !violated {
 			rep.Proved++
 			return nil

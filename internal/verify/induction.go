@@ -234,8 +234,10 @@ func (c *seqCtx) extend(pre *seqPrefix, se *seqEnd) (*seqPrefix, error) {
 		cons = append(cons, newConds...)
 		cons = append(cons, store.Conds()...)
 		c.v.solverQueries.Add(1)
+		sp, started := c.v.tel.beginSolve(c.sess, "seq-extend", "")
 		var r smt.Result
 		r, m = c.sess.Check(cons)
+		c.v.tel.recordSolve(c.sess, "seq-extend", "seq-extend", started, sp)
 		feasible = r != smt.Unsat
 	}
 	if !feasible {
@@ -597,7 +599,9 @@ func (c *seqCtx) findInvariantBreak(ends []seqEnd, inv StateInvariant, pre *seqP
 		cons = append(cons, assume...)
 		cons = append(cons, bad)
 		c.v.solverQueries.Add(1)
+		sp, started := c.v.tel.beginSolve(c.sess, "induction", "")
 		r, m := c.sess.Check(cons)
+		c.v.tel.recordSolve(c.sess, "induction", "invariant-check", started, sp)
 		if r != smt.Unsat {
 			broken := &seqPrefix{steps: pre.steps, conds: cons, store: pre.store, model: m}
 			return c.v.seqWitness(c.p, broken)
@@ -815,7 +819,9 @@ func (v *Verifier) verifySeq(p *click.Pipeline, ends []seqEnd, spec SeqSpec) (*S
 		cons = append(cons, pre.store.Conds()...)
 		cons = append(cons, expr.Not(post))
 		v.solverQueries.Add(1)
+		sp, started := v.tel.beginSolve(ctx.sess, "seq-spec", "")
 		r, m := ctx.sess.Check(cons)
+		v.tel.recordSolve(ctx.sess, "seq-spec", "seq-spec:"+spec.Name, started, sp)
 		if r == smt.Unsat {
 			rep.Proved++
 			return nil
@@ -898,7 +904,9 @@ func (v *Verifier) seqWitness(p *click.Pipeline, pre *seqPrefix) (*MultiWitness,
 	if m == nil {
 		v.visitMu.Lock()
 		v.solverQueries.Add(1)
+		sp, started := v.tel.beginSolve(v.rootSession, "witness", "")
 		r, got := v.rootSession.Check(all)
+		v.tel.recordSolve(v.rootSession, "witness", "seq-witness", started, sp)
 		v.visitMu.Unlock()
 		if r == smt.Unknown {
 			return nil, fmt.Errorf("%w: sequence witness query", errUnresolved)

@@ -59,6 +59,8 @@ type CrashReport struct {
 // any packet contents and any length within the configured bounds.
 // If the proof fails it returns concrete witness packets.
 func (v *Verifier) CrashFreedom(p *click.Pipeline) (*CrashReport, error) {
+	sp := v.tel.main.Begin("property", "crash-freedom")
+	defer sp.End()
 	// Step-1 fast path: if no element has a suspect segment, the
 	// pipeline cannot crash — no composition needed (the paper's "if
 	// this step does not yield any suspect segments, we are done").
@@ -153,6 +155,8 @@ type BoundReport struct {
 // instructions that each pipeline may ever execute and which input
 // causes it".
 func (v *Verifier) BoundedInstructions(p *click.Pipeline) (*BoundReport, error) {
+	sp := v.tel.main.Begin("property", "bounded-instructions")
+	defer sp.End()
 	rep := &BoundReport{}
 	var maxState *composed
 	err := v.walk(p, nil, func(end pathEnd) error {
@@ -230,6 +234,8 @@ type ReachReport struct {
 
 // Reachability proves a ReachSpec over the pipeline.
 func (v *Verifier) Reachability(p *click.Pipeline, spec ReachSpec) (*ReachReport, error) {
+	sp := v.tel.main.Begin("property", "reachability:"+spec.Name)
+	defer sp.End()
 	rep := &ReachReport{Verified: true}
 	err := v.walk(p, spec.Assume, func(end pathEnd) error {
 		bad := ""
@@ -294,7 +300,11 @@ func (v *Verifier) checkedModel(p *click.Pipeline, st *composed, m *expr.Assignm
 		cons = append(cons, extra)
 	}
 	if m == nil {
-		ok, got, unknown := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), cons...), nil)
+		lbl := ""
+		if v.tel.active() {
+			lbl = pathName(p, st)
+		}
+		ok, got, unknown := v.feasibleRoot(&composed{}, append(append([]*expr.Expr{}, extraPre...), cons...), nil, "witness", lbl)
 		if unknown {
 			return nil, fmt.Errorf("%w: %s", errUnresolved, pathName(p, st))
 		}

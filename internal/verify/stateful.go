@@ -194,7 +194,9 @@ func (v *Verifier) anyCombinationFeasible(st *composed, used []symbex.StateAcces
 			cons = append(cons, sub.Apply(c))
 		}
 		v.solverQueries.Add(1)
+		sp, started := v.tel.beginSolve(v.rootSession, "refine", "")
 		r, _ := v.rootSession.Check(cons)
+		v.tel.recordSolve(v.rootSession, "refine", "stateful-refine", started, sp)
 		return r != smt.Unsat, nil
 	}
 	for _, src := range sources[idx] {

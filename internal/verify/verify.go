@@ -15,6 +15,7 @@ import (
 	"vsd/internal/ir"
 	"vsd/internal/smt"
 	"vsd/internal/symbex"
+	"vsd/internal/telemetry"
 )
 
 // Options configures a Verifier.
@@ -76,6 +77,21 @@ type Options struct {
 	// forcing Unknown verdicts, timeouts, or panics into individual SAT
 	// searches. Production configurations leave it nil.
 	SolverFaultHook func() smt.SolveFault
+	// Trace records phase/obligation spans (Step-1 summarizations,
+	// Step-2 walks, per-obligation SAT solves, store operations) into
+	// the given tracer for Chrome trace-event export. nil disables
+	// tracing at zero cost (the disabled path is allocation-free).
+	Trace *telemetry.Tracer
+	// Metrics threads verifier latency histograms and store counters
+	// through the given registry (surfaced by vsdserve's /metrics).
+	// nil keeps the always-on solve/summarize histograms private to
+	// Stats.
+	Metrics *telemetry.Registry
+	// Profile aggregates per-obligation solver cost (wall time,
+	// conflicts, CNF growth) for ObligationProfile — the machinery
+	// behind `vsdverify -profile`. Off by default: it prices a string
+	// label per stitched obligation.
+	Profile bool
 }
 
 // DefaultPortfolio is the number of diversified solver clones raced on a
@@ -142,6 +158,12 @@ type Stats struct {
 	InductionRefuted int // induction obligations refuted by a reachable sequence
 	SeqSpecRefuted   int // bounded sequence specs/explorations refuted
 	SymbexStats      symbex.Stats
+	// SolveTimes is the wall-clock spread of individual solver queries
+	// (nanoseconds) and SummarizeTimes of Step-1 engine runs — the
+	// percentile view that end-of-run totals hide (a neutral mean can
+	// mask a regressed tail; BENCH records carry these since PR 10).
+	SolveTimes     telemetry.HistSummary
+	SummarizeTimes telemetry.HistSummary
 	// Solver carries the shared solver's counters, including the
 	// incremental-session ones (assumption solves, reused clauses).
 	Solver smt.Stats
@@ -182,6 +204,9 @@ type Verifier struct {
 	// refinement) and from post-walk report construction.
 	visitMu     sync.Mutex
 	rootSession *smt.IncrementalSession
+
+	// tel is the telemetry spine (always non-nil; see vtel).
+	tel *vtel
 }
 
 // summaryEntry is a once-filled summary cache slot: concurrent walkers
@@ -207,11 +232,16 @@ func New(opts Options) *Verifier {
 	v := &Verifier{
 		opts:  opts,
 		cache: map[ir.Fingerprint]*summaryEntry{},
+		tel:   newVtel(opts),
 	}
 	so := opts.solverOptions()
 	so.Interrupt = &v.interrupt
 	v.solver = smt.New(so)
 	v.rootSession = v.solver.NewSession()
+	// Witness extraction and refinement queries run on the root
+	// session from under visitMu (one goroutine at a time), so one
+	// permanent lane keeps their spans properly nested.
+	v.tel.bindSession(v.rootSession, v.tel.tracer.Lane("verify-root"))
 	return v
 }
 
@@ -278,6 +308,8 @@ func (v *Verifier) Stats() Stats {
 	s.PanicsRecovered = int(v.panicsRecovered.Load())
 	s.WatchdogFired = int(v.watchdogFired.Load())
 	s.Solver = v.solver.Stats()
+	s.SolveTimes = v.tel.solveHist.Summary()
+	s.SummarizeTimes = v.tel.summarizeHist.Summary()
 	return s
 }
 
@@ -306,20 +338,31 @@ func (v *Verifier) putEngine(e *symbex.Engine) {
 	v.mu.Unlock()
 }
 
-// getSession checks an idle incremental solver session out of the pool.
+// getSession checks an idle incremental solver session out of the
+// pool. The checkout also binds the session to a trace lane (when
+// tracing): the caller's goroutine drives the session sequentially
+// until putSession, which is exactly the nesting discipline a lane
+// needs.
 func (v *Verifier) getSession() *smt.IncrementalSession {
 	v.mu.Lock()
 	if n := len(v.sessions); n > 0 {
 		s := v.sessions[n-1]
 		v.sessions = v.sessions[:n-1]
 		v.mu.Unlock()
+		v.tel.bindSession(s, v.tel.getLane())
 		return s
 	}
 	v.mu.Unlock()
-	return v.solver.NewSession()
+	s := v.solver.NewSession()
+	v.tel.bindSession(s, v.tel.getLane())
+	return s
 }
 
 func (v *Verifier) putSession(s *smt.IncrementalSession) {
+	if lane := v.tel.laneFor(s); lane != nil {
+		v.tel.bindSession(s, nil)
+		v.tel.putLane(lane)
+	}
 	v.mu.Lock()
 	v.sessions = append(v.sessions, s)
 	v.mu.Unlock()
@@ -376,7 +419,13 @@ func (v *Verifier) Summarize(e *click.Instance) ([]*symbex.Segment, error) {
 func (v *Verifier) loadOrSummarize(e *click.Instance) ([]*symbex.Segment, bool, error) {
 	if v.opts.Store != nil {
 		key := StoreKey(e.Program(), v.opts)
-		if sum, ok := v.opts.Store.Load(key); ok {
+		lane := v.tel.getLane()
+		sp := lane.Begin("store", "store-load:"+e.Name())
+		sum, ok := v.opts.Store.Load(key)
+		sp.End()
+		v.tel.putLane(lane)
+		if ok {
+			v.tel.storeLoads.Inc()
 			v.countSummary(sum.Segments, sum.Merged, true)
 			return sum.Segments, sum.Merged, nil
 		}
@@ -385,7 +434,12 @@ func (v *Verifier) loadOrSummarize(e *click.Instance) ([]*symbex.Segment, bool, 
 		v.mu.Unlock()
 		segs, merged, err := v.summarize(e)
 		if err == nil {
+			lane := v.tel.getLane()
+			sp := lane.Begin("store", "store-save:"+e.Name())
 			v.opts.Store.Save(key, &symbex.Summary{Segments: segs, Merged: merged})
+			sp.End()
+			v.tel.putLane(lane)
+			v.tel.storeSaves.Inc()
 		}
 		return segs, merged, err
 	}
@@ -441,10 +495,17 @@ func (v *Verifier) countSummary(segs []*symbex.Segment, merged, fromStore bool) 
 // summary.
 func (v *Verifier) summarize(e *click.Instance) (segs []*symbex.Segment, merged bool, err error) {
 	defer v.capturePanic(fmt.Sprintf("step-1 summarization of %s", e.Name()), nil, &err)
+	lane := v.tel.getLane()
+	sp := lane.Begin("step1", "summarize:"+e.Name())
+	start := time.Now()
 	eng := v.getEngine()
 	segs, err = eng.Run(e.Program(), v.input())
 	merged = eng.Stats().Merged
 	v.putEngine(eng)
+	v.tel.summarizeHist.Record(int64(time.Since(start)))
+	sp.SetInt("segments", int64(len(segs)))
+	sp.End()
+	v.tel.putLane(lane)
 	if err != nil {
 		return nil, false, fmt.Errorf("verify: summarizing %s: %w", e.Name(), err)
 	}
@@ -566,7 +627,7 @@ func entryState(p *click.Pipeline) *composed {
 // stitched constraint is infeasible. This is the paper's Step-2
 // substitution: Cp(in) = C_prefix(in) ∧ C_seg(S_prefix(in)). sess is
 // the calling walker's incremental solver session.
-func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbex.Segment, pos int, inst string, extraPre []*expr.Expr) (*composed, error) {
+func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbex.Segment, pos int, inst string, extraPre []*expr.Expr, lbl string) (*composed, error) {
 	sub := expr.NewSubst()
 	sub.BindArr(symbex.PktArrayName, st.pkt)
 	for slot, val := range st.meta {
@@ -592,7 +653,7 @@ func (v *Verifier) stitch(sess *smt.IncrementalSession, st *composed, seg *symbe
 		newConds = append(newConds, ic)
 	}
 	if len(newConds) > 0 {
-		feasible, m, _ := v.feasible(sess, st, newConds, extraPre)
+		feasible, m, _ := v.feasible(sess, st, newConds, extraPre, "stitch", lbl)
 		if !feasible {
 			v.countInfeasible()
 			return nil, nil
@@ -633,7 +694,9 @@ func (v *Verifier) countInfeasible() { v.composedInfeasible.Add(1) }
 // feasible=true — the sound direction for every property, since paths
 // are only ever discharged on Unsat — with unknown=true so callers can
 // surface the obligation as unresolved instead of fabricating a verdict.
-func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds, extraPre []*expr.Expr) (feasible bool, m *expr.Assignment, unknown bool) {
+// kind and lbl attribute the query for tracing and the obligation
+// profiler; lbl is empty when neither consumer is active.
+func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds, extraPre []*expr.Expr, kind, lbl string) (feasible bool, m *expr.Assignment, unknown bool) {
 	if st.model != nil {
 		ok := true
 		for _, c := range newConds {
@@ -653,7 +716,9 @@ func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds
 	cons = append(cons, st.conds...)
 	cons = append(cons, newConds...)
 	v.solverQueries.Add(1)
+	sp, started := v.tel.beginSolve(sess, kind, lbl)
 	r, m := sess.Check(cons)
+	v.tel.recordSolve(sess, kind, lbl, started, sp)
 	if r == smt.Unsat {
 		return false, nil, false
 	}
@@ -666,8 +731,8 @@ func (v *Verifier) feasible(sess *smt.IncrementalSession, st *composed, newConds
 // feasibleRoot is feasible on the root session: only for use under
 // visitMu (visit callbacks, the stateful refinement) or after walk
 // returns (report construction).
-func (v *Verifier) feasibleRoot(st *composed, newConds, extraPre []*expr.Expr) (bool, *expr.Assignment, bool) {
-	return v.feasible(v.rootSession, st, newConds, extraPre)
+func (v *Verifier) feasibleRoot(st *composed, newConds, extraPre []*expr.Expr, kind, lbl string) (bool, *expr.Assignment, bool) {
+	return v.feasible(v.rootSession, st, newConds, extraPre, kind, lbl)
 }
 
 // pathEnd describes how a composed path terminated.
@@ -771,8 +836,19 @@ func (w *walker) dfs(sess *smt.IncrementalSession, elem int, st *composed) error
 		return errInterrupted
 	}
 	inst := w.p.Elements[elem].Name()
+	// The obligation label names the stitched-path extension this
+	// element contributes. Built only when the tracer or the profiler
+	// will consume it — it costs a string per (prefix, element) pair.
+	lbl := ""
+	if w.v.tel.active() {
+		if len(st.elems) == 0 {
+			lbl = inst
+		} else {
+			lbl = pathName(w.p, st) + " -> " + inst
+		}
+	}
 	for _, seg := range w.summaries[elem] {
-		next, err := w.v.stitch(sess, st, seg, elem, inst, w.extraPre)
+		next, err := w.v.stitch(sess, st, seg, elem, inst, w.extraPre, lbl)
 		if err != nil {
 			return err
 		}
@@ -802,6 +878,9 @@ func (w *walker) dfs(sess *smt.IncrementalSession, elem int, st *composed) error
 		if terminal {
 			n := w.explored.Add(1)
 			w.v.composedPaths.Add(1)
+			if lane := w.v.tel.laneFor(sess); lane != nil {
+				lane.Instant("step2", "path:"+end.disp.String())
+			}
 			if err := w.doVisit(end); err != nil {
 				return err
 			}
@@ -826,10 +905,14 @@ func (v *Verifier) walk(p *click.Pipeline, extraPre []*expr.Expr, visit func(pat
 	if limit <= 0 {
 		limit = DefaultMaxComposedPaths
 	}
+	sp := v.tel.main.Begin("phase", "step1:summarize-all")
 	summaries, err := v.summarizeAll(p.Elements)
+	sp.End()
 	if err != nil {
 		return err
 	}
+	sp = v.tel.main.Begin("phase", "step2:walk")
+	defer sp.End()
 	w := &walker{
 		v:         v,
 		p:         p,

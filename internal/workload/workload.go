@@ -1,4 +1,4 @@
-// Package trace generates synthetic packet workloads.
+// Package workload generates synthetic packet workloads.
 //
 // The paper's testbed used live traffic through SMPClick on a Xeon
 // server; no such traces ship with a paper reproduction, so this package
@@ -7,7 +7,7 @@
 // random frames, and adversarial mutations (truncations, corrupted
 // checksums, fuzzed IP options) that specifically target the code paths
 // the verifier reasons about.
-package trace
+package workload
 
 import (
 	"math/rand"
